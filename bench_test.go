@@ -1,0 +1,164 @@
+// Top-level benchmarks: one testing.B per table/figure of the paper's
+// evaluation. Each benchmark runs a reduced sweep of the corresponding
+// harness experiment; `go run ./cmd/radixbench` produces the full series.
+// The reported custom metrics carry the paper's units (jobs/hour, pages/s,
+// lookups/s, iterations/s).
+package radixvm_test
+
+import (
+	"strings"
+	"testing"
+
+	"radixvm/internal/bonsaivm"
+	"radixvm/internal/harness"
+	"radixvm/internal/hw"
+	"radixvm/internal/layout"
+	"radixvm/internal/linuxvm"
+	"radixvm/internal/mem"
+	"radixvm/internal/metis"
+	"radixvm/internal/refcache"
+	"radixvm/internal/vm"
+	"radixvm/internal/workload"
+)
+
+const benchCores = 16
+
+func benchEnv(n int) (*workload.Env, *mem.Allocator) {
+	m := hw.NewMachine(hw.DefaultConfig(n))
+	rc := refcache.New(m)
+	return &workload.Env{M: m, RC: rc}, mem.NewAllocator(m, rc)
+}
+
+// BenchmarkFig4Metis reproduces Figure 4 (one system/unit cell per sub-benchmark).
+func BenchmarkFig4Metis(b *testing.B) {
+	for _, sys := range []string{"radixvm", "bonsai", "linux"} {
+		for _, unit := range []struct {
+			name  string
+			pages uint64
+		}{{"8MB", 2048}, {"64KB", 16}} {
+			b.Run(sys+"/"+unit.name, func(b *testing.B) {
+				cfg := metis.DefaultConfig()
+				cfg.Words = 100_000
+				cfg.BlockPages = unit.pages
+				var jobsPerHour float64
+				for i := 0; i < b.N; i++ {
+					e, a := benchEnv(benchCores)
+					s := makeSystem(sys, e, a)
+					r := metis.Run(e, s, benchCores, cfg)
+					jobsPerHour = r.JobsPerHour
+				}
+				b.ReportMetric(jobsPerHour, "jobs/hour")
+			})
+		}
+	}
+}
+
+func makeSystem(name string, e *workload.Env, a *mem.Allocator) vm.System {
+	switch name {
+	case "radixvm":
+		return vm.New(e.M, e.RC, a, nil)
+	case "bonsai":
+		return bonsaivm.New(e.M, e.RC, a)
+	default:
+		return linuxvm.New(e.M, e.RC, a)
+	}
+}
+
+// BenchmarkFig5 reproduces Figure 5: the three microbenchmarks on the
+// three VM systems at benchCores cores.
+func BenchmarkFig5(b *testing.B) {
+	type runner func(e *workload.Env, s vm.System) workload.Result
+	benches := map[string]runner{
+		"local": func(e *workload.Env, s vm.System) workload.Result {
+			return workload.Local(e, s, benchCores, 100, 1)
+		},
+		"pipeline": func(e *workload.Env, s vm.System) workload.Result {
+			return workload.Pipeline(e, s, benchCores, 100, 8)
+		},
+		"global": func(e *workload.Env, s vm.System) workload.Result {
+			return workload.Global(e, s, benchCores, 3, 16)
+		},
+	}
+	for _, wl := range []string{"local", "pipeline", "global"} {
+		for _, sys := range []string{"radixvm", "bonsai", "linux"} {
+			b.Run(wl+"/"+sys, func(b *testing.B) {
+				var pagesPerSec float64
+				for i := 0; i < b.N; i++ {
+					e, a := benchEnv(benchCores)
+					r := benches[wl](e, makeSystem(sys, e, a))
+					pagesPerSec = r.PerSecond()
+				}
+				b.ReportMetric(pagesPerSec/1e6, "Mpages/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6SkipList and BenchmarkFig7Radix reproduce the index
+// structure comparison (readers with concurrent writers).
+func BenchmarkFig6SkipList(b *testing.B) {
+	benchStructure(b, harness.Fig6)
+}
+
+// BenchmarkFig7Radix is Figure 7.
+func BenchmarkFig7Radix(b *testing.B) {
+	benchStructure(b, harness.Fig7)
+}
+
+func benchStructure(b *testing.B, fig func(harness.Options) *harness.Table) {
+	o := harness.Options{Cores: []int{benchCores}, Iters: 50}
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = fig(o).Rows
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Value, strings.ReplaceAll(r.Series, " ", "")+"_Mlookups/s")
+	}
+}
+
+// BenchmarkFig8Refcount reproduces Figure 8: map/unmap of one shared page
+// under the three reference-counting schemes.
+func BenchmarkFig8Refcount(b *testing.B) {
+	o := harness.Options{Cores: []int{benchCores}, Iters: 50}
+	var rows []harness.Row
+	for i := 0; i < b.N; i++ {
+		rows = harness.Fig8(o).Rows
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Value, r.Series+"_Miters/s")
+	}
+}
+
+// BenchmarkFig9Shootdown reproduces Figure 9: per-core vs shared page
+// tables on the local microbenchmark (the most dramatic panel).
+func BenchmarkFig9Shootdown(b *testing.B) {
+	for _, mode := range []string{"percore", "shared"} {
+		b.Run(mode, func(b *testing.B) {
+			var pagesPerSec float64
+			for i := 0; i < b.N; i++ {
+				e, a := benchEnv(benchCores)
+				var mmu vm.MMU
+				if mode == "percore" {
+					mmu = vm.NewPerCoreMMU(e.M)
+				} else {
+					mmu = vm.NewSharedMMU(e.M)
+				}
+				s := vm.New(e.M, e.RC, a, mmu)
+				r := workload.Local(e, s, benchCores, 100, 1)
+				pagesPerSec = r.PerSecond()
+			}
+			b.ReportMetric(pagesPerSec/1e6, "Mpages/s")
+		})
+	}
+}
+
+// BenchmarkTable2Memory reproduces Table 2's representation measurement.
+func BenchmarkTable2Memory(b *testing.B) {
+	app := layout.Apps()[0] // Firefox
+	var m layout.Measurement
+	for i := 0; i < b.N; i++ {
+		m = layout.Measure(app, 1)
+	}
+	b.ReportMetric(m.RadixMul, "x_linux")
+	b.ReportMetric(m.RSSShare*100, "pct_of_RSS")
+}

@@ -1,0 +1,88 @@
+// Command radixbench regenerates the RadixVM paper's tables and figures.
+//
+// Usage:
+//
+//	radixbench -exp all                    # everything (several minutes)
+//	radixbench -exp fig5 -cores 1,10,40,80 # one figure, custom sweep
+//	radixbench -exp table2
+//	radixbench -quick                      # fast smoke sweep (1,4,8 cores)
+//
+// Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, table2, memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"radixvm/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|table2|memory")
+	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,20,40,80)")
+	iters := flag.Int("iters", 0, "per-core iterations (default per experiment)")
+	quick := flag.Bool("quick", false, "fast smoke sweep (1,4,8 cores, few iters)")
+	memCores := flag.Int("memcores", 20, "core count for the -exp memory experiment")
+	flag.Parse()
+
+	o := harness.DefaultOptions()
+	if *quick {
+		o = harness.QuickOptions()
+	}
+	if *coresFlag != "" {
+		o.Cores = nil
+		for _, part := range strings.Split(*coresFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "radixbench: bad core count %q\n", part)
+				os.Exit(2)
+			}
+			o.Cores = append(o.Cores, n)
+		}
+	}
+	if *iters > 0 {
+		o.Iters = *iters
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Print(harness.Table1("."))
+		case "fig4":
+			harness.Fig4(o).Print(os.Stdout)
+		case "fig5":
+			for _, t := range harness.Fig5(o) {
+				t.Print(os.Stdout)
+			}
+		case "fig6":
+			harness.Fig6(o).Print(os.Stdout)
+		case "fig7":
+			harness.Fig7(o).Print(os.Stdout)
+		case "fig8":
+			harness.Fig8(o).Print(os.Stdout)
+		case "fig9":
+			for _, t := range harness.Fig9(o) {
+				t.Print(os.Stdout)
+			}
+		case "table2":
+			fmt.Print(harness.Table2())
+		case "memory":
+			fmt.Print(harness.MetisMemory(*memCores))
+		default:
+			fmt.Fprintf(os.Stderr, "radixbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "memory"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,101 @@
+// Command vmtrace runs one microbenchmark configuration and prints a
+// per-core cost breakdown: virtual clocks, coherence traffic, faults, and
+// shootdowns. Useful for understanding *why* a configuration scales (or
+// does not) before running full sweeps with radixbench.
+//
+// Usage:
+//
+//	vmtrace -sys radixvm -workload local -cores 8 -iters 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"radixvm/internal/bonsaivm"
+	"radixvm/internal/hw"
+	"radixvm/internal/linuxvm"
+	"radixvm/internal/mem"
+	"radixvm/internal/refcache"
+	"radixvm/internal/vm"
+	"radixvm/internal/workload"
+)
+
+func main() {
+	sysName := flag.String("sys", "radixvm", "vm system: radixvm|radixvm-shared|linux|bonsai")
+	wl := flag.String("workload", "local", "workload: local|pipeline|global")
+	cores := flag.Int("cores", 8, "simulated cores")
+	iters := flag.Int("iters", 200, "iterations per core")
+	pages := flag.Uint64("pages", 1, "region pages (local/pipeline) or piece pages (global)")
+	flag.Parse()
+
+	m := hw.NewMachine(hw.DefaultConfig(*cores))
+	rc := refcache.New(m)
+	alloc := mem.NewAllocator(m, rc)
+	env := &workload.Env{M: m, RC: rc}
+
+	var sys vm.System
+	switch *sysName {
+	case "radixvm":
+		sys = vm.New(m, rc, alloc, nil)
+	case "radixvm-shared":
+		sys = vm.New(m, rc, alloc, vm.NewSharedMMU(m))
+	case "linux":
+		sys = linuxvm.New(m, rc, alloc)
+	case "bonsai":
+		sys = bonsaivm.New(m, rc, alloc)
+	default:
+		fmt.Fprintf(os.Stderr, "vmtrace: unknown -sys %q\n", *sysName)
+		os.Exit(2)
+	}
+
+	var r workload.Result
+	switch *wl {
+	case "local":
+		r = workload.Local(env, sys, *cores, *iters, *pages)
+	case "pipeline":
+		if *cores < 2 {
+			fmt.Fprintln(os.Stderr, "vmtrace: pipeline needs >= 2 cores")
+			os.Exit(2)
+		}
+		r = workload.Pipeline(env, sys, *cores, *iters, maxU(*pages, 2))
+	case "global":
+		r = workload.Global(env, sys, *cores, maxInt(2, *iters/40), maxU(*pages, 4))
+	default:
+		fmt.Fprintf(os.Stderr, "vmtrace: unknown -workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s on %s, %d cores, %d iters\n\n", *wl, sys.Name(), *cores, *iters)
+	fmt.Printf("throughput: %.2fM page writes/sec over %.3f virtual ms\n\n",
+		r.PerSecond()/1e6, float64(r.Cycles)/2.4e6)
+	fmt.Printf("%4s %14s %10s %10s %10s %8s %8s %8s %8s\n",
+		"core", "cycles", "faults", "fills", "hits", "xfers", "cold", "ipiTX", "ipiRX")
+	for i := 0; i < *cores; i++ {
+		c := m.CPU(i)
+		s := c.Stats()
+		fmt.Printf("%4d %14d %10d %10d %10d %8d %8d %8d %8d\n",
+			i, c.Now(), s.PageFaults, s.FillFaults, s.LocalHits,
+			s.Transfers, s.ColdMisses, s.IPIsSent, s.IPIsReceived())
+	}
+	t := r.Stats
+	fmt.Printf("\ntotals: %d mmaps, %d munmaps, %d faults (%d fills), %d transfers (%d cross-socket), %d shootdown rounds, %d IPIs, %d pages zeroed\n",
+		t.Mmaps, t.Munmaps, t.PageFaults, t.FillFaults,
+		t.Transfers, t.CrossSocket, t.Shootdowns, t.IPIsSent, t.PagesZeroed)
+	fmt.Printf("page tables: %d KB\n", sys.PageTableBytes()/1024)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+// MapReduce: run the paper's Metis word-position-index workload (§5.2) on
+// all three VM systems and print a Figure 4-style comparison. The
+// allocation unit flag switches between the pagefault-heavy (8 MB) and
+// mmap-heavy (64 KB) configurations.
+//
+// Usage:
+//
+//	go run ./examples/mapreduce -cores 8 -unit 64KB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"radixvm/internal/bonsaivm"
+	"radixvm/internal/hw"
+	"radixvm/internal/linuxvm"
+	"radixvm/internal/mem"
+	"radixvm/internal/metis"
+	"radixvm/internal/refcache"
+	"radixvm/internal/vm"
+	"radixvm/internal/workload"
+)
+
+func main() {
+	cores := flag.Int("cores", 8, "simulated cores")
+	unit := flag.String("unit", "8MB", "allocation unit: 8MB or 64KB")
+	words := flag.Int("words", 200_000, "corpus size in words")
+	flag.Parse()
+
+	cfg := metis.DefaultConfig()
+	cfg.Words = *words
+	switch *unit {
+	case "8MB":
+		cfg.BlockPages = 2048
+	case "64KB":
+		cfg.BlockPages = 16
+	default:
+		log.Fatalf("unknown -unit %q (want 8MB or 64KB)", *unit)
+	}
+
+	fmt.Printf("Metis word-position index: %d words, %s allocation unit, %d cores\n\n",
+		cfg.Words, *unit, *cores)
+	type factory struct {
+		name string
+		make func(e *workload.Env, a *mem.Allocator) vm.System
+	}
+	var first metis.Result
+	for i, f := range []factory{
+		{"radixvm", func(e *workload.Env, a *mem.Allocator) vm.System { return vm.New(e.M, e.RC, a, nil) }},
+		{"bonsai", func(e *workload.Env, a *mem.Allocator) vm.System { return bonsaivm.New(e.M, e.RC, a) }},
+		{"linux", func(e *workload.Env, a *mem.Allocator) vm.System { return linuxvm.New(e.M, e.RC, a) }},
+	} {
+		m := hw.NewMachine(hw.DefaultConfig(*cores))
+		rc := refcache.New(m)
+		env := &workload.Env{M: m, RC: rc}
+		r := metis.Run(env, f.make(env, mem.NewAllocator(m, rc)), *cores, cfg)
+		fmt.Println(r)
+		if i == 0 {
+			first = r
+		} else if r.Checksum != first.Checksum {
+			log.Fatalf("%s produced a different index than radixvm", f.name)
+		}
+	}
+	fmt.Printf("\nindex: %d distinct words, %d total positions (identical on all systems)\n",
+		first.Distinct, first.Words)
+}

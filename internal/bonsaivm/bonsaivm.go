@@ -1,0 +1,203 @@
+// Package bonsaivm is the Bonsai VM baseline (Clements et al., ASPLOS
+// 2012 [7]): page faults are lock-free against an RCU-style persistent
+// balanced tree of regions, but mmap and munmap still serialize on the
+// address space lock — so it matches RadixVM on pagefault-heavy workloads
+// (Figure 4, 8 MB) and collapses on mmap-heavy ones (64 KB).
+//
+// Like the real Bonsai system it uses a single shared page table and
+// broadcast TLB shootdowns.
+package bonsaivm
+
+import (
+	"radixvm/internal/bonsai"
+	"radixvm/internal/hw"
+	"radixvm/internal/mem"
+	"radixvm/internal/refcache"
+	"radixvm/internal/vm"
+)
+
+type region struct {
+	start, end uint64
+	prot       vm.Prot
+	back       vm.Backing
+}
+
+// AddressSpace is a Bonsai-like address space.
+type AddressSpace struct {
+	m     *hw.Machine
+	rc    *refcache.Refcache
+	alloc *mem.Allocator
+
+	lock    hw.Lock // serializes mmap/munmap, NOT pagefault
+	regions *bonsai.Tree[region]
+	mmu     *vm.SharedMMU
+
+	active vm.ActiveSet
+}
+
+// New creates an empty Bonsai-like address space.
+func New(m *hw.Machine, rc *refcache.Refcache, alloc *mem.Allocator) *AddressSpace {
+	return &AddressSpace{
+		m:       m,
+		rc:      rc,
+		alloc:   alloc,
+		regions: bonsai.New[region](),
+		mmu:     vm.NewSharedMMU(m),
+	}
+}
+
+// Name implements vm.System.
+func (as *AddressSpace) Name() string { return "bonsai" }
+
+// PageTableBytes implements vm.System.
+func (as *AddressSpace) PageTableBytes() uint64 { return as.mmu.Bytes() }
+
+func (as *AddressSpace) noteActive(cpu *hw.CPU) { as.active.Note(cpu.ID()) }
+
+func (as *AddressSpace) activeSet() hw.CoreSet { return as.active.Get() }
+
+// Mmap implements vm.System: serialized on the address space lock; the
+// new region tree is published atomically for lock-free faulters.
+func (as *AddressSpace) Mmap(cpu *hw.CPU, vpn, npages uint64, opts vm.MapOpts) error {
+	if npages == 0 {
+		return vm.ErrRange
+	}
+	cpu.Stats().Mmaps++
+	cpu.Tick(vm.LinuxSyscallCost)
+	as.noteActive(cpu)
+	cpu.Acquire(&as.lock)
+	as.removeOverlapsLocked(cpu, vpn, vpn+npages)
+	as.regions.Insert(cpu, vpn, &region{
+		start: vpn,
+		end:   vpn + npages,
+		prot:  opts.Prot,
+		back:  vm.Backing{File: opts.File, Offset: opts.Offset},
+	})
+	cpu.Release(&as.lock)
+	return nil
+}
+
+// Munmap implements vm.System.
+func (as *AddressSpace) Munmap(cpu *hw.CPU, vpn, npages uint64) error {
+	if npages == 0 {
+		return vm.ErrRange
+	}
+	cpu.Stats().Munmaps++
+	cpu.Tick(vm.LinuxSyscallCost)
+	as.noteActive(cpu)
+	cpu.Acquire(&as.lock)
+	as.removeOverlapsLocked(cpu, vpn, vpn+npages)
+	cpu.Release(&as.lock)
+	return nil
+}
+
+func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
+	snap := as.regions.Snapshot()
+	var overlaps []region
+	if k, v, ok := snap.Floor(cpu, lo); ok && k < lo && v.end > lo {
+		overlaps = append(overlaps, *v)
+	}
+	snap.Ascend(cpu, lo, func(k uint64, v *region) bool {
+		if k >= hi {
+			return false
+		}
+		overlaps = append(overlaps, *v)
+		return true
+	})
+	if len(overlaps) == 0 {
+		return
+	}
+	for _, o := range overlaps {
+		as.regions.Delete(cpu, o.start)
+		if o.start < lo {
+			as.regions.Insert(cpu, o.start, &region{
+				start: o.start, end: lo, prot: o.prot, back: o.back,
+			})
+		}
+		if o.end > hi {
+			nb := o.back
+			if nb.File != nil {
+				nb.Offset += hi - o.start
+			}
+			as.regions.Insert(cpu, hi, &region{start: hi, end: o.end, prot: o.prot, back: nb})
+		}
+	}
+	var frames []*mem.Frame
+	as.mmu.PageTable().UnmapRangeFunc(cpu, lo, hi, func(_, pfn uint64) {
+		if f := as.alloc.ByPFN(pfn); f != nil {
+			frames = append(frames, f)
+		}
+	})
+	as.mmu.ShootdownTLBOnly(cpu, lo, hi, as.activeSet())
+	for _, f := range frames {
+		as.alloc.DecRef(cpu, f)
+	}
+}
+
+// PageFault is lock-free: it reads an atomic snapshot of the region tree,
+// installs the translation, and re-validates against the current tree. If
+// a concurrent munmap removed the region in between, the fault undoes its
+// installation — a simplified version of the Bonsai system's RCU
+// validation protocol.
+func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
+	cpu.Stats().PageFaults++
+	cpu.Tick(vm.FaultCost)
+	as.noteActive(cpu)
+
+	v := as.findRegion(cpu, vpn)
+	if v == nil {
+		return vm.ErrSegv
+	}
+	var frame *mem.Frame
+	if v.back.File != nil {
+		fr, _ := v.back.File.Page(cpu, v.back.Offset+(vpn-v.start))
+		as.alloc.IncRef(cpu, fr)
+		frame = fr
+	} else {
+		frame = as.alloc.Alloc(cpu)
+	}
+	if !as.mmu.PageTable().MapIfAbsent(cpu, vpn, frame.PFN) {
+		// Raced with another faulter on the same page.
+		cpu.Stats().FillFaults++
+		cpu.Tick(vm.FillCost)
+		as.alloc.DecRef(cpu, frame)
+		if pte, ok := as.mmu.PageTable().Lookup(cpu, vpn); ok {
+			as.mmu.TLB(cpu.ID()).Insert(vpn, pte.PFN)
+		}
+		return nil
+	}
+	// Re-validate: a munmap may have cleared this range between our
+	// snapshot read and the PTE install.
+	if as.findRegion(cpu, vpn) == nil {
+		as.mmu.PageTable().Unmap(cpu, vpn)
+		as.mmu.TLB(cpu.ID()).FlushPage(vpn)
+		as.alloc.DecRef(cpu, frame)
+		return vm.ErrSegv
+	}
+	as.mmu.TLB(cpu.ID()).Insert(vpn, frame.PFN)
+	return nil
+}
+
+func (as *AddressSpace) findRegion(cpu *hw.CPU, vpn uint64) *region {
+	_, v, ok := as.regions.Floor(cpu, vpn)
+	if !ok || vpn >= v.end {
+		return nil
+	}
+	return v
+}
+
+// Access implements vm.System.
+func (as *AddressSpace) Access(cpu *hw.CPU, vpn uint64, write bool) error {
+	as.noteActive(cpu)
+	t := as.mmu.TLB(cpu.ID())
+	if _, ok := t.Lookup(vpn); ok {
+		cpu.Tick(vm.AccessCost)
+		return nil
+	}
+	if pfn, ok := as.mmu.Lookup(cpu, vpn); ok {
+		cpu.Tick(vm.WalkCost)
+		t.Insert(vpn, pfn)
+		return nil
+	}
+	return as.PageFault(cpu, vpn, write)
+}

@@ -1,0 +1,453 @@
+// Package harness regenerates every table and figure in the paper's
+// evaluation (§5). Each Fig*/Table* function runs the corresponding
+// experiment across core counts and systems and returns printable rows;
+// cmd/radixbench and the top-level benchmarks are thin wrappers around it.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+
+	"radixvm/internal/bonsaivm"
+	"radixvm/internal/counter"
+	"radixvm/internal/hw"
+	"radixvm/internal/layout"
+	"radixvm/internal/linuxvm"
+	"radixvm/internal/mem"
+	"radixvm/internal/metis"
+	"radixvm/internal/radix"
+	"radixvm/internal/refcache"
+	"radixvm/internal/skiplist"
+	"radixvm/internal/vm"
+	"radixvm/internal/workload"
+)
+
+// Options scales the experiments. Defaults (from DefaultOptions) finish in
+// a few minutes on a laptop; the paper's full sweep uses Cores up to 80.
+type Options struct {
+	Cores []int // core counts to sweep
+	Iters int   // per-core iterations for microbenchmarks
+}
+
+// DefaultOptions sweeps the paper's x-axis at laptop cost.
+func DefaultOptions() Options {
+	return Options{Cores: []int{1, 10, 20, 40, 80}, Iters: 200}
+}
+
+// QuickOptions is a fast smoke-test sweep.
+func QuickOptions() Options {
+	return Options{Cores: []int{1, 4, 8}, Iters: 60}
+}
+
+// Row is one data point: a labeled series value at a core count.
+type Row struct {
+	Series string
+	Cores  int
+	Value  float64
+	Unit   string
+}
+
+// Table is a named set of rows.
+type Table struct {
+	Title string
+	Rows  []Row
+}
+
+// Print renders the table as aligned text.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	series := []string{}
+	seen := map[string]bool{}
+	cores := []int{}
+	seenC := map[int]bool{}
+	val := map[string]map[int]float64{}
+	unit := ""
+	for _, r := range t.Rows {
+		if !seen[r.Series] {
+			seen[r.Series] = true
+			series = append(series, r.Series)
+			val[r.Series] = map[int]float64{}
+		}
+		if !seenC[r.Cores] {
+			seenC[r.Cores] = true
+			cores = append(cores, r.Cores)
+		}
+		val[r.Series][r.Cores] = r.Value
+		unit = r.Unit
+	}
+	fmt.Fprintf(w, "%-22s", "series \\ cores")
+	for _, c := range cores {
+		fmt.Fprintf(w, "%12d", c)
+	}
+	fmt.Fprintf(w, "   (%s)\n", unit)
+	for _, s := range series {
+		fmt.Fprintf(w, "%-22s", s)
+		for _, c := range cores {
+			fmt.Fprintf(w, "%12.2f", val[s][c])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// env builds a fresh machine + refcache + frame allocator for n cores.
+func env(n int) (*workload.Env, *mem.Allocator) {
+	m := hw.NewMachine(hw.DefaultConfig(n))
+	rc := refcache.New(m)
+	return &workload.Env{M: m, RC: rc}, mem.NewAllocator(m, rc)
+}
+
+// sysFactory builds one of the three VM systems in a fresh environment.
+type sysFactory struct {
+	name string
+	make func(e *workload.Env, a *mem.Allocator) vm.System
+}
+
+func factories() []sysFactory {
+	return []sysFactory{
+		{"radixvm", func(e *workload.Env, a *mem.Allocator) vm.System { return vm.New(e.M, e.RC, a, nil) }},
+		{"bonsai", func(e *workload.Env, a *mem.Allocator) vm.System { return bonsaivm.New(e.M, e.RC, a) }},
+		{"linux", func(e *workload.Env, a *mem.Allocator) vm.System { return linuxvm.New(e.M, e.RC, a) }},
+	}
+}
+
+// Fig4 reproduces the Metis scalability figure: jobs/hour for each VM
+// system at 8 MB and 64 KB allocation units.
+func Fig4(o Options) *Table {
+	t := &Table{Title: "Figure 4: Metis throughput (jobs/hour)"}
+	for _, f := range factories() {
+		for _, unitPages := range []uint64{2048, 16} {
+			label := fmt.Sprintf("%s/%s", f.name, unitName(unitPages))
+			for _, n := range o.Cores {
+				e, a := env(n)
+				cfg := metis.DefaultConfig()
+				cfg.BlockPages = unitPages
+				r := metis.Run(e, f.make(e, a), n, cfg)
+				t.Rows = append(t.Rows, Row{Series: label, Cores: n, Value: r.JobsPerHour, Unit: "jobs/hour"})
+			}
+		}
+	}
+	return t
+}
+
+func unitName(pages uint64) string {
+	if pages >= 2048 {
+		return "8MB"
+	}
+	return "64KB"
+}
+
+// Fig5 reproduces the three microbenchmarks across VM systems.
+func Fig5(o Options) []*Table {
+	type bench struct {
+		name string
+		run  func(e *workload.Env, s vm.System, n int) workload.Result
+	}
+	benches := []bench{
+		{"local", func(e *workload.Env, s vm.System, n int) workload.Result {
+			return workload.Local(e, s, n, o.Iters, 1)
+		}},
+		{"pipeline", func(e *workload.Env, s vm.System, n int) workload.Result {
+			return workload.Pipeline(e, s, n, o.Iters, 8)
+		}},
+		{"global", func(e *workload.Env, s vm.System, n int) workload.Result {
+			return workload.Global(e, s, n, maxInt(2, o.Iters/40), 16)
+		}},
+	}
+	var tables []*Table
+	for _, b := range benches {
+		t := &Table{Title: fmt.Sprintf("Figure 5 (%s): page writes/sec (millions)", b.name)}
+		for _, f := range factories() {
+			for _, n := range o.Cores {
+				e, a := env(n)
+				if b.name == "pipeline" && n < 2 {
+					// pipeline needs a ring of at least 2.
+					continue
+				}
+				r := b.run(e, f.make(e, a), n)
+				t.Rows = append(t.Rows, Row{Series: f.name, Cores: n, Value: r.PerSecond() / 1e6, Unit: "M pages/s"})
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig6 reproduces the skip list lookup-vs-writers figure.
+func Fig6(o Options) *Table {
+	return structureBench("Figure 6: skip list lookups/sec (millions)", o, []int{0, 1, 5},
+		func(m *hw.Machine) structure {
+			rc := refcache.New(m)
+			_ = rc
+			l := skiplist.New[int](m)
+			rng := rand.New(rand.NewSource(1))
+			seed := m.CPU(m.NCores() - 1)
+			for k := 1; k <= 1000; k++ {
+				l.Insert(seed, rng, uint64(k)*2048, &k)
+			}
+			return structure{
+				lookup: func(c *hw.CPU, r *rand.Rand) {
+					l.Contains(c, uint64(r.Intn(1000)+1)*2048)
+				},
+				insertDelete: func(c *hw.CPU, r *rand.Rand) {
+					key := uint64(r.Intn(1<<22))*2048 + 1
+					l.Insert(c, r, key, nil)
+					l.Delete(c, key)
+				},
+			}
+		})
+}
+
+// Fig7 reproduces the radix tree equivalent (0, 10, 40 writers).
+func Fig7(o Options) *Table {
+	return structureBench("Figure 7: radix tree lookups/sec (millions)", o, []int{0, 10, 40},
+		func(m *hw.Machine) structure {
+			rc := refcache.New(m)
+			tr := radix.New[int](m, rc, nil)
+			seed := func(c *hw.CPU, key uint64, v int) {
+				r := tr.LockPage(c, key)
+				r.Entry(0).Set(&v)
+				r.Unlock()
+			}
+			for k := 1; k <= 1000; k++ {
+				seed(m.CPU(m.NCores()-1), uint64(k)*2048, k)
+			}
+			return structure{
+				lookup: func(c *hw.CPU, r *rand.Rand) {
+					tr.Lookup(c, uint64(r.Intn(1000)+1)*2048)
+				},
+				insertDelete: func(c *hw.CPU, r *rand.Rand) {
+					key := uint64(r.Intn(1<<22))*2048 + 1
+					v := 1
+					rg := tr.LockPage(c, key)
+					rg.Entry(0).Set(&v)
+					rg.Unlock()
+					rg = tr.LockPage(c, key)
+					rg.Entry(0).Set(nil)
+					rg.Unlock()
+				},
+				maintain: func(c *hw.CPU) { rc.Maintain(c) },
+			}
+		})
+}
+
+type structure struct {
+	lookup       func(*hw.CPU, *rand.Rand)
+	insertDelete func(*hw.CPU, *rand.Rand)
+	maintain     func(*hw.CPU)
+}
+
+// structureBench runs readers (the swept core count) against a fixed
+// number of writer cores. Each reader warms its cache with a full pass
+// over the keys, then measures lookups completed in a fixed virtual-time
+// window while the writers churn continuously; the writers keep writing
+// until every reader finishes its window.
+func structureBench(title string, o Options, writerCounts []int, build func(m *hw.Machine) structure) *Table {
+	t := &Table{Title: title}
+	const window = 1_000_000 // measured cycles per reader
+	for _, writers := range writerCounts {
+		label := fmt.Sprintf("%d writers", writers)
+		for _, readers := range o.Cores {
+			n := readers + writers
+			if n+1 > hw.MaxCores {
+				continue
+			}
+			// The extra core seeds the structure so its (large) clock
+			// stays out of the gang and out of the measurement.
+			m := hw.NewMachine(hw.DefaultConfig(n + 1))
+			s := build(m)
+			var lookups [hw.MaxCores]uint64
+			var readersDone atomic.Int64
+			m.ResetStats()
+			hw.RunGang(m, n, 3000, func(c *hw.CPU, g *hw.Gang) {
+				r := rand.New(rand.NewSource(int64(c.ID() + 7)))
+				if c.ID() < readers {
+					// Warm: two passes over the key space.
+					for k := 0; k < 2000; k++ {
+						s.lookup(c, r)
+						if k%16 == 0 {
+							g.Sync(c)
+						}
+					}
+					warmEnd := c.Now()
+					var count uint64
+					for c.Now() < warmEnd+window {
+						s.lookup(c, r)
+						count++
+						if count%16 == 0 {
+							g.Sync(c)
+						}
+					}
+					lookups[c.ID()] = count
+					readersDone.Add(1)
+				} else {
+					for readersDone.Load() < int64(readers) {
+						s.insertDelete(c, r)
+						if s.maintain != nil {
+							s.maintain(c)
+						}
+						g.Sync(c)
+					}
+				}
+			})
+			var total uint64
+			for i := 0; i < readers; i++ {
+				total += lookups[i]
+			}
+			rate := float64(total) * 2.4e9 / float64(window)
+			t.Rows = append(t.Rows, Row{Series: label, Cores: readers, Value: rate / 1e6, Unit: "M lookups/s"})
+		}
+	}
+	return t
+}
+
+// Fig8 reproduces the reference counting comparison: n cores repeatedly
+// mmap and munmap a region backed by one shared physical page.
+func Fig8(o Options) *Table {
+	t := &Table{Title: "Figure 8: shared-page map/unmap (M iterations/sec)"}
+	schemes := []struct {
+		name   string
+		newCtr func() counter.Counter // nil = Refcache (the native path)
+	}{
+		{"refcache", nil},
+		{"snzi", nil}, // filled per machine below
+		{"shared", func() counter.Counter { return counter.NewShared(0) }},
+	}
+	for _, sc := range schemes {
+		for _, n := range o.Cores {
+			e, a := env(n)
+			as := vm.New(e.M, e.RC, a, nil)
+			var file *vm.File
+			switch sc.name {
+			case "refcache":
+				file = vm.NewFile(a)
+			case "snzi":
+				m := e.M
+				file = vm.NewFileWithCounter(a, func() counter.Counter { return counter.NewSNZI(m, 0) })
+			default:
+				file = vm.NewFileWithCounter(a, sc.newCtr)
+			}
+			iters := o.Iters * 4
+			var ops [hw.MaxCores]uint64
+			e.M.ResetStats()
+			start := e.M.MaxClock()
+			hw.RunGang(e.M, n, 4000, func(c *hw.CPU, g *hw.Gang) {
+				lo := uint64(c.ID()*4+4) << 18
+				for k := 0; k < iters; k++ {
+					mustNil(as.Mmap(c, lo, 1, vm.MapOpts{Prot: vm.ProtRead, File: file}))
+					mustNil(as.Access(c, lo, false))
+					mustNil(as.Munmap(c, lo, 1))
+					ops[c.ID()]++
+					e.RC.Maintain(c)
+					g.Sync(c)
+				}
+			})
+			var total uint64
+			for i := 0; i < n; i++ {
+				total += ops[i]
+			}
+			cycles := e.M.MaxClock() - start
+			t.Rows = append(t.Rows, Row{
+				Series: sc.name, Cores: n,
+				Value: float64(total) * 2.4e9 / float64(cycles) / 1e6,
+				Unit:  "M iters/s",
+			})
+		}
+	}
+	return t
+}
+
+// Fig9 reproduces the per-core vs shared page table ablation over the
+// three microbenchmarks, RadixVM only.
+func Fig9(o Options) []*Table {
+	modes := []struct {
+		name string
+		mmu  func(m *hw.Machine) vm.MMU
+	}{
+		{"percore", func(m *hw.Machine) vm.MMU { return vm.NewPerCoreMMU(m) }},
+		{"shared", func(m *hw.Machine) vm.MMU { return vm.NewSharedMMU(m) }},
+	}
+	type bench struct {
+		name string
+		run  func(e *workload.Env, s vm.System, n int) workload.Result
+	}
+	benches := []bench{
+		{"local", func(e *workload.Env, s vm.System, n int) workload.Result {
+			return workload.Local(e, s, n, o.Iters, 1)
+		}},
+		{"pipeline", func(e *workload.Env, s vm.System, n int) workload.Result {
+			return workload.Pipeline(e, s, n, o.Iters, 8)
+		}},
+		{"global", func(e *workload.Env, s vm.System, n int) workload.Result {
+			return workload.Global(e, s, n, maxInt(2, o.Iters/40), 16)
+		}},
+	}
+	var tables []*Table
+	for _, b := range benches {
+		t := &Table{Title: fmt.Sprintf("Figure 9 (%s): per-core vs shared page tables (M page writes/sec)", b.name)}
+		for _, mode := range modes {
+			for _, n := range o.Cores {
+				if b.name == "pipeline" && n < 2 {
+					continue
+				}
+				e, a := env(n)
+				s := vm.New(e.M, e.RC, a, mode.mmu(e.M))
+				r := b.run(e, s, n)
+				t.Rows = append(t.Rows, Row{Series: mode.name, Cores: n, Value: r.PerSecond() / 1e6, Unit: "M pages/s"})
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Table2 reproduces the memory-overhead comparison.
+func Table2() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Table 2: memory usage for alternate VM representations ==\n")
+	fmt.Fprintf(&b, "%-8s %9s | %10s %10s | %12s %8s | %8s %8s\n",
+		"app", "RSS", "VMA tree", "PT", "radix tree", "xLinux", "paper x", "RSS%%")
+	for _, app := range layout.Apps() {
+		m := layout.Measure(app, 1)
+		fmt.Fprintf(&b, "%-8s %6d MB | %7d KB %7d KB | %9d KB %7.1fx | %7.1fx %7.1f%%\n",
+			app.Name, app.RSSMB,
+			m.VMABytes/1024, m.LinuxPT/1024,
+			m.RadixBytes/1024, m.RadixMul,
+			app.PaperRadixMul, m.RSSShare*100)
+	}
+	return b.String()
+}
+
+// MetisMemory reproduces §5.4's per-core vs shared page table overhead for
+// the Metis job at the given core count.
+func MetisMemory(cores int) string {
+	cfg := metis.DefaultConfig()
+	run := func(mmu func(m *hw.Machine) vm.MMU) uint64 {
+		e, a := env(cores)
+		s := vm.New(e.M, e.RC, a, mmu(e.M))
+		metis.Run(e, s, cores, cfg)
+		return s.PageTableBytes()
+	}
+	per := run(func(m *hw.Machine) vm.MMU { return vm.NewPerCoreMMU(m) })
+	sh := run(func(m *hw.Machine) vm.MMU { return vm.NewSharedMMU(m) })
+	return fmt.Sprintf("== §5.4: Metis page-table memory at %d cores ==\n"+
+		"shared page table:   %8d KB\n"+
+		"per-core page table: %8d KB (%.1fx; paper measured 13x at 80 cores)\n",
+		cores, sh/1024, per/1024, float64(per)/float64(sh))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mustNil(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

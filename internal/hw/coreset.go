@@ -1,0 +1,115 @@
+package hw
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxCores is the largest number of simulated cores a CoreSet can track.
+// The paper's machine has 80 cores; we leave headroom for sweeps.
+const MaxCores = 256
+
+// CoreSet is a fixed-size bitmap of core IDs. The zero value is the empty
+// set. CoreSet is a value type: copying it copies the set. It is not safe
+// for concurrent mutation; callers that share a CoreSet (such as the
+// per-page TLB tracking in mapping metadata) must protect it with the
+// enclosing structure's lock, which is exactly what the paper's design
+// does (the mapping metadata lock).
+type CoreSet struct {
+	bits [MaxCores / 64]uint64
+}
+
+// Add inserts core id into the set.
+func (s *CoreSet) Add(id int) {
+	s.bits[id/64] |= 1 << (uint(id) % 64)
+}
+
+// Remove deletes core id from the set.
+func (s *CoreSet) Remove(id int) {
+	s.bits[id/64] &^= 1 << (uint(id) % 64)
+}
+
+// Has reports whether core id is in the set.
+func (s *CoreSet) Has(id int) bool {
+	return s.bits[id/64]&(1<<(uint(id)%64)) != 0
+}
+
+// Clear empties the set.
+func (s *CoreSet) Clear() {
+	s.bits = [MaxCores / 64]uint64{}
+}
+
+// Count returns the number of cores in the set.
+func (s *CoreSet) Count() int {
+	n := 0
+	for _, w := range s.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set contains no cores.
+func (s *CoreSet) Empty() bool {
+	for _, w := range s.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union adds every core in other to s.
+func (s *CoreSet) Union(other CoreSet) {
+	for i, w := range other.bits {
+		s.bits[i] |= w
+	}
+}
+
+// ForEach calls fn for every core in the set, in ascending ID order.
+func (s *CoreSet) ForEach(fn func(id int)) {
+	for i, w := range s.bits {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(i*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// OnlyMember returns the single core in the set, or -1 if the set does not
+// contain exactly one core. munmap uses this to detect the common
+// "only the unmapping core ever touched this page" case, which needs no
+// remote shootdown at all.
+func (s *CoreSet) OnlyMember() int {
+	found := -1
+	for i, w := range s.bits {
+		switch bits.OnesCount64(w) {
+		case 0:
+		case 1:
+			if found >= 0 {
+				return -1
+			}
+			found = i*64 + bits.TrailingZeros64(w)
+		default:
+			return -1
+		}
+	}
+	return found
+}
+
+// String renders the set as a compact list, e.g. "{0,3,17}".
+func (s *CoreSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(id int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", id)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package hw
+
+import "sync"
+
+// Gang keeps a group of simulated cores' virtual clocks within a bounded
+// skew of each other (conservative-window parallel discrete event
+// simulation). Without it, the Go scheduler may run one core's entire
+// benchmark loop before another's, so cores that *in virtual time* hammer
+// the same cache line would never actually interleave and contention would
+// be invisible. Each core calls Sync once per loop iteration; cores that
+// run ahead of the slowest active member by more than the quantum block
+// until the laggards catch up.
+//
+// A core that finishes its work must call Leave so the others stop waiting
+// for it.
+type Gang struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	quantum uint64
+	clocks  map[int]uint64 // active member id -> last reported clock
+}
+
+// DefaultQuantum bounds virtual-clock skew to roughly one benchmark
+// iteration, which makes simulated cores interleave about as tightly as
+// the paper's real ones.
+const DefaultQuantum = 2000
+
+// NewGang creates a gang with the given skew bound in cycles
+// (DefaultQuantum if <= 0).
+func NewGang(quantum uint64) *Gang {
+	if quantum == 0 {
+		quantum = DefaultQuantum
+	}
+	g := &Gang{quantum: quantum, clocks: make(map[int]uint64)}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Join registers cpu as an active member. Call before the core's loop
+// starts (and before any member can block on it).
+func (g *Gang) Join(cpu *CPU) {
+	g.mu.Lock()
+	g.clocks[cpu.ID()] = cpu.Now()
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// Sync reports cpu's clock and blocks while cpu is more than one quantum
+// ahead of the slowest active member.
+func (g *Gang) Sync(cpu *CPU) {
+	now := cpu.Now()
+	g.mu.Lock()
+	g.clocks[cpu.ID()] = now
+	g.cond.Broadcast()
+	for now > g.min()+g.quantum {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Leave removes cpu from the gang so other members no longer wait for it.
+func (g *Gang) Leave(cpu *CPU) {
+	g.mu.Lock()
+	delete(g.clocks, cpu.ID())
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// min returns the slowest active clock; callers hold g.mu. An empty gang
+// reports the maximum clock so nobody blocks.
+func (g *Gang) min() uint64 {
+	if len(g.clocks) == 0 {
+		return ^uint64(0) - 1<<32
+	}
+	first := true
+	var m uint64
+	for _, c := range g.clocks {
+		if first || c < m {
+			m = c
+			first = false
+		}
+	}
+	return m
+}
+
+// RunGang runs fn(cpu) concurrently on cores [0, ncores) of m, each joined
+// to a fresh gang with the given quantum, and waits for completion. fn
+// should call gang.Sync(cpu) once per loop iteration.
+func RunGang(m *Machine, ncores int, quantum uint64, fn func(cpu *CPU, g *Gang)) {
+	g := NewGang(quantum)
+	for i := 0; i < ncores; i++ {
+		g.Join(m.CPU(i))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < ncores; i++ {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			defer g.Leave(c)
+			fn(c, g)
+		}(m.CPU(i))
+	}
+	wg.Wait()
+}
+
+// Block runs fn (typically a blocking channel operation) with cpu
+// suspended from the gang, so other members do not wait on a core that is
+// itself waiting for one of them. Without this, a consumer parked on a
+// hand-off queue freezes the gang's minimum clock and its producer
+// deadlocks in Sync.
+func (g *Gang) Block(cpu *CPU, fn func()) {
+	g.Leave(cpu)
+	fn()
+	g.Join(cpu)
+}

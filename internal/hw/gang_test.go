@@ -1,0 +1,67 @@
+package hw
+
+import (
+	"testing"
+)
+
+func TestGangBoundsSkew(t *testing.T) {
+	const ncores = 4
+	const quantum = 1000
+	m := NewMachine(TestConfig(ncores))
+	skews := make([]uint64, ncores)
+	RunGang(m, ncores, quantum, func(c *CPU, g *Gang) {
+		for k := 0; k < 200; k++ {
+			c.Tick(100)
+			g.Sync(c)
+			g.mu.Lock()
+			lo := g.min()
+			g.mu.Unlock()
+			if now := c.Now(); now > lo && now-lo > skews[c.ID()] {
+				skews[c.ID()] = now - lo
+			}
+		}
+	})
+	// After Sync returns, a core is at most quantum + one tick ahead.
+	for id, s := range skews {
+		if s > quantum+200 {
+			t.Errorf("core %d virtual skew %d exceeded quantum bound", id, s)
+		}
+	}
+}
+
+func TestGangForcesInterleaving(t *testing.T) {
+	// Two cores alternately writing one line must both observe transfers
+	// when gang-scheduled (without a gang the scheduler may serialize
+	// their whole loops).
+	m := NewMachine(TestConfig(2))
+	var l Line
+	RunGang(m, 2, 50, func(c *CPU, g *Gang) {
+		for k := 0; k < 300; k++ {
+			c.Write(&l)
+			c.Tick(100)
+			g.Sync(c)
+		}
+	})
+	// With interleaving, the vast majority of the 600 writes transfer.
+	if tr := m.TotalStats().Transfers; tr < 300 {
+		t.Errorf("transfers = %d, want >= 300 (interleaving not enforced)", tr)
+	}
+}
+
+func TestGangLeaveUnblocksOthers(t *testing.T) {
+	// A member finishing early must not stall the rest.
+	m := NewMachine(TestConfig(3))
+	RunGang(m, 3, 100, func(c *CPU, g *Gang) {
+		iters := 50
+		if c.ID() == 0 {
+			iters = 1 // finishes (and Leaves) almost immediately
+		}
+		for k := 0; k < iters; k++ {
+			c.Tick(1000)
+			g.Sync(c)
+		}
+	})
+	if m.CPU(2).Now() < 50*1000 {
+		t.Errorf("core 2 did not complete: clock %d", m.CPU(2).Now())
+	}
+}

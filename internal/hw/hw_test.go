@@ -1,0 +1,360 @@
+package hw
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func testMachine(t *testing.T, ncores int) *Machine {
+	t.Helper()
+	return NewMachine(TestConfig(ncores))
+}
+
+func TestCoreSetBasics(t *testing.T) {
+	var s CoreSet
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatalf("zero CoreSet not empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(255)
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	for _, id := range []int{0, 63, 64, 255} {
+		if !s.Has(id) {
+			t.Errorf("Has(%d) = false", id)
+		}
+	}
+	if s.Has(1) || s.Has(65) {
+		t.Errorf("Has reported absent member")
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Errorf("Remove failed: %v", s.String())
+	}
+	var got []int
+	s.ForEach(func(id int) { got = append(got, id) })
+	want := []int{0, 64, 255}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach = %v, want %v", got, want)
+		}
+	}
+	if s.String() != "{0,64,255}" {
+		t.Errorf("String = %q", s.String())
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Errorf("Clear left members")
+	}
+}
+
+func TestCoreSetOnlyMember(t *testing.T) {
+	var s CoreSet
+	if s.OnlyMember() != -1 {
+		t.Errorf("empty OnlyMember != -1")
+	}
+	s.Add(70)
+	if s.OnlyMember() != 70 {
+		t.Errorf("OnlyMember = %d, want 70", s.OnlyMember())
+	}
+	s.Add(2)
+	if s.OnlyMember() != -1 {
+		t.Errorf("two-member OnlyMember != -1")
+	}
+}
+
+func TestCoreSetUnion(t *testing.T) {
+	var a, b CoreSet
+	a.Add(1)
+	b.Add(100)
+	b.Add(1)
+	a.Union(b)
+	if a.Count() != 2 || !a.Has(100) {
+		t.Errorf("Union = %v", a.String())
+	}
+}
+
+func TestCoreSetQuick(t *testing.T) {
+	// Property: a CoreSet agrees with a map-based set model.
+	f := func(ids []uint8) bool {
+		var s CoreSet
+		model := map[int]bool{}
+		for i, raw := range ids {
+			id := int(raw)
+			if i%3 == 2 {
+				s.Remove(id)
+				delete(model, id)
+			} else {
+				s.Add(id)
+				model[id] = true
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		for id := range model {
+			if !s.Has(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineLocalHitAfterFirstTouch(t *testing.T) {
+	m := testMachine(t, 2)
+	c := m.CPU(0)
+	var l Line
+	c.Read(&l)
+	if c.stats.ColdMisses != 1 || c.stats.Transfers != 0 {
+		t.Fatalf("cold read: cold=%d transfers=%d, want 1, 0", c.stats.ColdMisses, c.stats.Transfers)
+	}
+	c.Read(&l)
+	c.Read(&l)
+	if c.stats.ColdMisses != 1 || c.stats.LocalHits != 2 {
+		t.Fatalf("warm reads should hit: cold=%d hits=%d", c.stats.ColdMisses, c.stats.LocalHits)
+	}
+	c.Write(&l) // sole holder: silent upgrade
+	c.Write(&l)
+	if c.stats.Transfers != 0 || c.stats.LocalHits != 4 {
+		t.Fatalf("exclusive writes should hit: transfers=%d hits=%d", c.stats.Transfers, c.stats.LocalHits)
+	}
+	// A second core's read then our write is a real transfer each way.
+	c2 := m.CPU(1)
+	c2.Read(&l)
+	c.Write(&l)
+	if c2.stats.Transfers != 1 || c.stats.Transfers != 1 {
+		t.Fatalf("sharing transfers: c2=%d c=%d", c2.stats.Transfers, c.stats.Transfers)
+	}
+}
+
+func TestLineWriteInvalidatesSharers(t *testing.T) {
+	m := testMachine(t, 2)
+	c0, c1 := m.CPU(0), m.CPU(1)
+	var l Line
+	c0.Read(&l)
+	c1.Read(&l)
+	c0.Write(&l) // invalidates c1
+	c1.Read(&l)  // must transfer again
+	if c1.stats.Transfers != 2 {
+		t.Fatalf("c1 transfers = %d, want 2", c1.stats.Transfers)
+	}
+}
+
+func TestLineCrossSocketCost(t *testing.T) {
+	cfg := TestConfig(20)
+	m := NewMachine(cfg)
+	near, far := m.CPU(1), m.CPU(15) // sockets 0 and 1
+	var l Line
+	owner := m.CPU(0)
+	owner.Write(&l)
+
+	t0 := near.Now()
+	near.Read(&l)
+	if got := near.Now() - t0; got < cfg.SameSocketXfer {
+		t.Errorf("same-socket read cost %d < %d", got, cfg.SameSocketXfer)
+	}
+	if near.stats.CrossSocket != 0 {
+		t.Errorf("same-socket read counted as cross-socket")
+	}
+
+	owner.Write(&l)
+	t1 := far.Now()
+	far.Read(&l)
+	if got := far.Now() - t1; got < cfg.CrossSocketXfer {
+		t.Errorf("cross-socket read cost %d < %d", got, cfg.CrossSocketXfer)
+	}
+	if far.stats.CrossSocket != 1 {
+		t.Errorf("cross-socket transfer not counted")
+	}
+}
+
+func TestLineHomeSerialization(t *testing.T) {
+	// Transfers of the same line must queue in virtual time: N cores each
+	// writing once should see the last finisher's clock >= N * cost.
+	cfg := TestConfig(8)
+	m := NewMachine(cfg)
+	var l Line
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			c.Write(&l)
+		}(m.CPU(i))
+	}
+	wg.Wait()
+	if got := m.MaxClock(); got < 8*cfg.SameSocketXfer {
+		t.Errorf("hot line did not serialize: max clock %d < %d", got, 8*cfg.SameSocketXfer)
+	}
+}
+
+func TestTickAndChargeRemote(t *testing.T) {
+	m := testMachine(t, 2)
+	c := m.CPU(0)
+	c.Tick(100)
+	if c.Now() != 100 {
+		t.Fatalf("Now = %d", c.Now())
+	}
+	c.ChargeRemote(50)
+	if c.Now() != 150 {
+		t.Fatalf("Now after remote charge = %d", c.Now())
+	}
+	// Pending must fold exactly once.
+	if c.Now() != 150 {
+		t.Fatalf("pending folded twice")
+	}
+}
+
+func TestLockSerializesVirtualTime(t *testing.T) {
+	m := testMachine(t, 4)
+	var lk Lock
+	const cs = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			c.Acquire(&lk)
+			c.Tick(cs)
+			c.Release(&lk)
+		}(m.CPU(i))
+	}
+	wg.Wait()
+	if got := m.MaxClock(); got < 4*cs {
+		t.Errorf("lock did not serialize critical sections: %d < %d", got, 4*cs)
+	}
+}
+
+func TestRWLockWriterWaitsForReaders(t *testing.T) {
+	m := testMachine(t, 2)
+	var lk RWLock
+	r, w := m.CPU(0), m.CPU(1)
+	r.RLock(&lk)
+	r.Tick(5000)
+	r.RUnlock(&lk)
+	w.WLock(&lk)
+	if w.Now() < 5000 {
+		t.Errorf("writer did not wait for reader CS: %d", w.Now())
+	}
+	w.WUnlock(&lk)
+}
+
+func TestRWLockReadersPayLineWrite(t *testing.T) {
+	// The essential Linux-collapse behaviour: read acquisitions from many
+	// cores each transfer the lock cache line.
+	m := testMachine(t, 8)
+	var lk RWLock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			c.RLock(&lk)
+			c.RUnlock(&lk)
+		}(m.CPU(i))
+	}
+	wg.Wait()
+	if tr := m.TotalStats().Transfers; tr < 7 {
+		t.Errorf("reader lock-word transfers = %d, want >= 7 (first touch is cold)", tr)
+	}
+}
+
+func TestSpinBit(t *testing.T) {
+	m := testMachine(t, 2)
+	c := m.CPU(0)
+	var b SpinBit
+	c.AcquireBit(&b)
+	if c.TryAcquireBit(&b) {
+		t.Fatal("TryAcquireBit succeeded while held")
+	}
+	c.Tick(777)
+	c.ReleaseBit(&b)
+	c2 := m.CPU(1)
+	if !c2.TryAcquireBit(&b) {
+		t.Fatal("TryAcquireBit failed while free")
+	}
+	if c2.Now() < 777 {
+		t.Errorf("bit did not serialize virtual time: %d", c2.Now())
+	}
+	c2.ReleaseBit(&b)
+}
+
+func TestSendIPIs(t *testing.T) {
+	cfg := TestConfig(4)
+	m := NewMachine(cfg)
+	sender := m.CPU(0)
+	var targets CoreSet
+	targets.Add(0) // must be excluded
+	targets.Add(1)
+	targets.Add(2)
+	var handled []int
+	var mu sync.Mutex
+	n := sender.SendIPIs(targets, func(t *CPU) {
+		mu.Lock()
+		handled = append(handled, t.ID())
+		mu.Unlock()
+	})
+	if n != 2 {
+		t.Fatalf("SendIPIs n = %d, want 2", n)
+	}
+	if len(handled) != 2 {
+		t.Fatalf("handler ran %d times", len(handled))
+	}
+	if sender.stats.IPIsSent != 2 {
+		t.Errorf("IPIsSent = %d", sender.stats.IPIsSent)
+	}
+	if m.CPU(1).Stats().IPIsReceived() != 1 {
+		t.Errorf("target 1 IPIsReceived = %d", m.CPU(1).Stats().IPIsReceived())
+	}
+	if m.CPU(1).Now() < cfg.IPIHandler {
+		t.Errorf("target clock not charged: %d", m.CPU(1).Now())
+	}
+	want := cfg.IPIBase + 2*cfg.IPIPerTarget + 2*cfg.IPIAckWait
+	if sender.Now() < want {
+		t.Errorf("sender cost %d < %d", sender.Now(), want)
+	}
+}
+
+func TestSendIPIsEmpty(t *testing.T) {
+	m := testMachine(t, 2)
+	c := m.CPU(0)
+	var only CoreSet
+	only.Add(0)
+	if n := c.SendIPIs(only, func(*CPU) { t.Fatal("handler ran") }); n != 0 {
+		t.Fatalf("self-only shootdown interrupted %d cores", n)
+	}
+	if c.Now() != 0 {
+		t.Errorf("self-only shootdown cost cycles: %d", c.Now())
+	}
+}
+
+func TestMachineAccounting(t *testing.T) {
+	m := testMachine(t, 3)
+	m.CPU(0).Tick(10)
+	m.CPU(2).Tick(30)
+	if m.MaxClock() != 30 {
+		t.Errorf("MaxClock = %d", m.MaxClock())
+	}
+	var l Line
+	m.CPU(0).Write(&l)
+	m.CPU(1).Write(&l)
+	ts := m.TotalStats()
+	if ts.Transfers != 1 || ts.ColdMisses != 1 {
+		t.Errorf("TotalStats: transfers=%d cold=%d", ts.Transfers, ts.ColdMisses)
+	}
+	m.ResetStats()
+	if m.TotalStats().Transfers != 0 {
+		t.Errorf("ResetStats did not clear")
+	}
+}

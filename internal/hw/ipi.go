@@ -1,0 +1,36 @@
+package hw
+
+import "sync/atomic"
+
+// SendIPIs models a TLB-shootdown interrupt round from core c to targets.
+// For each target core the handler function is executed (by this goroutine,
+// by proxy — see DESIGN.md) and the handler cost is charged to the target's
+// virtual clock. The sender pays the APIC initiation cost, a serialized
+// per-target delivery cost (the paper observes that "the protocol used by
+// the APIC hardware to transmit the inter-processor interrupts ... appears
+// to be non-scalable", §5.3), and an acknowledgment wait.
+//
+// The sender is never included even if present in targets: the caller
+// handles its own core synchronously.
+//
+// Returns the number of remote cores interrupted.
+func (c *CPU) SendIPIs(targets CoreSet, handler func(target *CPU)) int {
+	targets.Remove(c.id)
+	n := targets.Count()
+	if n == 0 {
+		return 0
+	}
+	cfg := &c.m.cfg
+	c.Tick(cfg.IPIBase + uint64(n)*cfg.IPIPerTarget)
+	targets.ForEach(func(id int) {
+		t := c.m.CPU(id)
+		handler(t)
+		t.ChargeRemote(cfg.IPIHandler)
+		atomic.AddUint64(&t.stats.ipisRecv, 1)
+	})
+	// Wait for acknowledgments; acks arrive roughly in parallel but each
+	// costs the sender a serialized receive.
+	c.Tick(uint64(n) * cfg.IPIAckWait)
+	c.stats.IPIsSent += uint64(n)
+	return n
+}

@@ -1,0 +1,115 @@
+package hw
+
+import "sync"
+
+// Line models one cache line of shared memory. Data structures embed Line
+// values at the granularity of their real memory layout (e.g. one Line per
+// 8 radix-tree slots) and call CPU.Read / CPU.Write when they touch the
+// corresponding bytes.
+//
+// The model is a single-writer/multi-reader directory with home-node
+// serialization: a touch that misses (the line is not in the toucher's
+// cache, or a write while other cores share it) is a "transfer" whose
+// service starts no earlier than the line's reservation time and advances
+// the reservation — so back-to-back transfers of a hot line queue up in
+// virtual time exactly as the paper describes. Touches that hit locally
+// cost Config.LocalHit and involve no shared state beyond the Line's own
+// short-lived mutex.
+//
+// The zero value is an uncached line, ready to use.
+type Line struct {
+	mu      sync.Mutex
+	gate    waitGate // home-node service queue in virtual time
+	owner   int32    // last writing core + 1; 0 = none
+	shared  CoreSet  // cores that currently have the line cached
+	version uint64   // bumped on every write (diagnostics)
+}
+
+// Read models a load from the line by core c.
+func (c *CPU) Read(l *Line) {
+	now := c.Now()
+	l.mu.Lock()
+	if l.shared.Has(c.id) {
+		l.mu.Unlock()
+		c.stats.LocalHits++
+		c.clock = now + c.m.cfg.LocalHit
+		return
+	}
+	cost, cross, cold := c.xferCost(l)
+	start := l.gate.arrive(now)
+	end := start + cost
+	l.gate.release(end)
+	l.shared.Add(c.id)
+	l.mu.Unlock()
+	c.countMiss(cross, cold)
+	c.advanceTo(end)
+}
+
+// Write models a store to the line by core c.
+func (c *CPU) Write(l *Line) {
+	now := c.Now()
+	l.mu.Lock()
+	if l.shared.Count() == 1 && l.shared.Has(c.id) {
+		// Sole holder: hit or silent upgrade to exclusive.
+		l.owner = int32(c.id) + 1
+		l.version++
+		l.mu.Unlock()
+		c.stats.LocalHits++
+		c.clock = now + c.m.cfg.LocalHit
+		return
+	}
+	cost, cross, cold := c.xferCost(l)
+	start := l.gate.arrive(now)
+	end := start + cost
+	l.gate.release(end)
+	l.owner = int32(c.id) + 1
+	l.shared.Clear()
+	l.shared.Add(c.id)
+	l.version++
+	l.mu.Unlock()
+	c.countMiss(cross, cold)
+	c.advanceTo(end)
+}
+
+// countMiss attributes a miss to the right statistic: coherence transfers
+// (the paper's contention metric) or cold DRAM fills.
+func (c *CPU) countMiss(cross, cold bool) {
+	if cold {
+		c.stats.ColdMisses++
+		return
+	}
+	c.stats.Transfers++
+	if cross {
+		c.stats.CrossSocket++
+	}
+}
+
+// xferCost picks the transfer cost for core c missing on line l.
+// Called with l.mu held.
+func (c *CPU) xferCost(l *Line) (cost uint64, crossSocket, cold bool) {
+	cfg := &c.m.cfg
+	if l.owner == 0 && l.shared.Empty() {
+		// Cold: fill from DRAM (not coherence traffic).
+		return cfg.DRAMAccess, false, true
+	}
+	// Fetch from the previous owner's (or a sharer's) cache.
+	src := int(l.owner) - 1
+	if src < 0 {
+		// Shared but clean; approximate source as the lowest sharer.
+		src = lowestMember(&l.shared)
+	}
+	if src >= 0 && c.m.Socket(src) == c.Socket() {
+		return cfg.SameSocketXfer, false, false
+	}
+	return cfg.CrossSocketXfer, true, false
+}
+
+func lowestMember(s *CoreSet) int {
+	low := -1
+	s.ForEach(func(id int) {
+		if low < 0 {
+			low = id
+		}
+	})
+	return low
+}

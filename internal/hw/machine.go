@@ -1,0 +1,246 @@
+// Package hw simulates the hardware substrate the RadixVM paper measures on:
+// an 80-core, 8-socket cache-coherent x86 machine.
+//
+// The paper's scalability results are entirely about cache-line movement:
+// "any contended cache line can be a scalability risk because frequently
+// written cache lines must be re-read by other cores, an operation that
+// typically serializes at the cache line's home node" (§3). This package
+// models exactly that. Each simulated core is driven by one goroutine and
+// owns a private virtual clock measured in cycles. Shared memory the VM
+// system cares about is annotated with Line values; reading or writing a
+// Line advances the toucher's clock by the modeled coherence cost, and
+// transfers of the same line serialize against each other in virtual time
+// (the home-node queue). Code that touches only core-local lines advances
+// only its own clock and induces no cross-core interaction — which is the
+// paper's definition of perfect scalability.
+//
+// Functional concurrency is real: the data structures built on top of hw use
+// genuine atomics and locks, so races and orderings are exercised by the Go
+// race detector. Only *time* is simulated, which is what lets a laptop sweep
+// 1..80 virtual cores and reproduce the paper's curves.
+package hw
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Config describes the simulated machine and its cost model. All costs are
+// in cycles of the paper's 2.4 GHz clock.
+type Config struct {
+	NCores         int // total simulated cores
+	CoresPerSocket int // cores per chip (paper: 10)
+
+	// Coherence costs.
+	LocalHit        uint64 // L1/L2 hit on an unshared or already-cached line
+	SameSocketXfer  uint64 // line transfer between cores on one chip
+	CrossSocketXfer uint64 // line transfer across the interconnect
+	DRAMAccess      uint64 // local DRAM fill (cold miss)
+
+	// Interrupt costs. The paper measures broadcast shootdowns at
+	// ~500,000 cycles and observes that APIC IPI delivery is
+	// "non-scalable": each additional target adds serialized cost at the
+	// sender.
+	IPIBase      uint64 // fixed cost to initiate any shootdown
+	IPIPerTarget uint64 // serialized per-target APIC delivery cost
+	IPIHandler   uint64 // cost charged to each receiving core
+	IPIAckWait   uint64 // sender-side wait per target for the ack round
+
+	// Page operations.
+	PageZero uint64 // zeroing a 4 KB page (paper: ~64 L2 misses)
+
+	// Refcache epoch length in cycles (paper: 10 ms at 2.4 GHz).
+	EpochCycles uint64
+}
+
+// DefaultConfig returns a cost model shaped on the paper's 8×10-core Intel
+// E7-8870 machine. Absolute values are approximations from published
+// coherence latencies for that platform; the reproduction targets curve
+// shapes, not absolute cycle counts.
+func DefaultConfig(ncores int) Config {
+	return Config{
+		NCores:          ncores,
+		CoresPerSocket:  10,
+		LocalHit:        4,
+		SameSocketXfer:  100,
+		CrossSocketXfer: 300,
+		DRAMAccess:      200,
+		IPIBase:         2000,
+		IPIPerTarget:    1500,
+		IPIHandler:      1000,
+		IPIAckWait:      500,
+		PageZero:        64 * 40,    // 64 L2 misses (paper §5.3) at ~40 cycles each
+		EpochCycles:     24_000_000, // 10 ms at 2.4 GHz
+	}
+}
+
+// TestConfig returns a configuration with a short epoch, convenient for
+// unit tests that need Refcache to reclaim quickly.
+func TestConfig(ncores int) Config {
+	c := DefaultConfig(ncores)
+	c.EpochCycles = 10_000
+	return c
+}
+
+// Machine is a simulated multicore machine. Create one per experiment with
+// NewMachine; obtain per-core contexts with CPU.
+type Machine struct {
+	cfg  Config
+	cpus []*CPU
+}
+
+// NewMachine builds a machine with cfg.NCores cores.
+func NewMachine(cfg Config) *Machine {
+	if cfg.NCores <= 0 || cfg.NCores > MaxCores {
+		panic(fmt.Sprintf("hw: invalid core count %d", cfg.NCores))
+	}
+	if cfg.CoresPerSocket <= 0 {
+		cfg.CoresPerSocket = 10
+	}
+	m := &Machine{cfg: cfg}
+	m.cpus = make([]*CPU, cfg.NCores)
+	for i := range m.cpus {
+		m.cpus[i] = &CPU{id: i, m: m}
+	}
+	return m
+}
+
+// Config returns the machine's cost model.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NCores returns the number of simulated cores.
+func (m *Machine) NCores() int { return m.cfg.NCores }
+
+// CPU returns the context for core id.
+func (m *Machine) CPU(id int) *CPU { return m.cpus[id] }
+
+// Socket returns the socket (chip) number of core id.
+func (m *Machine) Socket(id int) int { return id / m.cfg.CoresPerSocket }
+
+// MaxClock returns the largest virtual clock across all cores: the virtual
+// wall-clock time of the experiment so far.
+func (m *Machine) MaxClock() uint64 {
+	var max uint64
+	for _, c := range m.cpus {
+		if now := c.Now(); now > max {
+			max = now
+		}
+	}
+	return max
+}
+
+// TotalStats sums the per-core statistics.
+func (m *Machine) TotalStats() Stats {
+	var t Stats
+	for _, c := range m.cpus {
+		t.add(&c.stats)
+	}
+	return t
+}
+
+// ResetStats zeroes all per-core statistics (clocks are preserved).
+func (m *Machine) ResetStats() {
+	for _, c := range m.cpus {
+		c.stats = Stats{}
+	}
+}
+
+// Stats counts the events the paper's evaluation reports on. All fields are
+// monotonic within one experiment. Per-core Stats are written only by the
+// owning core's goroutine except the Recv fields, which use atomics.
+type Stats struct {
+	LocalHits      uint64 // line touches satisfied from the local cache
+	ColdMisses     uint64 // first-touch DRAM fills (not coherence traffic)
+	Transfers      uint64 // inter-core cache-line transfers (the contention metric)
+	CrossSocket    uint64 // subset of Transfers that crossed sockets
+	IPIsSent       uint64 // shootdown interrupts issued by this core
+	ipisRecv       uint64 // accessed atomically (written by remote senders)
+	Shootdowns     uint64 // munmap-triggered shootdown rounds
+	PageFaults     uint64
+	FillFaults     uint64 // faults that only filled a PTE (page existed)
+	Mmaps          uint64
+	Munmaps        uint64
+	PagesZeroed    uint64
+	RefcacheEvicts uint64 // delta-cache evictions due to hash collisions
+}
+
+// IPIsReceived returns the number of shootdown IPIs this core received.
+func (s *Stats) IPIsReceived() uint64 { return atomic.LoadUint64(&s.ipisRecv) }
+
+func (t *Stats) add(s *Stats) {
+	t.LocalHits += s.LocalHits
+	t.ColdMisses += s.ColdMisses
+	t.Transfers += s.Transfers
+	t.CrossSocket += s.CrossSocket
+	t.IPIsSent += s.IPIsSent
+	t.ipisRecv += atomic.LoadUint64(&s.ipisRecv)
+	t.Shootdowns += s.Shootdowns
+	t.PageFaults += s.PageFaults
+	t.FillFaults += s.FillFaults
+	t.Mmaps += s.Mmaps
+	t.Munmaps += s.Munmaps
+	t.PagesZeroed += s.PagesZeroed
+	t.RefcacheEvicts += s.RefcacheEvicts
+}
+
+// CPU is the execution context of one simulated core. Exactly one goroutine
+// may drive a CPU at a time (the "thread running on that core"); all methods
+// except ChargeRemote must be called only from that goroutine.
+type CPU struct {
+	id    int
+	m     *Machine
+	clock uint64 // virtual cycles; owned by the driving goroutine
+
+	// pending accumulates cycles charged to this core by other cores
+	// (IPI handler work executed by proxy). It is folded into clock at
+	// the next Now/Tick. See DESIGN.md "Remote execution by proxy".
+	pending atomic.Uint64
+
+	stats Stats
+}
+
+// ID returns the core number.
+func (c *CPU) ID() int { return c.id }
+
+// Machine returns the machine this core belongs to.
+func (c *CPU) Machine() *Machine { return c.m }
+
+// Socket returns this core's socket number.
+func (c *CPU) Socket() int { return c.m.Socket(c.id) }
+
+// Stats returns this core's statistics counters for inspection.
+func (c *CPU) Stats() *Stats { return &c.stats }
+
+// Now returns the core's current virtual time, folding in any pending
+// remotely-charged cycles.
+func (c *CPU) Now() uint64 {
+	if p := c.pending.Swap(0); p != 0 {
+		c.clock += p
+	}
+	return c.clock
+}
+
+// Tick advances the core's virtual clock by cycles of local computation.
+func (c *CPU) Tick(cycles uint64) {
+	c.clock = c.Now() + cycles
+}
+
+// AdvanceTo moves the clock forward to at least t. Workloads use it to
+// model cross-core causality (e.g. a consumer cannot observe a region
+// before its producer handed it off).
+func (c *CPU) AdvanceTo(t uint64) { c.advanceTo(t) }
+
+// advanceTo moves the clock forward to at least t (used by line transfers
+// that had to wait for the line's home-node queue).
+func (c *CPU) advanceTo(t uint64) {
+	if now := c.Now(); t > now {
+		c.clock = t
+	}
+}
+
+// ChargeRemote adds cycles to this core's clock on behalf of another core
+// (e.g. the cost of handling a shootdown IPI). Safe to call from any
+// goroutine.
+func (c *CPU) ChargeRemote(cycles uint64) {
+	c.pending.Add(cycles)
+}

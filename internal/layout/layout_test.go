@@ -1,0 +1,63 @@
+package layout
+
+import "testing"
+
+func TestGenerateMatchesAppStatistics(t *testing.T) {
+	for _, app := range Apps() {
+		regions := Generate(app, 1)
+		if len(regions) != app.Regions {
+			t.Errorf("%s: %d regions, want %d", app.Name, len(regions), app.Regions)
+		}
+		var rss uint64
+		prevEnd := uint64(0)
+		for _, r := range regions {
+			if r.VPN < prevEnd {
+				t.Fatalf("%s: overlapping regions", app.Name)
+			}
+			prevEnd = r.VPN + r.Pages
+			if r.Resident > r.Pages {
+				t.Fatalf("%s: resident > mapped", app.Name)
+			}
+			rss += r.Resident
+		}
+		want := uint64(app.RSSMB) * 256
+		// Integer division across region classes loses a little.
+		if rss < want*95/100 || rss > want {
+			t.Errorf("%s: RSS %d pages, want ~%d", app.Name, rss, want)
+		}
+	}
+}
+
+func TestMeasureReproducesTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("layout measurement faults in full resident sets")
+	}
+	app := Apps()[2] // Apache: the smallest, keeps the test quick
+	m := Measure(app, 1)
+	// The paper's Table 2 headline: the radix tree costs 1.5-2.7x
+	// Linux's VMA-tree + page-table representation, and a few percent of
+	// RSS. Accept a generous band around that.
+	if m.RadixMul < 1.0 || m.RadixMul > 4.0 {
+		t.Errorf("radix/linux ratio %.2f outside [1.0, 4.0] (paper: %.1f)",
+			m.RadixMul, app.PaperRadixMul)
+	}
+	if m.RSSShare > 0.10 {
+		t.Errorf("radix tree is %.1f%% of RSS, paper says <= 3.7%%", m.RSSShare*100)
+	}
+	if m.VMABytes == 0 || m.LinuxPT == 0 || m.RadixBytes == 0 {
+		t.Errorf("zero-sized representation: %+v", m)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Apps()[0], 7)
+	b := Generate(Apps()[0], 7)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic region count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("region %d differs between runs", i)
+		}
+	}
+}

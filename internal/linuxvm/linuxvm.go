@@ -1,0 +1,216 @@
+// Package linuxvm is the Linux-3.5-like baseline VM system the paper
+// compares against: contiguous regions ("VMAs") in a red-black tree, one
+// address-space read/write lock (mmap_sem) protecting it, a single shared
+// hardware page table, and conservative broadcast TLB shootdowns.
+//
+// mmap and munmap take the lock in write mode, serializing them; pagefault
+// takes it in read mode, which still writes the lock word's cache line —
+// the reason "Metis on Linux scales poorly with both small and large
+// allocation units" (§5.2).
+package linuxvm
+
+import (
+	"radixvm/internal/hw"
+	"radixvm/internal/mem"
+	"radixvm/internal/rbtree"
+	"radixvm/internal/refcache"
+	"radixvm/internal/vm"
+)
+
+// vma is one contiguous mapped region [start, end), Linux's per-region
+// metadata object.
+type vma struct {
+	start, end uint64
+	prot       vm.Prot
+	back       vm.Backing // Offset is the file page at start
+}
+
+// VMABytes approximates sizeof(struct vm_area_struct) for Table 2's
+// "VMA tree" column (Linux 3.5: ~200 bytes including rb-tree linkage).
+const VMABytes = 200
+
+// AddressSpace is a Linux-like address space.
+type AddressSpace struct {
+	m     *hw.Machine
+	rc    *refcache.Refcache
+	alloc *mem.Allocator
+
+	lock hw.RWLock // mmap_sem
+	vmas *rbtree.Tree[*vma]
+	mmu  *vm.SharedMMU
+
+	active vm.ActiveSet
+}
+
+// New creates an empty Linux-like address space.
+func New(m *hw.Machine, rc *refcache.Refcache, alloc *mem.Allocator) *AddressSpace {
+	return &AddressSpace{
+		m:     m,
+		rc:    rc,
+		alloc: alloc,
+		vmas:  rbtree.New[*vma](),
+		mmu:   vm.NewSharedMMU(m),
+	}
+}
+
+// Name implements vm.System.
+func (as *AddressSpace) Name() string { return "linux" }
+
+// PageTableBytes implements vm.System.
+func (as *AddressSpace) PageTableBytes() uint64 { return as.mmu.Bytes() }
+
+// VMACount returns the number of regions (Table 2 accounting).
+func (as *AddressSpace) VMACount() int { return as.vmas.Len() }
+
+// VMABytesTotal returns the VMA tree's memory footprint.
+func (as *AddressSpace) VMABytesTotal() uint64 { return uint64(as.vmas.Len()) * VMABytes }
+
+func (as *AddressSpace) noteActive(cpu *hw.CPU) { as.active.Note(cpu.ID()) }
+
+func (as *AddressSpace) activeSet() hw.CoreSet { return as.active.Get() }
+
+// Mmap implements vm.System: write-locks the address space, removes any
+// overlapping regions (clearing page tables and broadcasting shootdowns),
+// and inserts the new VMA.
+func (as *AddressSpace) Mmap(cpu *hw.CPU, vpn, npages uint64, opts vm.MapOpts) error {
+	if npages == 0 {
+		return vm.ErrRange
+	}
+	cpu.Stats().Mmaps++
+	cpu.Tick(vm.LinuxSyscallCost)
+	as.noteActive(cpu)
+	cpu.WLock(&as.lock)
+	as.removeOverlapsLocked(cpu, vpn, vpn+npages)
+	as.vmas.Insert(cpu, vpn, &vma{
+		start: vpn,
+		end:   vpn + npages,
+		prot:  opts.Prot,
+		back:  vm.Backing{File: opts.File, Offset: opts.Offset},
+	})
+	cpu.WUnlock(&as.lock)
+	return nil
+}
+
+// Munmap implements vm.System.
+func (as *AddressSpace) Munmap(cpu *hw.CPU, vpn, npages uint64) error {
+	if npages == 0 {
+		return vm.ErrRange
+	}
+	cpu.Stats().Munmaps++
+	cpu.Tick(vm.LinuxSyscallCost)
+	as.noteActive(cpu)
+	cpu.WLock(&as.lock)
+	as.removeOverlapsLocked(cpu, vpn, vpn+npages)
+	cpu.WUnlock(&as.lock)
+	return nil
+}
+
+// removeOverlapsLocked trims or splits every VMA overlapping [lo, hi),
+// clears the shared page table over the range while collecting the frames
+// that backed it, broadcasts TLB shootdowns to every core using the
+// address space (the hardware gives no better information), and finally
+// releases the frames. Caller holds the write lock.
+func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
+	var overlaps []*vma
+	if n := as.vmas.Floor(cpu, lo); n != nil && n.Key < lo && n.Val.end > lo {
+		overlaps = append(overlaps, n.Val)
+	}
+	as.vmas.Ascend(cpu, lo, func(n *rbtree.Node[*vma]) bool {
+		if n.Key >= hi {
+			return false
+		}
+		overlaps = append(overlaps, n.Val)
+		return true
+	})
+	if len(overlaps) == 0 {
+		return
+	}
+	for _, o := range overlaps {
+		as.vmas.Delete(cpu, o.start)
+		if o.start < lo { // keep the left piece
+			as.vmas.Insert(cpu, o.start, &vma{
+				start: o.start, end: lo, prot: o.prot, back: o.back,
+			})
+		}
+		if o.end > hi { // keep the right piece, with shifted file offset
+			nb := o.back
+			if nb.File != nil {
+				nb.Offset += hi - o.start
+			}
+			as.vmas.Insert(cpu, hi, &vma{start: hi, end: o.end, prot: o.prot, back: nb})
+		}
+	}
+	var frames []*mem.Frame
+	as.mmu.PageTable().UnmapRangeFunc(cpu, lo, hi, func(_, pfn uint64) {
+		if f := as.alloc.ByPFN(pfn); f != nil {
+			frames = append(frames, f)
+		}
+	})
+	as.mmu.ShootdownTLBOnly(cpu, lo, hi, as.activeSet())
+	for _, f := range frames {
+		as.alloc.DecRef(cpu, f)
+	}
+}
+
+// findVMALocked returns the region containing vpn; the caller holds the
+// lock in at least read mode.
+func (as *AddressSpace) findVMALocked(cpu *hw.CPU, vpn uint64) *vma {
+	n := as.vmas.Floor(cpu, vpn)
+	if n == nil || vpn >= n.Val.end {
+		return nil
+	}
+	return n.Val
+}
+
+// PageFault takes the address space lock in read mode — cheap in real-time
+// terms, but the reader-count update transfers the lock's cache line, so
+// concurrent faults across cores serialize at that line (§5.2).
+func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
+	cpu.Stats().PageFaults++
+	cpu.Tick(vm.FaultCost)
+	as.noteActive(cpu)
+	cpu.RLock(&as.lock)
+	defer cpu.RUnlock(&as.lock)
+
+	v := as.findVMALocked(cpu, vpn)
+	if v == nil {
+		return vm.ErrSegv
+	}
+	var frame *mem.Frame
+	fileBacked := v.back.File != nil
+	if fileBacked {
+		fr, _ := v.back.File.Page(cpu, v.back.Offset+(vpn-v.start))
+		as.alloc.IncRef(cpu, fr)
+		frame = fr
+	} else {
+		frame = as.alloc.Alloc(cpu)
+	}
+	if as.mmu.PageTable().MapIfAbsent(cpu, vpn, frame.PFN) {
+		as.mmu.TLB(cpu.ID()).Insert(vpn, frame.PFN)
+		return nil
+	}
+	// Another core mapped the page first: drop ours, adopt theirs.
+	cpu.Stats().FillFaults++
+	cpu.Tick(vm.FillCost)
+	as.alloc.DecRef(cpu, frame)
+	if pte, ok := as.mmu.PageTable().Lookup(cpu, vpn); ok {
+		as.mmu.TLB(cpu.ID()).Insert(vpn, pte.PFN)
+	}
+	return nil
+}
+
+// Access implements vm.System.
+func (as *AddressSpace) Access(cpu *hw.CPU, vpn uint64, write bool) error {
+	as.noteActive(cpu)
+	t := as.mmu.TLB(cpu.ID())
+	if _, ok := t.Lookup(vpn); ok {
+		cpu.Tick(vm.AccessCost)
+		return nil
+	}
+	if pfn, ok := as.mmu.Lookup(cpu, vpn); ok {
+		cpu.Tick(vm.WalkCost)
+		t.Insert(vpn, pfn)
+		return nil
+	}
+	return as.PageFault(cpu, vpn, write)
+}

@@ -1,0 +1,135 @@
+// Package mem is the physical memory substrate: a page-frame allocator with
+// per-core free lists, NUMA home tracking, and Refcache-based frame
+// reference counts — the role the research kernel's physical allocator
+// plays under RadixVM.
+//
+// Frames are reference counted because distinct virtual regions may share
+// physical pages (fork, shared file mappings); a frame returns to its home
+// core's free list when Refcache determines its true count reached zero.
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"radixvm/internal/hw"
+	"radixvm/internal/refcache"
+)
+
+// PageSize is the machine's base page size in bytes.
+const PageSize = 4096
+
+// Frame is one physical page. Its reference count lives in Obj; the actual
+// byte contents are allocated lazily (only workloads that compute on data,
+// such as Metis, materialize them).
+type Frame struct {
+	PFN  uint64        // physical frame number
+	Home int           // core whose free list owns this frame
+	Obj  *refcache.Obj // reference count (nil while on a free list)
+	data []byte        // lazily materialized contents
+	line hw.Line       // the frame's first data line (write tracking)
+}
+
+// Data returns the frame's backing bytes, materializing them on first use.
+// Only call from the core currently holding a reference.
+func (f *Frame) Data() []byte {
+	if f.data == nil {
+		f.data = make([]byte, PageSize)
+	}
+	return f.data
+}
+
+// Allocator hands out reference-counted frames with per-core free lists.
+type Allocator struct {
+	m  *hw.Machine
+	rc *refcache.Refcache
+
+	nextPFN atomic.Uint64
+	lists   []freelist
+
+	allocated atomic.Int64 // live frames
+	totals    atomic.Int64 // frames ever created
+
+	regMu    sync.RWMutex
+	registry []*Frame // pfn-1 -> frame (append-only)
+}
+
+type freelist struct {
+	mu     sync.Mutex
+	frames []*Frame
+	_      [40]byte // avoid false sharing between cores' lists
+}
+
+// NewAllocator creates a frame allocator over machine m using rc for frame
+// reference counts.
+func NewAllocator(m *hw.Machine, rc *refcache.Refcache) *Allocator {
+	return &Allocator{m: m, rc: rc, lists: make([]freelist, m.NCores())}
+}
+
+// Alloc returns a zeroed frame with reference count 1, charged to cpu. The
+// frame comes from cpu's local free list when possible (no coherence
+// traffic); page zeroing cost is charged either way, as the paper's local
+// benchmark attributes most of its cache misses to zeroing.
+func (a *Allocator) Alloc(cpu *hw.CPU) *Frame {
+	id := cpu.ID()
+	fl := &a.lists[id]
+	fl.mu.Lock()
+	var f *Frame
+	if n := len(fl.frames); n > 0 {
+		f = fl.frames[n-1]
+		fl.frames = fl.frames[:n-1]
+	}
+	fl.mu.Unlock()
+	if f == nil {
+		f = &Frame{PFN: a.nextPFN.Add(1), Home: id}
+		a.totals.Add(1)
+		a.regMu.Lock()
+		a.registry = append(a.registry, f)
+		a.regMu.Unlock()
+	}
+	f.Obj = a.rc.NewObj(1, func(c *hw.CPU, _ *refcache.Obj) { a.release(c, f) })
+	cpu.Tick(a.m.Config().PageZero)
+	cpu.Stats().PagesZeroed++
+	a.allocated.Add(1)
+	return f
+}
+
+// IncRef takes an additional reference to f on cpu.
+func (a *Allocator) IncRef(cpu *hw.CPU, f *Frame) { a.rc.Inc(cpu, f.Obj) }
+
+// DecRef drops a reference to f on cpu. When the true count reaches zero,
+// Refcache returns the frame to its home free list within two epochs.
+func (a *Allocator) DecRef(cpu *hw.CPU, f *Frame) { a.rc.Dec(cpu, f.Obj) }
+
+// release returns a dead frame to its home free list. Freeing from a
+// different core models the "return freed pages to their home nodes"
+// synchronization the paper observes in the pipeline benchmark.
+func (a *Allocator) release(cpu *hw.CPU, f *Frame) {
+	fl := &a.lists[f.Home]
+	if cpu.ID() != f.Home {
+		cpu.Write(&f.line)
+	}
+	f.Obj = nil
+	fl.mu.Lock()
+	fl.frames = append(fl.frames, f)
+	fl.mu.Unlock()
+	a.allocated.Add(-1)
+}
+
+// ByPFN returns the frame with the given PFN (hardware page tables store
+// only the PFN, so baseline VMs use this to recover the frame at munmap).
+func (a *Allocator) ByPFN(pfn uint64) *Frame {
+	a.regMu.RLock()
+	defer a.regMu.RUnlock()
+	if pfn == 0 || int(pfn) > len(a.registry) {
+		return nil
+	}
+	return a.registry[pfn-1]
+}
+
+// Live returns the number of frames currently allocated (reference held or
+// awaiting Refcache reclamation).
+func (a *Allocator) Live() int64 { return a.allocated.Load() }
+
+// Created returns the number of distinct frames ever created.
+func (a *Allocator) Created() int64 { return a.totals.Load() }

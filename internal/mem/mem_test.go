@@ -1,0 +1,124 @@
+package mem
+
+import (
+	"testing"
+
+	"radixvm/internal/hw"
+	"radixvm/internal/refcache"
+)
+
+func newAlloc(ncores int) (*hw.Machine, *refcache.Refcache, *Allocator) {
+	m := hw.NewMachine(hw.TestConfig(ncores))
+	rc := refcache.New(m)
+	return m, rc, NewAllocator(m, rc)
+}
+
+func quiesce(rc *refcache.Refcache) {
+	for i := 0; i < 6; i++ {
+		rc.FlushAll()
+	}
+}
+
+func TestAllocRefcountedLifecycle(t *testing.T) {
+	m, rc, a := newAlloc(2)
+	c := m.CPU(0)
+	f := a.Alloc(c)
+	if f.PFN == 0 && a.Created() != 1 {
+		t.Fatalf("unexpected first frame: %+v", f)
+	}
+	if a.Live() != 1 {
+		t.Fatalf("Live = %d", a.Live())
+	}
+	a.IncRef(c, f)
+	a.DecRef(c, f)
+	a.DecRef(c, f) // drops to zero
+	quiesce(rc)
+	if a.Live() != 0 {
+		t.Fatalf("frame not reclaimed: Live = %d", a.Live())
+	}
+}
+
+func TestFrameReuseFromLocalFreeList(t *testing.T) {
+	m, rc, a := newAlloc(2)
+	c := m.CPU(0)
+	f := a.Alloc(c)
+	pfn := f.PFN
+	a.DecRef(c, f)
+	quiesce(rc)
+	g := a.Alloc(c)
+	if g.PFN != pfn {
+		t.Errorf("frame not reused from local list: pfn %d vs %d", g.PFN, pfn)
+	}
+	if a.Created() != 1 {
+		t.Errorf("Created = %d, want 1", a.Created())
+	}
+}
+
+func TestZeroingCostCharged(t *testing.T) {
+	m, _, a := newAlloc(1)
+	c := m.CPU(0)
+	before := c.Now()
+	a.Alloc(c)
+	if got := c.Now() - before; got < m.Config().PageZero {
+		t.Errorf("alloc cost %d < page zero cost %d", got, m.Config().PageZero)
+	}
+	if c.Stats().PagesZeroed != 1 {
+		t.Errorf("PagesZeroed = %d", c.Stats().PagesZeroed)
+	}
+}
+
+func TestDataLazyMaterialization(t *testing.T) {
+	m, _, a := newAlloc(1)
+	f := a.Alloc(m.CPU(0))
+	if f.data != nil {
+		t.Fatal("data materialized eagerly")
+	}
+	d := f.Data()
+	if len(d) != PageSize {
+		t.Fatalf("data len %d", len(d))
+	}
+	d[0] = 7
+	if f.Data()[0] != 7 {
+		t.Fatal("data not stable across calls")
+	}
+}
+
+func TestCrossCoreFreeReturnsHome(t *testing.T) {
+	m, rc, a := newAlloc(2)
+	home, away := m.CPU(0), m.CPU(1)
+	f := a.Alloc(home)
+	pfn := f.PFN
+	// Hand the page to core 1, which drops the last reference.
+	a.IncRef(away, f)
+	a.DecRef(home, f)
+	a.DecRef(away, f)
+	quiesce(rc)
+	if a.Live() != 0 {
+		t.Fatalf("not reclaimed: Live=%d", a.Live())
+	}
+	// The frame must be on core 0's list: core 0 reuses it, core 1 gets
+	// a fresh frame.
+	g := a.Alloc(home)
+	if g.PFN != pfn {
+		t.Errorf("frame did not return home: got pfn %d, want %d", g.PFN, pfn)
+	}
+}
+
+func TestLocalAllocFreeNoSharedTraffic(t *testing.T) {
+	// A core allocating and freeing its own pages must induce no line
+	// transfers (the local microbenchmark's memory behaviour).
+	m, rc, a := newAlloc(4)
+	c := m.CPU(3)
+	// Warm-up: create the frame and let refcache churn settle.
+	f := a.Alloc(c)
+	a.DecRef(c, f)
+	quiesce(rc)
+	m.ResetStats()
+	for i := 0; i < 100; i++ {
+		f := a.Alloc(c)
+		a.DecRef(c, f)
+	}
+	if tr := m.TotalStats().Transfers; tr != 0 {
+		t.Errorf("local alloc/free caused %d transfers", tr)
+	}
+}

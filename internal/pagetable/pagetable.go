@@ -1,0 +1,177 @@
+// Package pagetable implements x86-64-shaped 4-level hardware page tables:
+// 512-entry nodes indexed by 9 bits of virtual page number per level. The
+// same structure serves both RadixVM's per-core page tables and the
+// shared-table baselines; the MMU abstraction in internal/vm chooses how
+// many tables an address space has and who gets shot down.
+//
+// Walks are lock-free (children are installed with CAS); PTE reads and
+// writes are atomic and charge coherence cost on the containing line, which
+// is how shared-table contention (Figure 9's "Shared" curves) emerges.
+package pagetable
+
+import (
+	"sync/atomic"
+
+	"radixvm/internal/hw"
+)
+
+const (
+	// BitsPerLevel is the number of VPN bits each level decodes.
+	BitsPerLevel = 9
+	// EntriesPerNode is the fan-out of each table node.
+	EntriesPerNode = 1 << BitsPerLevel
+	// Levels is the depth of the table (48-bit virtual, 4 KB pages).
+	Levels = 4
+	// MaxVPN is the first VPN beyond the addressable range.
+	MaxVPN = uint64(1) << (BitsPerLevel * Levels)
+	// NodeBytes is the memory footprint of one table node, as on real
+	// hardware (512 8-byte entries).
+	NodeBytes = EntriesPerNode * 8
+	// slotsPerLine reflects eight 8-byte PTEs per 64-byte cache line.
+	slotsPerLine = 8
+)
+
+// PTE is a page table entry: the present bit plus the mapped PFN.
+type PTE struct {
+	PFN     uint64
+	Present bool
+}
+
+type node struct {
+	level    int                                  // Levels-1 at the root, 0 at the leaves
+	children [EntriesPerNode]atomic.Pointer[node] // level > 0
+	ptes     [EntriesPerNode]atomic.Uint64        // level == 0: pfn<<1 | present
+	lines    [EntriesPerNode / slotsPerLine]hw.Line
+}
+
+// PageTable is one hardware page table tree.
+type PageTable struct {
+	m     *hw.Machine
+	root  *node
+	nodes atomic.Int64 // allocated table nodes, for memory accounting
+}
+
+// New creates an empty page table.
+func New(m *hw.Machine) *PageTable {
+	pt := &PageTable{m: m}
+	pt.root = pt.newNode(Levels - 1)
+	return pt
+}
+
+func (pt *PageTable) newNode(level int) *node {
+	pt.nodes.Add(1)
+	return &node{level: level}
+}
+
+func idxAt(vpn uint64, level int) int {
+	return int(vpn >> (uint(level) * BitsPerLevel) & (EntriesPerNode - 1))
+}
+
+// walk returns the leaf node for vpn, allocating intermediate nodes when
+// create is set. Returns nil when the path does not exist.
+func (pt *PageTable) walk(cpu *hw.CPU, vpn uint64, create bool) *node {
+	n := pt.root
+	for n.level > 0 {
+		i := idxAt(vpn, n.level)
+		cpu.Read(&n.lines[i/slotsPerLine])
+		child := n.children[i].Load()
+		if child == nil {
+			if !create {
+				return nil
+			}
+			fresh := pt.newNode(n.level - 1)
+			if n.children[i].CompareAndSwap(nil, fresh) {
+				cpu.Write(&n.lines[i/slotsPerLine])
+				child = fresh
+			} else {
+				pt.nodes.Add(-1) // lost the race; discard ours
+				child = n.children[i].Load()
+			}
+		}
+		n = child
+	}
+	return n
+}
+
+// Map installs vpn→pfn, charged to cpu. Mapping an already-present entry
+// overwrites it.
+func (pt *PageTable) Map(cpu *hw.CPU, vpn, pfn uint64) {
+	n := pt.walk(cpu, vpn, true)
+	i := idxAt(vpn, 0)
+	cpu.Write(&n.lines[i/slotsPerLine])
+	n.ptes[i].Store(pfn<<1 | 1)
+}
+
+// MapIfAbsent installs vpn→pfn only if no translation is present, and
+// reports whether it installed. Concurrent faulters on a shared table race
+// here; exactly one wins (Linux's equivalent is the PTE lock + recheck).
+func (pt *PageTable) MapIfAbsent(cpu *hw.CPU, vpn, pfn uint64) bool {
+	n := pt.walk(cpu, vpn, true)
+	i := idxAt(vpn, 0)
+	cpu.Write(&n.lines[i/slotsPerLine])
+	return n.ptes[i].CompareAndSwap(0, pfn<<1|1)
+}
+
+// Unmap clears vpn's entry and reports whether it was present.
+func (pt *PageTable) Unmap(cpu *hw.CPU, vpn uint64) bool {
+	n := pt.walk(cpu, vpn, false)
+	if n == nil {
+		return false
+	}
+	i := idxAt(vpn, 0)
+	cpu.Write(&n.lines[i/slotsPerLine])
+	return n.ptes[i].Swap(0)&1 != 0
+}
+
+// UnmapRange clears [lo, hi) and returns how many entries were present.
+func (pt *PageTable) UnmapRange(cpu *hw.CPU, lo, hi uint64) int {
+	return pt.UnmapRangeFunc(cpu, lo, hi, nil)
+}
+
+// UnmapRangeFunc clears [lo, hi), invoking fn for each present entry with
+// its VPN and previous PFN (how munmap gathers frames to release), and
+// returns how many entries were present.
+func (pt *PageTable) UnmapRangeFunc(cpu *hw.CPU, lo, hi uint64, fn func(vpn, pfn uint64)) int {
+	cleared := 0
+	for vpn := lo; vpn < hi; vpn++ {
+		// Skip absent subtrees a leaf node at a time.
+		n := pt.walk(cpu, vpn, false)
+		if n == nil {
+			vpn |= EntriesPerNode - 1 // jump to end of this leaf span
+			continue
+		}
+		i := idxAt(vpn, 0)
+		cpu.Write(&n.lines[i/slotsPerLine])
+		if old := n.ptes[i].Swap(0); old&1 != 0 {
+			cleared++
+			if fn != nil {
+				fn(vpn, old>>1)
+			}
+		}
+	}
+	return cleared
+}
+
+// Lookup performs a hardware-style walk for vpn.
+func (pt *PageTable) Lookup(cpu *hw.CPU, vpn uint64) (PTE, bool) {
+	n := pt.walk(cpu, vpn, false)
+	if n == nil {
+		return PTE{}, false
+	}
+	i := idxAt(vpn, 0)
+	cpu.Read(&n.lines[i/slotsPerLine])
+	raw := n.ptes[i].Load()
+	if raw&1 == 0 {
+		return PTE{}, false
+	}
+	return PTE{PFN: raw >> 1, Present: true}, true
+}
+
+// Bytes returns the memory consumed by table nodes, matching how the paper
+// accounts hardware page table overhead (Table 2, §5.4).
+func (pt *PageTable) Bytes() uint64 {
+	return uint64(pt.nodes.Load()) * NodeBytes
+}
+
+// Nodes returns the number of allocated table nodes.
+func (pt *PageTable) Nodes() int64 { return pt.nodes.Load() }

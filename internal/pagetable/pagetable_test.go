@@ -1,0 +1,162 @@
+package pagetable
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"radixvm/internal/hw"
+)
+
+func newPT(ncores int) (*hw.Machine, *PageTable) {
+	m := hw.NewMachine(hw.TestConfig(ncores))
+	return m, New(m)
+}
+
+func TestMapLookupUnmap(t *testing.T) {
+	m, pt := newPT(1)
+	c := m.CPU(0)
+	if _, ok := pt.Lookup(c, 42); ok {
+		t.Fatal("lookup hit in empty table")
+	}
+	pt.Map(c, 42, 7)
+	pte, ok := pt.Lookup(c, 42)
+	if !ok || pte.PFN != 7 || !pte.Present {
+		t.Fatalf("Lookup = %+v, %v", pte, ok)
+	}
+	if !pt.Unmap(c, 42) {
+		t.Fatal("Unmap missed present entry")
+	}
+	if _, ok := pt.Lookup(c, 42); ok {
+		t.Fatal("lookup hit after unmap")
+	}
+	if pt.Unmap(c, 42) {
+		t.Fatal("double unmap reported present")
+	}
+}
+
+func TestMapOverwrite(t *testing.T) {
+	m, pt := newPT(1)
+	c := m.CPU(0)
+	pt.Map(c, 5, 1)
+	pt.Map(c, 5, 2)
+	pte, _ := pt.Lookup(c, 5)
+	if pte.PFN != 2 {
+		t.Fatalf("overwrite lost: PFN = %d", pte.PFN)
+	}
+}
+
+func TestSparseAddressesShareNothing(t *testing.T) {
+	m, pt := newPT(1)
+	c := m.CPU(0)
+	// Far-apart VPNs must land in distinct subtrees.
+	a := uint64(0)
+	b := MaxVPN - 1
+	pt.Map(c, a, 10)
+	pt.Map(c, b, 20)
+	pa, _ := pt.Lookup(c, a)
+	pb, _ := pt.Lookup(c, b)
+	if pa.PFN != 10 || pb.PFN != 20 {
+		t.Fatalf("sparse mappings clashed: %v %v", pa, pb)
+	}
+	// Root + 3 levels for each of the two paths = 7 nodes.
+	if n := pt.Nodes(); n != 7 {
+		t.Errorf("Nodes = %d, want 7", n)
+	}
+	if pt.Bytes() != uint64(pt.Nodes())*NodeBytes {
+		t.Errorf("Bytes inconsistent with Nodes")
+	}
+}
+
+func TestUnmapRange(t *testing.T) {
+	m, pt := newPT(1)
+	c := m.CPU(0)
+	for vpn := uint64(100); vpn < 120; vpn++ {
+		pt.Map(c, vpn, vpn*2)
+	}
+	if n := pt.UnmapRange(c, 105, 115); n != 10 {
+		t.Fatalf("UnmapRange cleared %d, want 10", n)
+	}
+	for vpn := uint64(100); vpn < 120; vpn++ {
+		_, ok := pt.Lookup(c, vpn)
+		want := vpn < 105 || vpn >= 115
+		if ok != want {
+			t.Errorf("vpn %d present=%v want %v", vpn, ok, want)
+		}
+	}
+}
+
+func TestUnmapRangeSkipsAbsentSubtrees(t *testing.T) {
+	m, pt := newPT(1)
+	c := m.CPU(0)
+	pt.Map(c, 0, 1)
+	pt.Map(c, 1<<20, 2)
+	// A huge absent range between the two mappings must not be slow or
+	// wrong.
+	if n := pt.UnmapRange(c, 0, 1<<20+1); n != 2 {
+		t.Fatalf("cleared %d, want 2", n)
+	}
+}
+
+func TestConcurrentDisjointMaps(t *testing.T) {
+	const ncores = 8
+	m, pt := newPT(ncores)
+	var wg sync.WaitGroup
+	for i := 0; i < ncores; i++ {
+		wg.Add(1)
+		go func(c *hw.CPU) {
+			defer wg.Done()
+			base := uint64(c.ID()) << 30
+			for k := uint64(0); k < 500; k++ {
+				pt.Map(c, base+k, base+k+1)
+			}
+			for k := uint64(0); k < 500; k++ {
+				pte, ok := pt.Lookup(c, base+k)
+				if !ok || pte.PFN != base+k+1 {
+					t.Errorf("core %d lost vpn %d", c.ID(), base+k)
+					return
+				}
+			}
+		}(m.CPU(i))
+	}
+	wg.Wait()
+}
+
+func TestQuickAgainstMapModel(t *testing.T) {
+	type op struct {
+		VPN   uint16
+		PFN   uint16
+		Unmap bool
+	}
+	f := func(ops []op) bool {
+		m, pt := newPT(1)
+		c := m.CPU(0)
+		model := map[uint64]uint64{}
+		for _, o := range ops {
+			vpn := uint64(o.VPN)
+			if o.Unmap {
+				was := pt.Unmap(c, vpn)
+				_, inModel := model[vpn]
+				if was != inModel {
+					return false
+				}
+				delete(model, vpn)
+			} else {
+				pt.Map(c, vpn, uint64(o.PFN))
+				model[vpn] = uint64(o.PFN)
+			}
+		}
+		for vpn, pfn := range model {
+			pte, ok := pt.Lookup(c, vpn)
+			if !ok || pte.PFN != pfn {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+package radix
+
+import "radixvm/internal/hw"
+
+// Range is a set of locked slots covering a VPN range, produced by
+// LockRange or LockPage. Entries appear in ascending VPN order; each entry
+// is either a leaf slot (one page) or an interior slot whose whole span is
+// inside the range (a folded entry). The caller reads and writes entries,
+// then calls Unlock.
+type Range[V any] struct {
+	t   *Tree[V]
+	cpu *hw.CPU
+	Lo  uint64
+	Hi  uint64
+
+	entries []Entry[V]
+	pins    []*node[V]
+}
+
+// Entry is one locked slot of a Range.
+type Entry[V any] struct {
+	r   *Range[V]
+	n   *node[V]
+	idx int
+	// Lo and Hi delimit the VPNs this entry covers within the range.
+	Lo, Hi uint64
+}
+
+// LockRange locks every slot covering [lo, hi), strictly left-to-right, so
+// concurrent operations on overlapping ranges serialize on the leftmost
+// overlapping slot (§3.4). Folded or absent interior slots that the range
+// only partially covers are expanded on the way down, propagating the lock
+// bit into the freshly allocated child.
+func (t *Tree[V]) LockRange(cpu *hw.CPU, lo, hi uint64) *Range[V] {
+	checkRange(lo, hi)
+	r := &Range[V]{t: t, cpu: cpu, Lo: lo, Hi: hi}
+	t.lockIn(r, t.root, lo, hi)
+	return r
+}
+
+func (t *Tree[V]) lockIn(r *Range[V], n *node[V], lo, hi uint64) {
+	cpu := r.cpu
+	sp := span(n.level)
+	for idx := n.slotIndex(lo); ; idx++ {
+		slotLo := n.slotBase(idx)
+		if slotLo >= hi {
+			return
+		}
+		slotHi := slotLo + sp
+		clipLo, clipHi := maxU(lo, slotLo), minU(hi, slotHi)
+
+		for {
+			cpu.Read(n.line(idx))
+			st := n.slots[idx].st.Load()
+			if st != nil && st.child != nil {
+				// Interior link: descend without locking
+				// (traversal is pinned, not locked).
+				child := t.loadChild(cpu, n, idx, st)
+				if child == nil {
+					continue // dead child cleaned; re-read
+				}
+				r.pins = append(r.pins, child)
+				t.lockIn(r, child, clipLo, clipHi)
+				break
+			}
+			// Terminal slot: take the lock bit, then re-check,
+			// since the slot may have gained a child while we
+			// waited for the bit.
+			cpu.Write(n.line(idx)) // CAS on the lock bit
+			cpu.AcquireBit(&n.slots[idx].bit)
+			st = n.slots[idx].st.Load()
+			if st != nil && st.child != nil {
+				cpu.ReleaseBit(&n.slots[idx].bit)
+				continue
+			}
+			if n.level == 0 || (clipLo == slotLo && clipHi == slotHi) {
+				// A leaf page, or an interior slot wholly
+				// inside the range: lock at this level.
+				r.entries = append(r.entries, Entry[V]{r: r, n: n, idx: idx, Lo: clipLo, Hi: clipHi})
+				break
+			}
+			// The range partially covers this slot: expand it,
+			// propagating the lock bit into the child.
+			child := t.expand(cpu, n, idx, st)
+			r.pins = append(r.pins, child)
+			t.lockedDescend(r, child, clipLo, clipHi)
+			break
+		}
+	}
+}
+
+// expand replaces a terminal interior slot (lock bit held by the caller)
+// with a freshly allocated child node whose slots all carry clones of the
+// slot's folded value and whose lock bits are all held by the caller. The
+// parent's lock bit is released after the child is installed (§3.4). The
+// returned child carries one traversal pin for the caller.
+func (t *Tree[V]) expand(cpu *hw.CPU, n *node[V], idx int, st *slotState[V]) *node[V] {
+	var fill *V
+	if st != nil {
+		fill = st.val
+	}
+	var used int64
+	if fill != nil {
+		used = SlotsPerNode
+	}
+	child := t.newNode(cpu, n.level-1, n.slotBase(idx), fill, used, true)
+	child.parent = n
+	child.parentIdx = idx
+	n.slots[idx].st.Store(&slotState[V]{child: child.obj})
+	cpu.Write(n.line(idx))
+	if st == nil {
+		t.rc.Inc(cpu, n.obj) // slot went empty -> used
+	}
+	cpu.ReleaseBit(&n.slots[idx].bit)
+	return child
+}
+
+// lockedDescend processes a freshly expanded child whose lock bits are all
+// held: slots outside [lo, hi) are released, slots wholly inside become
+// entries, and boundary interior slots are expanded further.
+func (t *Tree[V]) lockedDescend(r *Range[V], n *node[V], lo, hi uint64) {
+	cpu := r.cpu
+	sp := span(n.level)
+	for idx := 0; idx < SlotsPerNode; idx++ {
+		slotLo := n.slotBase(idx)
+		slotHi := slotLo + sp
+		if slotHi <= lo || slotLo >= hi {
+			cpu.ReleaseBit(&n.slots[idx].bit)
+			continue
+		}
+		clipLo, clipHi := maxU(lo, slotLo), minU(hi, slotHi)
+		if n.level == 0 || (clipLo == slotLo && clipHi == slotHi) {
+			r.entries = append(r.entries, Entry[V]{r: r, n: n, idx: idx, Lo: clipLo, Hi: clipHi})
+			continue
+		}
+		st := n.slots[idx].st.Load() // stable: we hold the bit
+		child := t.expand(cpu, n, idx, st)
+		r.pins = append(r.pins, child)
+		t.lockedDescend(r, child, clipLo, clipHi)
+	}
+}
+
+// LockPage locks the single slot governing vpn, expanding folded mappings
+// down to the leaf so the page gets a private metadata copy — the
+// pagefault path (§3.4). The resulting Range has exactly one entry; if
+// that entry's Value is nil the page is unmapped (and the holder still
+// serializes against concurrent mmaps of the region).
+func (t *Tree[V]) LockPage(cpu *hw.CPU, vpn uint64) *Range[V] {
+	checkRange(vpn, vpn+1)
+	r := &Range[V]{t: t, cpu: cpu, Lo: vpn, Hi: vpn + 1}
+	n := t.root
+	for {
+		idx := n.slotIndex(vpn)
+		cpu.Read(n.line(idx))
+		st := n.slots[idx].st.Load()
+		if st != nil && st.child != nil {
+			child := t.loadChild(cpu, n, idx, st)
+			if child == nil {
+				continue
+			}
+			r.pins = append(r.pins, child)
+			n = child
+			continue
+		}
+		cpu.Write(n.line(idx))
+		cpu.AcquireBit(&n.slots[idx].bit)
+		st = n.slots[idx].st.Load()
+		if st != nil && st.child != nil {
+			cpu.ReleaseBit(&n.slots[idx].bit)
+			continue
+		}
+		if n.level == 0 || st == nil {
+			// Leaf page, or unmapped interior slot: this is the
+			// faulting page's lock.
+			r.entries = append(r.entries, Entry[V]{r: r, n: n, idx: idx, Lo: vpn, Hi: vpn + 1})
+			return r
+		}
+		// Folded mapping: expand toward the leaf, keeping only the
+		// lock bit on the slot that covers vpn.
+		t.expandToward(r, n, idx, st, vpn)
+		return r
+	}
+}
+
+// expandToward expands a folded slot (bit held) down to the leaf covering
+// vpn, releasing every other lock bit propagated along the way, and
+// appends the leaf entry to r. It finishes the LockPage job itself because
+// the caller cannot re-acquire bits it already holds.
+func (t *Tree[V]) expandToward(r *Range[V], n *node[V], idx int, st *slotState[V], vpn uint64) {
+	cpu := r.cpu
+	for {
+		child := t.expand(cpu, n, idx, st)
+		r.pins = append(r.pins, child)
+		keep := child.slotIndex(vpn)
+		for i := 0; i < SlotsPerNode; i++ {
+			if i != keep {
+				cpu.ReleaseBit(&child.slots[i].bit)
+			}
+		}
+		if child.level == 0 {
+			r.entries = append(r.entries, Entry[V]{r: r, n: child, idx: keep, Lo: vpn, Hi: vpn + 1})
+			return
+		}
+		n, idx = child, keep
+		st = n.slots[idx].st.Load() // stable under our bit
+	}
+}
+
+// Entries returns the locked entries in ascending VPN order.
+func (r *Range[V]) Entries() []Entry[V] { return r.entries }
+
+// Entry returns the i'th locked entry.
+func (r *Range[V]) Entry(i int) *Entry[V] { return &r.entries[i] }
+
+// Unlock releases all lock bits (right to left) and traversal pins.
+func (r *Range[V]) Unlock() {
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		e := &r.entries[i]
+		r.cpu.ReleaseBit(&e.n.slots[e.idx].bit)
+	}
+	r.entries = nil
+	for i := len(r.pins) - 1; i >= 0; i-- {
+		r.t.unpin(r.cpu, r.pins[i])
+	}
+	r.pins = nil
+}
+
+// Value returns the entry's current value (nil if unmapped). For a folded
+// entry the value stands for every page in [Lo, Hi).
+func (e *Entry[V]) Value() *V {
+	st := e.n.slots[e.idx].st.Load()
+	if st == nil {
+		return nil
+	}
+	return st.val
+}
+
+// Set stores v (nil clears the slot), maintaining the node's used-slot
+// count. The caller owns the entry's lock bit.
+func (e *Entry[V]) Set(v *V) {
+	t := e.r.t
+	cpu := e.r.cpu
+	old := e.n.slots[e.idx].st.Load()
+	cpu.Write(e.n.line(e.idx))
+	if v == nil {
+		e.n.slots[e.idx].st.Store(nil)
+		if old != nil {
+			t.rc.Dec(cpu, e.n.obj)
+		}
+		return
+	}
+	e.n.slots[e.idx].st.Store(&slotState[V]{val: v})
+	if old == nil {
+		t.rc.Inc(cpu, e.n.obj)
+	}
+}
+
+// Pages returns the number of pages the entry covers.
+func (e *Entry[V]) Pages() uint64 { return e.Hi - e.Lo }
+
+// IsLeaf reports whether the entry is a single leaf page (false for a
+// folded interior entry).
+func (e *Entry[V]) IsLeaf() bool { return e.n.level == 0 }
+
+// Clone duplicates a value with the tree's clone function (identity when
+// none was supplied).
+func (t *Tree[V]) Clone(v *V) *V { return t.clone(v) }
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,237 @@
+// Package radix implements the RadixVM paper's core index structure (§3.2):
+// a fixed-depth radix tree over virtual page numbers, 9 bits per level,
+// structurally similar to a hardware page table.
+//
+// Properties the paper's design depends on, all implemented here:
+//
+//   - Point values are stored per page in leaf slots, but a range whose
+//     pages all carry identical metadata can be *folded* into a single
+//     interior slot, so vast mappings cost a handful of slots.
+//   - Each slot (interior and leaf) reserves a lock bit. Operations lock
+//     the slots covering their range strictly left-to-right, so operations
+//     on overlapping ranges serialize on the leftmost overlapping slot and
+//     operations on disjoint ranges touch disjoint lock bits.
+//   - Traversal takes no locks: descending pins each node through a
+//     Refcache weak reference, which also lets the tree revive a node that
+//     went empty before Refcache got around to deleting it.
+//   - Expanding a folded slot allocates a child node with the parent's
+//     value copied into every slot and the lock bit propagated to every
+//     entry, then unlocks the parent slot — exactly the paper's protocol.
+//   - Interior slots are written only at initialization (expansion) or by
+//     folded-range operations, so lookups on disjoint keys induce no cache
+//     line transfers, unlike a balanced tree or skip list.
+//
+// Node lifetime: each node's Refcache object counts its non-empty slots
+// plus transient traversal pins; when the true count reaches zero the node
+// is reclaimed, clearing its parent slot through the weak-reference kill
+// protocol.
+package radix
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"radixvm/internal/hw"
+	"radixvm/internal/refcache"
+)
+
+const (
+	// BitsPerLevel is the number of VPN bits decoded per tree level.
+	BitsPerLevel = 9
+	// SlotsPerNode is each node's fan-out.
+	SlotsPerNode = 1 << BitsPerLevel
+	// Levels gives a 36-bit VPN space (paper Figure 3).
+	Levels = 4
+	// MaxVPN is the first VPN beyond the tree's range.
+	MaxVPN = uint64(1) << (BitsPerLevel * Levels)
+	// NodeBytes approximates one node's memory footprint for Table 2
+	// accounting: 512 slots of 16 bytes (value pointer + lock/state).
+	NodeBytes = SlotsPerNode * 16
+	// slotsPerLine: four 16-byte slots share a 64-byte cache line, the
+	// granularity at which false sharing can occur (§5.5).
+	slotsPerLine = 4
+)
+
+// Tree is a concurrent radix tree mapping VPNs to values of type V.
+//
+// clone duplicates a value when a folded range must be split into per-page
+// copies (pass nil to share pointers, appropriate for immutable values).
+type Tree[V any] struct {
+	m     *hw.Machine
+	rc    *refcache.Refcache
+	clone func(*V) *V
+	root  *node[V]
+
+	nodesLive atomic.Int64
+	nodesEver atomic.Int64
+}
+
+type node[V any] struct {
+	tree      *Tree[V]
+	level     int    // 0 at leaves
+	base      uint64 // first VPN covered by this node
+	parent    *node[V]
+	parentIdx int
+	obj       *refcache.Obj // counts used slots + traversal pins
+	slots     [SlotsPerNode]slot[V]
+	lines     [SlotsPerNode / slotsPerLine]hw.Line
+}
+
+type slot[V any] struct {
+	bit hw.SpinBit
+	st  atomic.Pointer[slotState[V]]
+}
+
+// slotState is the immutable content of a slot: either a child link (an
+// interior slot that has been expanded) or a value (a per-page value at a
+// leaf, or a folded value at an interior slot). nil slotState = empty.
+type slotState[V any] struct {
+	child *refcache.Obj // Data holds the *node[V]
+	val   *V
+}
+
+// New creates an empty tree on machine m, using rc for node lifetimes.
+func New[V any](m *hw.Machine, rc *refcache.Refcache, clone func(*V) *V) *Tree[V] {
+	if clone == nil {
+		clone = func(v *V) *V { return v }
+	}
+	t := &Tree[V]{m: m, rc: rc, clone: clone}
+	t.root = t.newNode(nil, Levels-1, 0, nil, 0, false)
+	// The root is permanent: its object holds one immortal reference.
+	return t
+}
+
+// newNode allocates a node at the given level whose slots all hold clones
+// of fill (nil for an empty node). If locked, every slot's lock bit is
+// taken by the caller (lock-bit propagation during expansion). The caller
+// receives the node with one traversal pin already held on cpu (none for
+// the root, which instead gets an immortal reference).
+func (t *Tree[V]) newNode(cpu *hw.CPU, level int, base uint64, fill *V, used int64, locked bool) *node[V] {
+	n := &node[V]{tree: t, level: level, base: base}
+	if fill != nil {
+		for i := range n.slots {
+			n.slots[i].st.Store(&slotState[V]{val: t.clone(fill)})
+		}
+	}
+	if locked {
+		for i := range n.slots {
+			cpu.AcquireBit(&n.slots[i].bit)
+		}
+	}
+	initial := used
+	if cpu == nil {
+		initial = 1 // the root's immortal self-reference
+	} else {
+		initial += 1 // the creator's traversal pin
+		cpu.Tick(t.m.Config().PageZero)
+	}
+	n.obj = t.rc.NewObj(initial, freeNode[V])
+	n.obj.Data = n
+	t.nodesLive.Add(1)
+	t.nodesEver.Add(1)
+	return n
+}
+
+// freeNode is the Refcache callback that reclaims an empty node: it clears
+// the parent's slot (racing fairly with concurrent lockers via CAS) and
+// drops the used-slot reference the child link held on the parent.
+func freeNode[V any](cpu *hw.CPU, o *refcache.Obj) {
+	n := o.Data.(*node[V])
+	t := n.tree
+	t.nodesLive.Add(-1)
+	p := n.parent
+	if p == nil {
+		return // root (never freed in practice)
+	}
+	s := &p.slots[n.parentIdx]
+	st := s.st.Load()
+	if st != nil && st.child == o && s.st.CompareAndSwap(st, nil) {
+		cpu.Write(&p.lines[n.parentIdx/slotsPerLine])
+		t.rc.Dec(cpu, p.obj)
+	}
+	// If the CAS failed, a locker already replaced the dead link and took
+	// over the accounting.
+}
+
+// span returns the number of VPNs one slot of a node at this level covers.
+func span(level int) uint64 { return uint64(1) << (uint(level) * BitsPerLevel) }
+
+func (n *node[V]) slotIndex(vpn uint64) int {
+	return int((vpn - n.base) / span(n.level))
+}
+
+func (n *node[V]) slotBase(idx int) uint64 {
+	return n.base + uint64(idx)*span(n.level)
+}
+
+func (n *node[V]) line(idx int) *hw.Line { return &n.lines[idx/slotsPerLine] }
+
+// NodesLive returns the number of currently allocated tree nodes.
+func (t *Tree[V]) NodesLive() int64 { return t.nodesLive.Load() }
+
+// NodesEver returns the number of nodes ever allocated.
+func (t *Tree[V]) NodesEver() int64 { return t.nodesEver.Load() }
+
+// Bytes returns the tree's structural memory footprint.
+func (t *Tree[V]) Bytes() uint64 { return uint64(t.nodesLive.Load()) * NodeBytes }
+
+func checkRange(lo, hi uint64) {
+	if lo >= hi || hi > MaxVPN {
+		panic(fmt.Sprintf("radix: invalid range [%d, %d)", lo, hi))
+	}
+}
+
+// loadChild resolves a slot's child link by taking a traversal pin through
+// the weak reference. It returns the pinned node, or nil if the child is
+// dead (in which case the caller sees the slot as empty after cleanup).
+func (t *Tree[V]) loadChild(cpu *hw.CPU, n *node[V], idx int, st *slotState[V]) *node[V] {
+	obj := t.rc.TryGet(cpu, st.child.Weak())
+	if obj == nil {
+		// The child died. Whoever swings the slot to nil does the
+		// parent accounting; the loser simply moves on.
+		if n.slots[idx].st.CompareAndSwap(st, nil) {
+			cpu.Write(n.line(idx))
+			t.rc.Dec(cpu, n.obj)
+		}
+		return nil
+	}
+	return obj.Data.(*node[V])
+}
+
+// unpin drops a traversal pin.
+func (t *Tree[V]) unpin(cpu *hw.CPU, n *node[V]) {
+	t.rc.Dec(cpu, n.obj)
+}
+
+// Lookup returns the value covering vpn, or nil if unmapped. It takes no
+// locks: interior nodes are only read, so concurrent lookups of disjoint
+// keys against concurrent inserts of disjoint keys move no cache lines
+// (Figure 7's property).
+func (t *Tree[V]) Lookup(cpu *hw.CPU, vpn uint64) *V {
+	checkRange(vpn, vpn+1)
+	n := t.root
+	pinned := []*node[V]{}
+	defer func() {
+		for _, p := range pinned {
+			t.unpin(cpu, p)
+		}
+	}()
+	for {
+		idx := n.slotIndex(vpn)
+		cpu.Read(n.line(idx))
+		st := n.slots[idx].st.Load()
+		if st == nil {
+			return nil
+		}
+		if st.child != nil {
+			child := t.loadChild(cpu, n, idx, st)
+			if child == nil {
+				return nil
+			}
+			pinned = append(pinned, child)
+			n = child
+			continue
+		}
+		return st.val
+	}
+}

@@ -1,0 +1,308 @@
+// Package refcache implements Refcache, the RadixVM paper's space-efficient,
+// lazy, scalable reference counting scheme (§3.1).
+//
+// Each reference-counted object has a global count; each core keeps a small
+// fixed-size cache of per-object count *deltas*. Inc and Dec touch only the
+// local delta cache (no shared cache lines), so objects manipulated from a
+// single core cost nothing in coherence traffic. Deltas are flushed to the
+// global count once per epoch. Because flushes reorder operations, a zero
+// global count does not mean a zero true count: the first core to drive a
+// global count to zero queues the object on its local review queue, and
+// only if the count is still zero — and was never non-zero in between (no
+// "dirty zero") — two epoch boundaries later is the object freed.
+//
+// Weak references support revival: a weak reference is a pointer plus a
+// "dying" bit. TryGet atomically clears the dying bit and increments the
+// count, reviving an object whose global count touched zero; the freeing
+// path clears the pointer and the dying bit together, and whichever CAS
+// wins the race decides the object's fate — exactly the paper's Figure 2.
+//
+// Unlike sloppy counters or SNZI, space is O(objects + cores), not
+// O(objects × cores): the per-core state is one fixed-size delta cache and
+// one review queue regardless of how many objects exist.
+package refcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"radixvm/internal/hw"
+)
+
+// DefaultCacheSlots is the default number of entries in each core's delta
+// cache. Collisions evict the old delta to the global count early, which is
+// correct but costs a shared-line write; the size trades space against that
+// conflict rate (paper §3.1).
+const DefaultCacheSlots = 4096
+
+// Refcache is one reference-counting domain: a set of per-core delta caches
+// and review queues plus the epoch barrier that coordinates them. A machine
+// typically has exactly one, shared by physical pages and radix-tree nodes.
+type Refcache struct {
+	m         *hw.Machine
+	slots     uint64
+	cores     []coreState
+	nextObjID atomic.Uint64
+
+	epoch      atomic.Uint64 // current global epoch
+	epochLine  hw.Line       // the cache line holding the global epoch
+	barrierMu  sync.Mutex
+	numFlushed int // cores that have flushed in the current epoch
+}
+
+type coreState struct {
+	cache     []entry
+	review    []reviewEntry
+	epoch     uint64 // last epoch this core flushed in
+	lastFlush uint64 // virtual time of the last flush
+	_         [32]byte
+}
+
+type entry struct {
+	obj   *Obj
+	delta int64
+}
+
+type reviewEntry struct {
+	obj   *Obj
+	epoch uint64 // global epoch when queued
+}
+
+// New creates a Refcache domain for machine m with the default delta-cache
+// size.
+func New(m *hw.Machine) *Refcache {
+	return NewSized(m, DefaultCacheSlots)
+}
+
+// NewSized creates a Refcache domain with slots delta-cache entries per
+// core. slots must be a power of two.
+func NewSized(m *hw.Machine, slots int) *Refcache {
+	if slots <= 0 || slots&(slots-1) != 0 {
+		panic(fmt.Sprintf("refcache: cache slots %d not a power of two", slots))
+	}
+	rc := &Refcache{m: m, slots: uint64(slots)}
+	rc.cores = make([]coreState, m.NCores())
+	for i := range rc.cores {
+		rc.cores[i].cache = make([]entry, slots)
+	}
+	rc.epoch.Store(1)
+	return rc
+}
+
+// Obj is a reference-counted object. Obtain one with Refcache.NewObj and
+// manipulate it only through its Refcache. The object's fields are
+// protected by a fine-grained per-object lock, as in the paper.
+type Obj struct {
+	id   uint64
+	mu   sync.Mutex
+	line hw.Line // the global count's cache line
+
+	// Data is an arbitrary payload (e.g. the radix-tree node this count
+	// guards). Set it once, before the object is shared; it is read-only
+	// afterwards.
+	Data any
+
+	refcnt   int64 // global reference count
+	dirty    bool  // became non-zero while on a review queue
+	onReview bool
+	weak     Weak                // back-referencing weak state (always present)
+	free     func(*hw.CPU, *Obj) // invoked exactly once when truly dead
+	freed    atomic.Bool
+}
+
+// NewObj creates an object with the given initial global count. free, if
+// non-nil, runs exactly once when Refcache determines the true count is
+// zero (and no TryGet revived the object). It runs with the object's lock
+// held, on the goroutine performing epoch maintenance.
+func (rc *Refcache) NewObj(initial int64, free func(*hw.CPU, *Obj)) *Obj {
+	o := &Obj{
+		id:     rc.nextObjID.Add(1),
+		refcnt: initial,
+		free:   free,
+	}
+	o.weak.state.Store(&weakState{obj: o})
+	return o
+}
+
+// Weak returns the object's weak reference, from which TryGet can revive it.
+func (o *Obj) Weak() *Weak { return &o.weak }
+
+// GlobalCount returns the object's current global count (diagnostic; the
+// true count also includes unflushed per-core deltas).
+func (o *Obj) GlobalCount() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.refcnt
+}
+
+// Freed reports whether the object's free callback has run.
+func (o *Obj) Freed() bool { return o.freed.Load() }
+
+func (rc *Refcache) slot(cpu *hw.CPU, o *Obj) *entry {
+	h := o.id * 0x9E3779B97F4A7C15
+	return &rc.cores[cpu.ID()].cache[(h>>17)&(rc.slots-1)]
+}
+
+// Inc increments o's reference count from core cpu. It touches only the
+// core-local delta cache unless a cache collision forces an eviction.
+func (rc *Refcache) Inc(cpu *hw.CPU, o *Obj) { rc.adjust(cpu, o, +1) }
+
+// Dec decrements o's reference count from core cpu.
+func (rc *Refcache) Dec(cpu *hw.CPU, o *Obj) { rc.adjust(cpu, o, -1) }
+
+func (rc *Refcache) adjust(cpu *hw.CPU, o *Obj, d int64) {
+	e := rc.slot(cpu, o)
+	if e.obj != o {
+		if e.obj != nil && e.delta != 0 {
+			cpu.Stats().RefcacheEvicts++
+			rc.evict(cpu, e.obj, e.delta)
+		}
+		e.obj = o
+		e.delta = 0
+	}
+	e.delta += d
+	cpu.Tick(rc.m.Config().LocalHit) // per-core cache: core-local line
+}
+
+// evict applies a cached delta to o's global count, implementing the
+// paper's evict(): a count that reaches zero is queued for review on this
+// core (unless already queued somewhere), and a count that is non-zero
+// marks any pending review dirty.
+func (rc *Refcache) evict(cpu *hw.CPU, o *Obj, delta int64) {
+	cpu.Write(&o.line)
+	o.mu.Lock()
+	o.refcnt += delta
+	if o.refcnt == 0 {
+		if !o.onReview {
+			o.dirty = false
+			o.onReview = true
+			o.weak.setDying(cpu, true)
+			cs := &rc.cores[cpu.ID()]
+			cs.review = append(cs.review, reviewEntry{obj: o, epoch: rc.epoch.Load()})
+		}
+	} else {
+		o.dirty = true
+	}
+	o.mu.Unlock()
+}
+
+// Maintain performs this core's periodic Refcache work: once the core's
+// virtual clock has advanced an epoch past its previous flush, it evicts
+// its whole delta cache, joins the epoch barrier (the last core to flush
+// ends the epoch), and reviews queued objects. Call it frequently from each
+// simulated core's loop; it is cheap when no flush is due.
+func (rc *Refcache) Maintain(cpu *hw.CPU) {
+	cs := &rc.cores[cpu.ID()]
+	ge := rc.epoch.Load()
+	if cs.epoch >= ge {
+		return // already flushed in this epoch
+	}
+	if cpu.Now() < cs.lastFlush+rc.m.Config().EpochCycles {
+		return // not yet time (paper: ~10 ms between flushes)
+	}
+	rc.flushCore(cpu, ge)
+}
+
+func (rc *Refcache) flushCore(cpu *hw.CPU, ge uint64) {
+	cs := &rc.cores[cpu.ID()]
+	alreadyFlushed := cs.epoch >= ge
+	// Flush: evict all non-zero deltas and clear the cache.
+	for i := range cs.cache {
+		e := &cs.cache[i]
+		if e.obj != nil && e.delta != 0 {
+			rc.evict(cpu, e.obj, e.delta)
+		}
+		e.obj = nil
+		e.delta = 0
+	}
+	cs.epoch = ge
+	cs.lastFlush = cpu.Now()
+
+	// Epoch barrier: the global epoch and flush count live on one shared
+	// line, the scheme's "small constant rate of cache line movement".
+	cpu.Write(&rc.epochLine)
+	rc.barrierMu.Lock()
+	// Join the barrier at most once per epoch per core (a core may flush
+	// again in the same epoch via FlushAll after Maintain already ran).
+	if rc.epoch.Load() == ge && !alreadyFlushed {
+		rc.numFlushed++
+		if rc.numFlushed == len(rc.cores) {
+			rc.numFlushed = 0
+			rc.epoch.Store(ge + 1)
+		}
+	}
+	rc.barrierMu.Unlock()
+
+	rc.reviewCore(cpu)
+}
+
+// reviewCore implements the paper's review(): objects queued at epoch E are
+// examined once the global epoch reaches E+2, guaranteeing every core has
+// flushed its delta cache at least once in between.
+func (rc *Refcache) reviewCore(cpu *hw.CPU) {
+	cs := &rc.cores[cpu.ID()]
+	now := rc.epoch.Load()
+	q := cs.review
+	var keep []reviewEntry
+	i := 0
+	for ; i < len(q); i++ {
+		re := q[i]
+		if now < re.epoch+2 {
+			break // queue is in epoch order; the rest is too recent
+		}
+		o := re.obj
+		cpu.Write(&o.line)
+		o.mu.Lock()
+		o.onReview = false
+		switch {
+		case o.refcnt != 0:
+			o.weak.setDying(cpu, false)
+		case o.dirty || !o.weak.tryKill(cpu, o):
+			// Dirty zero, or a TryGet revived the object between
+			// our zero detection and now: review again later.
+			o.dirty = false
+			o.onReview = true
+			o.weak.setDying(cpu, true)
+			keep = append(keep, reviewEntry{obj: o, epoch: now})
+		default:
+			if o.freed.Swap(true) {
+				panic("refcache: double free")
+			}
+			if o.free != nil {
+				o.free(cpu, o)
+			}
+		}
+		o.mu.Unlock()
+	}
+	cs.review = append(keep, q[i:]...)
+}
+
+// Epoch returns the current global epoch (diagnostic).
+func (rc *Refcache) Epoch() uint64 { return rc.epoch.Load() }
+
+// FlushAll drives one full epoch on behalf of every core: flush, barrier,
+// review. It is a quiescent-state helper for tests and teardown; no core
+// may be executing VM operations concurrently. Calling it three times
+// guarantees any object whose true count is zero has been freed (flush,
+// the 2-epoch review delay, review).
+func (rc *Refcache) FlushAll() {
+	ge := rc.epoch.Load()
+	for i := 0; i < rc.m.NCores(); i++ {
+		rc.flushCore(rc.m.CPU(i), ge)
+	}
+}
+
+// TrueCount returns global count plus all cached deltas. Quiescent-state
+// diagnostic only: it reads per-core caches without synchronization.
+func (rc *Refcache) TrueCount(o *Obj) int64 {
+	t := o.GlobalCount()
+	for i := range rc.cores {
+		for j := range rc.cores[i].cache {
+			if e := &rc.cores[i].cache[j]; e.obj == o {
+				t += e.delta
+			}
+		}
+	}
+	return t
+}

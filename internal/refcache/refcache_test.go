@@ -1,0 +1,397 @@
+package refcache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"radixvm/internal/hw"
+)
+
+func newTestRC(ncores int) (*hw.Machine, *Refcache) {
+	m := hw.NewMachine(hw.TestConfig(ncores))
+	return m, New(m)
+}
+
+// flushEpochs drives n full epochs. Four epochs guarantee reclamation of
+// anything already at true zero (flush + 2-epoch review delay + review).
+func flushEpochs(rc *Refcache, n int) {
+	for i := 0; i < n; i++ {
+		rc.FlushAll()
+	}
+}
+
+func TestIncDecNoSharedTraffic(t *testing.T) {
+	// The headline property: inc/dec from a single core touch no shared
+	// cache lines (all coherence traffic is local).
+	m, rc := newTestRC(4)
+	o := rc.NewObj(1, nil)
+	c := m.CPU(2)
+	m.ResetStats()
+	for i := 0; i < 1000; i++ {
+		rc.Inc(c, o)
+		rc.Dec(c, o)
+	}
+	if tr := m.TotalStats().Transfers; tr != 0 {
+		t.Errorf("inc/dec caused %d line transfers, want 0", tr)
+	}
+	if rc.TrueCount(o) != 1 {
+		t.Errorf("TrueCount = %d, want 1", rc.TrueCount(o))
+	}
+}
+
+func TestZeroDetectionAfterTwoEpochs(t *testing.T) {
+	m, rc := newTestRC(2)
+	o := rc.NewObj(1, nil)
+	rc.Dec(m.CPU(0), o)
+	rc.FlushAll() // applies the delta; global hits zero, queued
+	if o.Freed() {
+		t.Fatal("freed immediately at zero global count")
+	}
+	rc.FlushAll()
+	if o.Freed() {
+		t.Fatal("freed before two epoch boundaries")
+	}
+	flushEpochs(rc, 2)
+	if !o.Freed() {
+		t.Fatal("not freed after review delay")
+	}
+}
+
+func TestFreeCallbackRunsOnce(t *testing.T) {
+	m, rc := newTestRC(2)
+	calls := 0
+	o := rc.NewObj(1, func(*hw.CPU, *Obj) { calls++ })
+	rc.Dec(m.CPU(0), o)
+	flushEpochs(rc, 6)
+	if calls != 1 {
+		t.Fatalf("free ran %d times, want 1", calls)
+	}
+}
+
+func TestBatchingAvoidsGlobalWrites(t *testing.T) {
+	// Figure 1, epoch 1: multiple manipulations across cores never write
+	// the global count until flush.
+	m, rc := newTestRC(4)
+	o := rc.NewObj(0, nil)
+	rc.Inc(m.CPU(0), o)
+	rc.Inc(m.CPU(1), o)
+	rc.Dec(m.CPU(1), o)
+	rc.Inc(m.CPU(2), o)
+	rc.Dec(m.CPU(2), o)
+	rc.Inc(m.CPU(2), o)
+	if o.GlobalCount() != 0 {
+		t.Fatalf("global count written before flush: %d", o.GlobalCount())
+	}
+	if rc.TrueCount(o) != 2 {
+		t.Fatalf("TrueCount = %d, want 2", rc.TrueCount(o))
+	}
+	rc.FlushAll()
+	if o.GlobalCount() != 2 {
+		t.Fatalf("global after flush = %d, want 2", o.GlobalCount())
+	}
+}
+
+func TestFalseZeroFromReordering(t *testing.T) {
+	// Figure 1, epochs 2-4: core 0's decrement flushes before core 1's
+	// increment, so the global count dips to zero even though the true
+	// count is 1. The object must survive review.
+	m, rc := newTestRC(2)
+	o := rc.NewObj(1, nil)
+	rc.Dec(m.CPU(0), o)
+	rc.Inc(m.CPU(1), o)
+	// Flush core 0 first (global drops to 0 and is queued), then core 1.
+	ge := rc.Epoch()
+	rc.flushCore(m.CPU(0), ge)
+	if o.GlobalCount() != 0 {
+		t.Fatalf("global = %d after dec flush", o.GlobalCount())
+	}
+	rc.flushCore(m.CPU(1), ge)
+	flushEpochs(rc, 4)
+	if o.Freed() {
+		t.Fatal("object freed despite true count 1 (false zero)")
+	}
+	if o.GlobalCount() != 1 {
+		t.Fatalf("global = %d, want 1", o.GlobalCount())
+	}
+}
+
+func TestDirtyZeroDelaysFree(t *testing.T) {
+	// Figure 1, epochs 4-8: the count returns to zero but was non-zero
+	// during the epoch ("dirty zero"); review must requeue, not free.
+	m, rc := newTestRC(2)
+	o := rc.NewObj(1, nil)
+	rc.Dec(m.CPU(0), o)
+	rc.FlushAll() // global 0, queued at epoch E
+	rc.Inc(m.CPU(1), o)
+	rc.FlushAll() // global 1 while queued: marks dirty
+	rc.Dec(m.CPU(1), o)
+	rc.FlushAll() // global 0 again; first review sees dirty zero
+	if o.Freed() {
+		t.Fatal("freed on a dirty zero")
+	}
+	flushEpochs(rc, 4) // requeued; clean for a full epoch now
+	if !o.Freed() {
+		t.Fatal("dirty zero never resolved to free")
+	}
+}
+
+func TestWeakTryGetAlive(t *testing.T) {
+	m, rc := newTestRC(2)
+	o := rc.NewObj(1, nil)
+	got := rc.TryGet(m.CPU(1), o.Weak())
+	if got != o {
+		t.Fatalf("TryGet = %v, want the object", got)
+	}
+	if rc.TrueCount(o) != 2 {
+		t.Fatalf("TryGet did not increment: %d", rc.TrueCount(o))
+	}
+}
+
+func TestWeakRevival(t *testing.T) {
+	m, rc := newTestRC(2)
+	o := rc.NewObj(1, nil)
+	rc.Dec(m.CPU(0), o)
+	rc.FlushAll() // queued, dying bit set
+	got := rc.TryGet(m.CPU(1), o.Weak())
+	if got != o {
+		t.Fatal("TryGet failed to revive a dying object")
+	}
+	flushEpochs(rc, 6)
+	if o.Freed() {
+		t.Fatal("revived object was freed")
+	}
+	// Drop the revived reference; now it must die.
+	rc.Dec(m.CPU(1), o)
+	flushEpochs(rc, 6)
+	if !o.Freed() {
+		t.Fatal("object not freed after revival reference dropped")
+	}
+	if rc.TryGet(m.CPU(0), o.Weak()) != nil {
+		t.Fatal("TryGet returned a freed object")
+	}
+}
+
+func TestTryGetPureReadWhenHealthy(t *testing.T) {
+	m, rc := newTestRC(4)
+	o := rc.NewObj(1, nil)
+	// Warm each core's cache of the weak line.
+	for i := 0; i < 4; i++ {
+		rc.TryGet(m.CPU(i), o.Weak())
+	}
+	m.ResetStats()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 100; j++ {
+			rc.TryGet(m.CPU(i), o.Weak())
+		}
+	}
+	if tr := m.TotalStats().Transfers; tr != 0 {
+		t.Errorf("healthy TryGet caused %d transfers, want 0", tr)
+	}
+}
+
+func TestCollisionEviction(t *testing.T) {
+	m := hw.NewMachine(hw.TestConfig(1))
+	rc := NewSized(m, 1) // every object collides
+	a := rc.NewObj(0, nil)
+	b := rc.NewObj(0, nil)
+	c := m.CPU(0)
+	rc.Inc(c, a)
+	rc.Inc(c, b) // evicts a's delta to the global count
+	if a.GlobalCount() != 1 {
+		t.Fatalf("collision eviction lost a's delta: %d", a.GlobalCount())
+	}
+	if c.Stats().RefcacheEvicts != 1 {
+		t.Fatalf("RefcacheEvicts = %d", c.Stats().RefcacheEvicts)
+	}
+	if rc.TrueCount(b) != 1 {
+		t.Fatalf("b true count = %d", rc.TrueCount(b))
+	}
+}
+
+func TestMaintainRespectsEpochLength(t *testing.T) {
+	m, rc := newTestRC(1)
+	o := rc.NewObj(0, nil)
+	c := m.CPU(0)
+	rc.Inc(c, o)
+	rc.Maintain(c) // too early: virtual clock hasn't advanced an epoch
+	if o.GlobalCount() != 0 {
+		t.Fatal("Maintain flushed before the epoch elapsed")
+	}
+	c.Tick(m.Config().EpochCycles + 1)
+	rc.Maintain(c)
+	if o.GlobalCount() != 1 {
+		t.Fatal("Maintain did not flush after the epoch elapsed")
+	}
+}
+
+func TestConcurrentIncDecStress(t *testing.T) {
+	const ncores = 8
+	m, rc := newTestRC(ncores)
+	freed := make(chan struct{})
+	o := rc.NewObj(1, func(*hw.CPU, *Obj) { close(freed) })
+	var wg sync.WaitGroup
+	for i := 0; i < ncores; i++ {
+		wg.Add(1)
+		go func(c *hw.CPU) {
+			defer wg.Done()
+			for k := 0; k < 5000; k++ {
+				rc.Inc(c, o)
+				rc.Dec(c, o)
+				c.Tick(100)
+				rc.Maintain(c)
+			}
+		}(m.CPU(i))
+	}
+	wg.Wait()
+	select {
+	case <-freed:
+		t.Fatal("object freed while base reference held")
+	default:
+	}
+	rc.Dec(m.CPU(0), o)
+	flushEpochs(rc, 6)
+	if !o.Freed() {
+		t.Fatal("object not reclaimed after final dec")
+	}
+	if rc.TrueCount(o) != 0 {
+		t.Fatalf("final true count %d", rc.TrueCount(o))
+	}
+}
+
+func TestConcurrentTryGetVsFree(t *testing.T) {
+	// Race TryGet against the reclamation path; the winner is decided by
+	// the dying-bit CAS and there must never be a double free (panics).
+	// Each simulated core is driven by exactly one goroutine.
+	const rounds = 100
+	m, rc := newTestRC(2)
+	epoch := m.Config().EpochCycles
+	for r := 0; r < rounds; r++ {
+		o := rc.NewObj(1, nil)
+		rc.Dec(m.CPU(0), o)
+		rc.FlushAll() // queued, dying bit set
+		var got *Obj
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { // core 1: attempt revival, then run epochs
+			defer wg.Done()
+			c := m.CPU(1)
+			got = rc.TryGet(c, o.Weak())
+			for i := 0; i < 20; i++ {
+				c.Tick(epoch)
+				rc.Maintain(c)
+			}
+		}()
+		go func() { // core 0: epoch maintenance (may free the object)
+			defer wg.Done()
+			c := m.CPU(0)
+			for i := 0; i < 20; i++ {
+				c.Tick(epoch)
+				rc.Maintain(c)
+			}
+		}()
+		wg.Wait()
+		if got != nil {
+			if o.Freed() {
+				t.Fatalf("round %d: TryGet returned a freed object", r)
+			}
+			rc.Dec(m.CPU(1), got)
+		}
+		flushEpochs(rc, 6)
+		if !o.Freed() {
+			t.Fatalf("round %d: object leaked", r)
+		}
+	}
+}
+
+func TestTrueCountConservationQuick(t *testing.T) {
+	// Property: for any sequence of (core, object, inc|dec) ops, the true
+	// count equals the model count, before and after any flushes; objects
+	// left at zero are freed within four epochs and others never are.
+	type op struct {
+		Core  uint8
+		ObjID uint8
+		Inc   bool
+		Flush bool
+	}
+	const dead = -1 // model value: observed freed
+	f := func(ops []op) bool {
+		const ncores, nobjs = 4, 8
+		m, rc := newTestRC(ncores)
+		objs := make([]*Obj, nobjs)
+		model := make([]int64, nobjs)
+		for i := range objs {
+			objs[i] = rc.NewObj(1, nil)
+			model[i] = 1
+		}
+		for _, o := range ops {
+			i := int(o.ObjID) % nobjs
+			c := m.CPU(int(o.Core) % ncores)
+			switch {
+			case model[i] == dead:
+				// A freed object is only reachable weakly, and
+				// TryGet must refuse it.
+				if rc.TryGet(c, objs[i].Weak()) != nil {
+					return false
+				}
+			case model[i] == 0:
+				// The count may have hit zero: the only legal
+				// way back up is through the weak reference
+				// (a direct Inc on a zero-count object is a
+				// use-after-free).
+				if got := rc.TryGet(c, objs[i].Weak()); got != nil {
+					model[i]++
+				} else {
+					model[i] = dead
+				}
+			case o.Inc:
+				rc.Inc(c, objs[i])
+				model[i]++
+			default:
+				rc.Dec(c, objs[i])
+				model[i]--
+			}
+			if o.Flush {
+				rc.FlushAll()
+			}
+		}
+		for i, o := range objs {
+			if model[i] == dead {
+				continue
+			}
+			if o.Freed() && model[i] > 0 {
+				return false // freed with live references
+			}
+			if !o.Freed() && rc.TrueCount(o) != model[i] {
+				return false
+			}
+		}
+		flushEpochs(rc, 8)
+		for i, o := range objs {
+			switch {
+			case model[i] == dead && !o.Freed():
+				return false
+			case model[i] > 0 && o.Freed():
+				return false
+			case model[i] == 0 && !o.Freed():
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewSizedValidation(t *testing.T) {
+	m := hw.NewMachine(hw.TestConfig(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSized accepted a non-power-of-two size")
+		}
+	}()
+	NewSized(m, 3)
+}

@@ -1,0 +1,94 @@
+package refcache
+
+import (
+	"sync/atomic"
+
+	"radixvm/internal/hw"
+)
+
+// Weak is a weak reference: a pointer marked with a "dying" bit, plus a
+// back-reference from the object (§3.1, "Weak references"). The radix tree
+// links parent slots to child nodes through Weaks so that an empty node can
+// be revived if it becomes used again before Refcache deletes it.
+//
+// The (pointer, dying) pair is represented as an immutable state struct
+// swapped atomically, giving the same single-CAS semantics as the paper's
+// tagged pointer.
+type Weak struct {
+	state atomic.Pointer[weakState]
+	line  hw.Line
+}
+
+type weakState struct {
+	obj   *Obj
+	dying bool
+}
+
+var deadState = &weakState{} // obj == nil, dying == false
+
+// TryGet attempts to take a reference through the weak reference: it either
+// increments the object's count (reviving it if its global count touched
+// zero) and returns the object, or returns nil if the object has already
+// been deleted. The common path — object alive, not dying — is a pure read
+// of the weak state, so concurrent TryGets of a healthy object do not
+// contend.
+func (rc *Refcache) TryGet(cpu *hw.CPU, w *Weak) *Obj {
+	for {
+		s := w.state.Load()
+		if s == nil || s.obj == nil {
+			cpu.Read(&w.line)
+			return nil
+		}
+		if !s.dying {
+			cpu.Read(&w.line)
+			rc.Inc(cpu, s.obj)
+			return s.obj
+		}
+		// Revive: atomically clear the dying bit, then take a
+		// reference as usual.
+		if w.state.CompareAndSwap(s, &weakState{obj: s.obj}) {
+			cpu.Write(&w.line)
+			rc.Inc(cpu, s.obj)
+			return s.obj
+		}
+	}
+}
+
+// Get returns the referent regardless of the dying bit, without taking a
+// reference. Diagnostic/teardown use only.
+func (w *Weak) Get() *Obj {
+	if s := w.state.Load(); s != nil {
+		return s.obj
+	}
+	return nil
+}
+
+// setDying sets or clears the dying bit, leaving the pointer intact. No-op
+// if the pointer has already been cleared.
+func (w *Weak) setDying(cpu *hw.CPU, dying bool) {
+	for {
+		s := w.state.Load()
+		if s == nil || s.obj == nil || s.dying == dying {
+			return
+		}
+		if w.state.CompareAndSwap(s, &weakState{obj: s.obj, dying: dying}) {
+			cpu.Write(&w.line)
+			return
+		}
+	}
+}
+
+// tryKill attempts the paper's deletion CAS: ⟨obj, true⟩ → ⟨null, false⟩.
+// It succeeds only if the dying bit is still set for o, i.e. no TryGet
+// revived the object since zero detection.
+func (w *Weak) tryKill(cpu *hw.CPU, o *Obj) bool {
+	s := w.state.Load()
+	if s == nil || s.obj != o || !s.dying {
+		return false
+	}
+	if w.state.CompareAndSwap(s, deadState) {
+		cpu.Write(&w.line)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package skiplist
+
+import "sync/atomic"
+
+// markable is an atomic (pointer, marked) pair, the moral equivalent of
+// Java's AtomicMarkableReference: the pair is replaced wholesale by CAS on
+// an immutable cell.
+type markable[V any] struct {
+	p atomic.Pointer[markCell[V]]
+}
+
+type markCell[V any] struct {
+	next   *node[V]
+	marked bool
+}
+
+func (m *markable[V]) load() (*node[V], bool) {
+	c := m.p.Load()
+	if c == nil {
+		return nil, false
+	}
+	return c.next, c.marked
+}
+
+func (m *markable[V]) store(n *node[V], marked bool) {
+	m.p.Store(&markCell[V]{next: n, marked: marked})
+}
+
+// compareAndSwap replaces (oldN, oldMark) with (newN, newMark) atomically.
+func (m *markable[V]) compareAndSwap(oldN *node[V], oldMark bool, newN *node[V], newMark bool) bool {
+	c := m.p.Load()
+	if c == nil || c.next != oldN || c.marked != oldMark {
+		return false
+	}
+	return m.p.CompareAndSwap(c, &markCell[V]{next: newN, marked: newMark})
+}

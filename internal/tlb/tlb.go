@@ -1,0 +1,99 @@
+// Package tlb models per-core translation lookaside buffers. RadixVM's
+// targeted shootdown design needs nothing fancy from the TLB itself — the
+// cleverness is in tracking which cores *may* have an entry (the per-page
+// core set in mapping metadata) — so this TLB is a bounded map with FIFO
+// eviction, safe for the owner core plus shootdown-by-proxy senders.
+package tlb
+
+import "sync"
+
+// DefaultCapacity approximates a real x86 second-level TLB.
+const DefaultCapacity = 1536
+
+// TLB is one core's translation cache.
+type TLB struct {
+	mu       sync.Mutex
+	entries  map[uint64]uint64 // vpn -> pfn
+	order    []uint64          // FIFO eviction order
+	capacity int
+
+	// Flush statistics.
+	Flushes     uint64 // explicit invalidations of present entries
+	FullFlushes uint64
+}
+
+// New creates a TLB with the given capacity (DefaultCapacity if <= 0).
+func New(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &TLB{entries: make(map[uint64]uint64, capacity), capacity: capacity}
+}
+
+// Insert caches vpn→pfn, evicting the oldest entry at capacity.
+func (t *TLB) Insert(vpn, pfn uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.entries[vpn]; !ok {
+		// order may hold stale VPNs flushed earlier; evict until below
+		// capacity.
+		for len(t.entries) >= t.capacity && len(t.order) > 0 {
+			old := t.order[0]
+			t.order = t.order[1:]
+			delete(t.entries, old)
+		}
+		t.order = append(t.order, vpn)
+	}
+	t.entries[vpn] = pfn
+}
+
+// Lookup reports the cached translation for vpn.
+func (t *TLB) Lookup(vpn uint64) (uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pfn, ok := t.entries[vpn]
+	return pfn, ok
+}
+
+// FlushPage invalidates vpn (INVLPG) and reports whether it was present.
+func (t *TLB) FlushPage(vpn uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.entries[vpn]; ok {
+		delete(t.entries, vpn)
+		t.Flushes++
+		return true
+	}
+	return false
+}
+
+// FlushRange invalidates [lo, hi) and returns the number of entries dropped.
+func (t *TLB) FlushRange(lo, hi uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for vpn := range t.entries {
+		if vpn >= lo && vpn < hi {
+			delete(t.entries, vpn)
+			n++
+		}
+	}
+	t.Flushes += uint64(n)
+	return n
+}
+
+// FlushAll empties the TLB (CR3 reload).
+func (t *TLB) FlushAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = make(map[uint64]uint64, t.capacity)
+	t.order = t.order[:0]
+	t.FullFlushes++
+}
+
+// Len returns the number of cached translations.
+func (t *TLB) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

@@ -1,0 +1,94 @@
+package tlb
+
+import "testing"
+
+func TestInsertLookup(t *testing.T) {
+	tl := New(4)
+	tl.Insert(1, 100)
+	if pfn, ok := tl.Lookup(1); !ok || pfn != 100 {
+		t.Fatalf("Lookup = %d, %v", pfn, ok)
+	}
+	if _, ok := tl.Lookup(2); ok {
+		t.Fatal("hit on absent vpn")
+	}
+	tl.Insert(1, 200) // update in place
+	if pfn, _ := tl.Lookup(1); pfn != 200 {
+		t.Fatalf("update lost: %d", pfn)
+	}
+	if tl.Len() != 1 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	tl := New(2)
+	tl.Insert(1, 1)
+	tl.Insert(2, 2)
+	tl.Insert(3, 3) // evicts vpn 1
+	if _, ok := tl.Lookup(1); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if tl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tl.Len())
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	tl := New(0)
+	tl.Insert(9, 90)
+	if !tl.FlushPage(9) {
+		t.Fatal("flush of present entry returned false")
+	}
+	if tl.FlushPage(9) {
+		t.Fatal("flush of absent entry returned true")
+	}
+	if tl.Flushes != 1 {
+		t.Fatalf("Flushes = %d", tl.Flushes)
+	}
+}
+
+func TestFlushRange(t *testing.T) {
+	tl := New(0)
+	for vpn := uint64(10); vpn < 20; vpn++ {
+		tl.Insert(vpn, vpn)
+	}
+	if n := tl.FlushRange(12, 15); n != 3 {
+		t.Fatalf("FlushRange = %d, want 3", n)
+	}
+	if _, ok := tl.Lookup(12); ok {
+		t.Fatal("flushed entry still present")
+	}
+	if _, ok := tl.Lookup(15); !ok {
+		t.Fatal("entry outside range flushed")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tl := New(0)
+	tl.Insert(1, 1)
+	tl.Insert(2, 2)
+	tl.FlushAll()
+	if tl.Len() != 0 || tl.FullFlushes != 1 {
+		t.Fatalf("Len=%d FullFlushes=%d", tl.Len(), tl.FullFlushes)
+	}
+	// Reuse after a full flush.
+	tl.Insert(3, 3)
+	if _, ok := tl.Lookup(3); !ok {
+		t.Fatal("insert after FlushAll lost")
+	}
+}
+
+func TestStaleOrderAfterFlushDoesNotCorrupt(t *testing.T) {
+	tl := New(2)
+	tl.Insert(1, 1)
+	tl.Insert(2, 2)
+	tl.FlushPage(1) // order still remembers vpn 1
+	tl.Insert(3, 3)
+	tl.Insert(4, 4)
+	if tl.Len() > 2 {
+		t.Fatalf("capacity exceeded: %d", tl.Len())
+	}
+	if _, ok := tl.Lookup(4); !ok {
+		t.Fatal("newest entry lost")
+	}
+}

@@ -1,0 +1,222 @@
+package vm
+
+import (
+	"radixvm/internal/counter"
+	"radixvm/internal/hw"
+	"radixvm/internal/mem"
+	"radixvm/internal/radix"
+	"radixvm/internal/refcache"
+)
+
+// Mapping is the per-page mapping metadata stored in the radix tree
+// (§3.2): protection, backing object, the canonical pointer to the
+// physical page once faulted, and the precise set of cores that may have
+// the translation cached ("the TLB shootdown list in the mapping metadata").
+//
+// A Mapping is written so that it is initially identical for every page of
+// an mmap — Start is the mapping's first VPN, so file offsets derive from
+// (vpn - Start) rather than being stored per page — which is what lets
+// large mappings fold into a handful of radix slots.
+type Mapping struct {
+	Prot  Prot
+	Back  Backing
+	Start uint64 // first VPN of the mmap that created this metadata
+
+	// Set only on per-page (leaf) copies, by pagefault:
+	Frame    *mem.Frame
+	TLBCores hw.CoreSet
+	altCtr   counter.Counter
+}
+
+func cloneMapping(v *Mapping) *Mapping {
+	c := *v
+	return &c
+}
+
+// AddressSpace is a RadixVM address space.
+type AddressSpace struct {
+	m     *hw.Machine
+	rc    *refcache.Refcache
+	alloc *mem.Allocator
+	tree  *radix.Tree[Mapping]
+	mmu   MMU
+
+	active ActiveSet
+}
+
+// New creates an address space on machine m. mmu selects the paper's
+// design (NewPerCoreMMU) or the traditional one (NewSharedMMU, the Figure
+// 9 ablation); nil defaults to per-core.
+func New(m *hw.Machine, rc *refcache.Refcache, alloc *mem.Allocator, mmu MMU) *AddressSpace {
+	if mmu == nil {
+		mmu = NewPerCoreMMU(m)
+	}
+	return &AddressSpace{
+		m:     m,
+		rc:    rc,
+		alloc: alloc,
+		tree:  radix.New[Mapping](m, rc, cloneMapping),
+		mmu:   mmu,
+	}
+}
+
+// Name implements System.
+func (as *AddressSpace) Name() string { return "radixvm" }
+
+// MMU returns the address space's MMU (for stats and Figure 9 harnesses).
+func (as *AddressSpace) MMU() MMU { return as.mmu }
+
+// Tree exposes the radix tree's memory accounting (Table 2).
+func (as *AddressSpace) Tree() *radix.Tree[Mapping] { return as.tree }
+
+// PageTableBytes implements System.
+func (as *AddressSpace) PageTableBytes() uint64 { return as.mmu.Bytes() }
+
+func (as *AddressSpace) noteActive(cpu *hw.CPU) { as.active.Note(cpu.ID()) }
+
+func (as *AddressSpace) activeSet() hw.CoreSet { return as.active.Get() }
+
+func checkVMRange(vpn, npages uint64) error {
+	if npages == 0 || vpn+npages > radix.MaxVPN || vpn+npages < vpn {
+		return ErrRange
+	}
+	return nil
+}
+
+// Mmap implements System (§3.4): lock the range left-to-right, unmap any
+// existing mappings inside it, write the new metadata (folded into
+// interior slots where the range covers whole subtrees), and unlock. No
+// physical pages are allocated — that is pagefault's job.
+func (as *AddressSpace) Mmap(cpu *hw.CPU, vpn, npages uint64, opts MapOpts) error {
+	if err := checkVMRange(vpn, npages); err != nil {
+		return err
+	}
+	cpu.Stats().Mmaps++
+	cpu.Tick(RadixSyscallCost)
+	as.noteActive(cpu)
+
+	r := as.tree.LockRange(cpu, vpn, vpn+npages)
+	as.unmapLocked(cpu, r)
+	tmpl := &Mapping{
+		Prot:  opts.Prot,
+		Back:  Backing{File: opts.File, Offset: opts.Offset},
+		Start: vpn,
+	}
+	for i := range r.Entries() {
+		r.Entry(i).Set(as.tree.Clone(tmpl))
+	}
+	r.Unlock()
+	return nil
+}
+
+// Munmap implements System (§3.4): lock the range, gather physical page
+// references and the cores that faulted pages in, clear the metadata, shoot
+// down exactly those cores' page tables and TLBs, then drop the page
+// references and release the locks. After Munmap returns no core can
+// access the range.
+func (as *AddressSpace) Munmap(cpu *hw.CPU, vpn, npages uint64) error {
+	if err := checkVMRange(vpn, npages); err != nil {
+		return err
+	}
+	cpu.Stats().Munmaps++
+	cpu.Tick(RadixSyscallCost)
+	as.noteActive(cpu)
+
+	r := as.tree.LockRange(cpu, vpn, vpn+npages)
+	as.unmapLocked(cpu, r)
+	r.Unlock()
+	return nil
+}
+
+// unmapLocked clears every mapping in the locked range: gather, shoot
+// down, then release references — in that order, so the physical pages
+// cannot be reused while any TLB still maps them.
+func (as *AddressSpace) unmapLocked(cpu *hw.CPU, r *radix.Range[Mapping]) {
+	var frames []*mem.Frame
+	var ctrs []counter.Counter
+	var targets hw.CoreSet
+	for i := range r.Entries() {
+		e := r.Entry(i)
+		v := e.Value()
+		if v == nil {
+			continue
+		}
+		if v.Frame != nil {
+			frames = append(frames, v.Frame)
+			if v.altCtr != nil {
+				ctrs = append(ctrs, v.altCtr)
+			}
+		}
+		targets.Union(v.TLBCores)
+		e.Set(nil)
+	}
+	if len(frames) == 0 && targets.Empty() {
+		return // nothing was ever faulted: no shootdown needed at all
+	}
+	as.mmu.Shootdown(cpu, r.Lo, r.Hi, targets, as.activeSet())
+	for _, f := range frames {
+		as.alloc.DecRef(cpu, f)
+	}
+	for _, c := range ctrs {
+		c.Dec(cpu)
+	}
+}
+
+// PageFault implements the §3.4 fault path: lock the page's metadata,
+// allocate (or look up, for file mappings) the physical page if this is
+// the first fault, install the translation in the local core's page table,
+// and record this core in the page's shootdown set.
+func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
+	cpu.Stats().PageFaults++
+	cpu.Tick(FaultCost)
+	as.noteActive(cpu)
+
+	r := as.tree.LockPage(cpu, vpn)
+	defer r.Unlock()
+	e := r.Entry(0)
+	v := e.Value()
+	if v == nil {
+		return ErrSegv // unmapped, or munmap got the lock first (§3.4)
+	}
+	if v.Frame == nil {
+		if v.Back.File != nil {
+			fr, ctr := v.Back.File.Page(cpu, v.Back.Offset+(vpn-v.Start))
+			as.alloc.IncRef(cpu, fr)
+			if ctr != nil {
+				ctr.Inc(cpu)
+			}
+			v.Frame, v.altCtr = fr, ctr
+		} else {
+			v.Frame = as.alloc.Alloc(cpu)
+		}
+	} else {
+		cpu.Stats().FillFaults++
+		cpu.Tick(FillCost)
+	}
+	as.mmu.Fill(cpu, vpn, v.Frame.PFN)
+	v.TLBCores.Add(cpu.ID())
+	e.Set(v)
+	return nil
+}
+
+// Access implements System: a user-level memory access. TLB hit, then
+// hardware walk of this core's page table, then page fault.
+func (as *AddressSpace) Access(cpu *hw.CPU, vpn uint64, write bool) error {
+	as.noteActive(cpu)
+	t := as.mmu.TLB(cpu.ID())
+	if _, ok := t.Lookup(vpn); ok {
+		cpu.Tick(AccessCost)
+		return nil
+	}
+	if pfn, ok := as.mmu.Lookup(cpu, vpn); ok {
+		cpu.Tick(WalkCost)
+		t.Insert(vpn, pfn)
+		return nil
+	}
+	return as.PageFault(cpu, vpn, write)
+}
+
+// Lookup returns the mapping metadata covering vpn (diagnostics/tests).
+func (as *AddressSpace) Lookup(cpu *hw.CPU, vpn uint64) *Mapping {
+	return as.tree.Lookup(cpu, vpn)
+}

@@ -1,0 +1,198 @@
+package vm
+
+import (
+	"radixvm/internal/hw"
+	"radixvm/internal/pagetable"
+	"radixvm/internal/tlb"
+)
+
+// MMU abstracts the hardware mapping layer under an address space, the
+// paper's "MMU abstraction" component (Table 1): it is "implemented both
+// for per-core page tables, which provide targeted TLB shootdowns, and for
+// traditional shared page tables".
+type MMU interface {
+	// Name identifies the mode ("percore" or "shared").
+	Name() string
+	// Fill installs vpn→pfn for the faulting core and caches it in that
+	// core's TLB.
+	Fill(cpu *hw.CPU, vpn, pfn uint64)
+	// Lookup performs the hardware walk a TLB miss would: it consults
+	// the faulting core's view of the page tables.
+	Lookup(cpu *hw.CPU, vpn uint64) (uint64, bool)
+	// TLB returns core id's translation cache.
+	TLB(id int) *tlb.TLB
+	// Shootdown removes [lo, hi) translations. precise is the set of
+	// cores the mapping metadata saw fault the range in; active is every
+	// core using the address space. Per-core tables interrupt only
+	// precise; shared tables must broadcast to active. The caller's own
+	// core is handled synchronously, not by IPI.
+	Shootdown(cpu *hw.CPU, lo, hi uint64, precise, active hw.CoreSet)
+	// Bytes reports page-table memory (Table 2 / §5.4 accounting).
+	Bytes() uint64
+}
+
+// PerCoreMMU gives every core its own page table, so the mapping metadata
+// knows exactly which cores may cache each page and munmap interrupts only
+// those — zero IPIs when a region never left its core (§3.3).
+type PerCoreMMU struct {
+	m    *hw.Machine
+	pts  []*pagetable.PageTable
+	tlbs []*tlb.TLB
+}
+
+// NewPerCoreMMU builds the per-core-page-table MMU. Tables are allocated
+// lazily, matching the paper's observation that most applications touch a
+// small fraction of the address space per core.
+func NewPerCoreMMU(m *hw.Machine) *PerCoreMMU {
+	mmu := &PerCoreMMU{m: m}
+	mmu.pts = make([]*pagetable.PageTable, m.NCores())
+	mmu.tlbs = make([]*tlb.TLB, m.NCores())
+	for i := range mmu.tlbs {
+		mmu.tlbs[i] = tlb.New(0)
+	}
+	return mmu
+}
+
+// Name implements MMU.
+func (mmu *PerCoreMMU) Name() string { return "percore" }
+
+func (mmu *PerCoreMMU) pt(id int) *pagetable.PageTable {
+	if mmu.pts[id] == nil {
+		mmu.pts[id] = pagetable.New(mmu.m)
+	}
+	return mmu.pts[id]
+}
+
+// Fill implements MMU: only the faulting core's table is written, so
+// faults on different cores share nothing.
+func (mmu *PerCoreMMU) Fill(cpu *hw.CPU, vpn, pfn uint64) {
+	mmu.pt(cpu.ID()).Map(cpu, vpn, pfn)
+	mmu.tlbs[cpu.ID()].Insert(vpn, pfn)
+}
+
+// Lookup implements MMU.
+func (mmu *PerCoreMMU) Lookup(cpu *hw.CPU, vpn uint64) (uint64, bool) {
+	if mmu.pts[cpu.ID()] == nil {
+		return 0, false
+	}
+	pte, ok := mmu.pt(cpu.ID()).Lookup(cpu, vpn)
+	if !ok {
+		return 0, false
+	}
+	return pte.PFN, true
+}
+
+// TLB implements MMU.
+func (mmu *PerCoreMMU) TLB(id int) *tlb.TLB { return mmu.tlbs[id] }
+
+// Shootdown implements MMU: targeted. The unmapping core clears its own
+// state synchronously and interrupts exactly the cores the metadata saw.
+func (mmu *PerCoreMMU) Shootdown(cpu *hw.CPU, lo, hi uint64, precise, _ hw.CoreSet) {
+	self := cpu.ID()
+	if precise.Has(self) {
+		mmu.pt(self).UnmapRange(cpu, lo, hi)
+		mmu.tlbs[self].FlushRange(lo, hi)
+		precise.Remove(self)
+	}
+	if precise.Empty() {
+		return // the common local case: no shootdown at all (§3.3)
+	}
+	cpu.Stats().Shootdowns++
+	cpu.SendIPIs(precise, func(t *hw.CPU) {
+		// Executed by proxy; cost charged to the target by SendIPIs.
+		mmu.pt(t.ID()).UnmapRange(cpu, lo, hi)
+		mmu.tlbs[t.ID()].FlushRange(lo, hi)
+	})
+}
+
+// Bytes implements MMU: the sum over per-core tables — the memory overhead
+// §5.4 quantifies.
+func (mmu *PerCoreMMU) Bytes() uint64 {
+	var b uint64
+	for _, pt := range mmu.pts {
+		if pt != nil {
+			b += pt.Bytes()
+		}
+	}
+	return b
+}
+
+// SharedMMU is the traditional design: one page table for the whole
+// address space. The hardware gives no hint of which TLBs cached what, so
+// every unmap broadcasts to every core using the address space — Figure
+// 9's "Shared" curves.
+type SharedMMU struct {
+	m    *hw.Machine
+	pt   *pagetable.PageTable
+	tlbs []*tlb.TLB
+}
+
+// NewSharedMMU builds the shared-page-table MMU.
+func NewSharedMMU(m *hw.Machine) *SharedMMU {
+	mmu := &SharedMMU{m: m, pt: pagetable.New(m)}
+	mmu.tlbs = make([]*tlb.TLB, m.NCores())
+	for i := range mmu.tlbs {
+		mmu.tlbs[i] = tlb.New(0)
+	}
+	return mmu
+}
+
+// Name implements MMU.
+func (mmu *SharedMMU) Name() string { return "shared" }
+
+// Fill implements MMU. Writing the shared table contends on its PTE lines.
+func (mmu *SharedMMU) Fill(cpu *hw.CPU, vpn, pfn uint64) {
+	mmu.pt.MapIfAbsent(cpu, vpn, pfn)
+	mmu.tlbs[cpu.ID()].Insert(vpn, pfn)
+}
+
+// Lookup implements MMU.
+func (mmu *SharedMMU) Lookup(cpu *hw.CPU, vpn uint64) (uint64, bool) {
+	pte, ok := mmu.pt.Lookup(cpu, vpn)
+	if !ok {
+		return 0, false
+	}
+	return pte.PFN, true
+}
+
+// TLB implements MMU.
+func (mmu *SharedMMU) TLB(id int) *tlb.TLB { return mmu.tlbs[id] }
+
+// PageTable exposes the shared table (baseline VMs clear it themselves to
+// collect frames before the shootdown).
+func (mmu *SharedMMU) PageTable() *pagetable.PageTable { return mmu.pt }
+
+// Shootdown implements MMU: broadcast. The shared table is cleared once
+// (by the caller or here), but every active core's TLB must be flushed.
+func (mmu *SharedMMU) Shootdown(cpu *hw.CPU, lo, hi uint64, _, active hw.CoreSet) {
+	mmu.pt.UnmapRange(cpu, lo, hi)
+	self := cpu.ID()
+	mmu.tlbs[self].FlushRange(lo, hi)
+	active.Remove(self)
+	if active.Empty() {
+		return
+	}
+	cpu.Stats().Shootdowns++
+	cpu.SendIPIs(active, func(t *hw.CPU) {
+		mmu.tlbs[t.ID()].FlushRange(lo, hi)
+	})
+}
+
+// ShootdownTLBOnly broadcasts TLB invalidations for [lo, hi) without
+// touching the page table — for baseline VMs that already cleared the
+// shared table themselves while collecting the frames to free.
+func (mmu *SharedMMU) ShootdownTLBOnly(cpu *hw.CPU, lo, hi uint64, active hw.CoreSet) {
+	self := cpu.ID()
+	mmu.tlbs[self].FlushRange(lo, hi)
+	active.Remove(self)
+	if active.Empty() {
+		return
+	}
+	cpu.Stats().Shootdowns++
+	cpu.SendIPIs(active, func(t *hw.CPU) {
+		mmu.tlbs[t.ID()].FlushRange(lo, hi)
+	})
+}
+
+// Bytes implements MMU.
+func (mmu *SharedMMU) Bytes() uint64 { return mmu.pt.Bytes() }

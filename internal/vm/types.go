@@ -1,0 +1,174 @@
+// Package vm implements RadixVM's address space (§3.3–3.4): mmap, munmap,
+// and pagefault over the radix tree, with per-page mapping metadata,
+// precise range locking, per-core page tables, and targeted TLB shootdown.
+// It also defines the System interface and shared types (files, the page
+// cache, protection bits) used by the Linux-like and Bonsai-like baselines.
+package vm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"radixvm/internal/counter"
+	"radixvm/internal/hw"
+	"radixvm/internal/mem"
+)
+
+// Errors returned by VM operations.
+var (
+	// ErrSegv reports an access to an unmapped page (the fault handler
+	// would deliver SIGSEGV).
+	ErrSegv = errors.New("vm: segmentation violation")
+	// ErrRange reports an mmap/munmap outside the addressable region.
+	ErrRange = errors.New("vm: address range out of bounds")
+)
+
+// Prot is a page protection mask.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+)
+
+// MapOpts describes an mmap request.
+type MapOpts struct {
+	Prot Prot
+	// File, when non-nil, maps the file's pages starting at Offset
+	// (pages, not bytes); otherwise the mapping is anonymous.
+	File   *File
+	Offset uint64
+}
+
+// System is the interface all three VM systems implement; the workloads
+// and the benchmark harness are written against it.
+//
+// Addresses are in pages (VPNs), as everywhere in this repository.
+type System interface {
+	// Name identifies the system in benchmark output (radixvm, linux,
+	// bonsai).
+	Name() string
+	// Mmap maps [vpn, vpn+npages), replacing any existing mappings.
+	Mmap(cpu *hw.CPU, vpn, npages uint64, opts MapOpts) error
+	// Munmap removes [vpn, vpn+npages): after it returns, no core can
+	// access any page of the range.
+	Munmap(cpu *hw.CPU, vpn, npages uint64) error
+	// Access models a user-level load/store at vpn: TLB hit, hardware
+	// page walk, or page fault as appropriate. ErrSegv if unmapped.
+	Access(cpu *hw.CPU, vpn uint64, write bool) error
+	// PageTableBytes reports current hardware page table memory.
+	PageTableBytes() uint64
+}
+
+// Per-operation software overheads in cycles, chosen so the shapes and the
+// paper's sequential-performance relation hold (RadixVM within ~8% of
+// Linux at one core, §5.3).
+const (
+	// LinuxSyscallCost is mmap/munmap entry overhead in the baselines.
+	LinuxSyscallCost = 1000
+	// RadixSyscallCost is slightly higher: the paper's prototype is "not
+	// as optimized as Linux" sequentially.
+	RadixSyscallCost = 1080
+	// FaultCost is the trap + handler entry/exit overhead.
+	FaultCost = 900
+	// FillCost is the extra work of a fault that only fills a PTE
+	// (paper: "these 'fill' faults take only 1,200 cycles" at 80 cores).
+	FillCost = 300
+	// AccessCost is a plain user-level memory access that hits the TLB.
+	AccessCost = 4
+	// WalkCost approximates a hardware page walk on a TLB miss that
+	// finds a present PTE.
+	WalkCost = 40
+)
+
+// File is a mappable object backed by the (simulated) page cache: all
+// mappings of the same file offset share one physical frame, which is what
+// makes the Figure 8 workload hammer a single reference count.
+type File struct {
+	alloc *mem.Allocator
+	mu    sync.Mutex
+	pages map[uint64]*mem.Frame
+
+	// altNew, when set, attaches a baseline reference counter (shared or
+	// SNZI) to each page for the Figure 8 comparison; the frame's native
+	// Refcache count still manages its lifetime.
+	altNew func() counter.Counter
+	altCtr map[uint64]counter.Counter
+}
+
+// NewFile creates a file whose pages come from alloc.
+func NewFile(alloc *mem.Allocator) *File {
+	return &File{
+		alloc:  alloc,
+		pages:  map[uint64]*mem.Frame{},
+		altCtr: map[uint64]counter.Counter{},
+	}
+}
+
+// NewFileWithCounter creates a file whose per-page reference counts are
+// additionally tracked by baseline counters from newCtr (Figure 8).
+func NewFileWithCounter(alloc *mem.Allocator, newCtr func() counter.Counter) *File {
+	f := NewFile(alloc)
+	f.altNew = newCtr
+	return f
+}
+
+// Page returns the frame backing the file page at off, allocating it on
+// first use, plus the page's baseline counter if configured. The frame's
+// reference count is NOT incremented; the caller does that under its own
+// locking discipline.
+func (f *File) Page(cpu *hw.CPU, off uint64) (*mem.Frame, counter.Counter) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fr, ok := f.pages[off]
+	if !ok {
+		fr = f.alloc.Alloc(cpu) // page cache holds the base reference
+		f.pages[off] = fr
+		if f.altNew != nil {
+			f.altCtr[off] = f.altNew()
+		}
+	}
+	return fr, f.altCtr[off]
+}
+
+// Backing identifies what is behind a mapping.
+type Backing struct {
+	File   *File  // nil for anonymous memory
+	Offset uint64 // file page offset of the mapping's first page
+}
+
+// ActiveSet tracks which cores have ever used an address space — the
+// equivalent of Linux's mm_cpumask. Conservative broadcast shootdowns must
+// cover every core in it, including cores whose accesses were satisfied
+// purely by hardware page walks (they still populated their TLBs). Note is
+// cheap after the first call per core.
+type ActiveSet struct {
+	flags [hw.MaxCores]atomicBool
+	mu    sync.Mutex
+	set   hw.CoreSet
+}
+
+type atomicBool struct{ v atomic.Uint32 }
+
+// Note records core id as active.
+func (a *ActiveSet) Note(id int) {
+	if a.flags[id].v.Load() != 0 {
+		return
+	}
+	a.mu.Lock()
+	if a.flags[id].v.Load() == 0 {
+		a.set.Add(id)
+		a.flags[id].v.Store(1)
+	}
+	a.mu.Unlock()
+}
+
+// Get returns a copy of the active core set.
+func (a *ActiveSet) Get() hw.CoreSet {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.set
+}

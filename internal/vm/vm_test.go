@@ -1,0 +1,382 @@
+package vm_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"radixvm/internal/bonsaivm"
+	"radixvm/internal/hw"
+	"radixvm/internal/linuxvm"
+	"radixvm/internal/mem"
+	"radixvm/internal/refcache"
+	"radixvm/internal/vm"
+)
+
+type world struct {
+	m     *hw.Machine
+	rc    *refcache.Refcache
+	alloc *mem.Allocator
+}
+
+func newWorld(ncores int) *world {
+	m := hw.NewMachine(hw.TestConfig(ncores))
+	rc := refcache.New(m)
+	return &world{m: m, rc: rc, alloc: mem.NewAllocator(m, rc)}
+}
+
+func (w *world) quiesce() {
+	for i := 0; i < 20; i++ {
+		w.rc.FlushAll()
+	}
+}
+
+// systems builds one of each VM system over the same world.
+func systems(w *world) []vm.System {
+	return []vm.System{
+		vm.New(w.m, w.rc, w.alloc, nil),
+		linuxvm.New(w.m, w.rc, w.alloc),
+		bonsaivm.New(w.m, w.rc, w.alloc),
+	}
+}
+
+func TestMapAccessUnmapAllSystems(t *testing.T) {
+	for _, sysName := range []string{"radixvm", "linux", "bonsai"} {
+		t.Run(sysName, func(t *testing.T) {
+			w := newWorld(2)
+			var sys vm.System
+			for _, s := range systems(w) {
+				if s.Name() == sysName {
+					sys = s
+				}
+			}
+			c := m0(w)
+			if err := sys.Access(c, 100, true); !errors.Is(err, vm.ErrSegv) {
+				t.Fatalf("access before mmap: %v", err)
+			}
+			if err := sys.Mmap(c, 100, 10, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}); err != nil {
+				t.Fatal(err)
+			}
+			for vpn := uint64(100); vpn < 110; vpn++ {
+				if err := sys.Access(c, vpn, true); err != nil {
+					t.Fatalf("access %d: %v", vpn, err)
+				}
+			}
+			// Second access round: TLB hits, no new faults.
+			faults := c.Stats().PageFaults
+			for vpn := uint64(100); vpn < 110; vpn++ {
+				if err := sys.Access(c, vpn, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if c.Stats().PageFaults != faults {
+				t.Fatalf("re-access faulted: %d -> %d", faults, c.Stats().PageFaults)
+			}
+			if err := sys.Munmap(c, 100, 10); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Access(c, 105, false); !errors.Is(err, vm.ErrSegv) {
+				t.Fatalf("access after munmap: %v", err)
+			}
+			w.quiesce()
+			if live := w.alloc.Live(); live != 0 {
+				t.Fatalf("%d frames leaked", live)
+			}
+		})
+	}
+}
+
+func m0(w *world) *hw.CPU { return w.m.CPU(0) }
+
+func TestMunmapOrderingInvariant(t *testing.T) {
+	// After Munmap returns, no core's TLB or page table maps the range —
+	// even cores that faulted the pages in. This is the paper's central
+	// correctness requirement.
+	for i, sys := range systems(newWorld(4)) {
+		_ = i
+		w := newWorld(4)
+		sys = systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			c0, c1 := w.m.CPU(0), w.m.CPU(1)
+			if err := sys.Mmap(c0, 1000, 4, vm.MapOpts{Prot: vm.ProtWrite}); err != nil {
+				t.Fatal(err)
+			}
+			// Both cores fault the pages in.
+			for vpn := uint64(1000); vpn < 1004; vpn++ {
+				if err := sys.Access(c0, vpn, true); err != nil {
+					t.Fatal(err)
+				}
+				if err := sys.Access(c1, vpn, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := sys.Munmap(c0, 1000, 4); err != nil {
+				t.Fatal(err)
+			}
+			// Core 1 must fault (and fail), not silently hit a stale
+			// translation.
+			if err := sys.Access(c1, 1002, false); !errors.Is(err, vm.ErrSegv) {
+				t.Fatalf("stale translation survived munmap: %v", err)
+			}
+		})
+	}
+}
+
+func TestPartialMunmapSplitsMapping(t *testing.T) {
+	for i := range systems(newWorld(1)) {
+		w := newWorld(1)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			c := m0(w)
+			if err := sys.Mmap(c, 200, 100, vm.MapOpts{Prot: vm.ProtWrite}); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Munmap(c, 230, 10); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Access(c, 229, true); err != nil {
+				t.Fatalf("left piece lost: %v", err)
+			}
+			if err := sys.Access(c, 235, true); !errors.Is(err, vm.ErrSegv) {
+				t.Fatalf("hole still mapped: %v", err)
+			}
+			if err := sys.Access(c, 240, true); err != nil {
+				t.Fatalf("right piece lost: %v", err)
+			}
+		})
+	}
+}
+
+func TestFileMappingsShareFrames(t *testing.T) {
+	for i := range systems(newWorld(2)) {
+		w := newWorld(2)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			f := vm.NewFile(w.alloc)
+			c0, c1 := w.m.CPU(0), w.m.CPU(1)
+			if err := sys.Mmap(c0, 500, 1, vm.MapOpts{Prot: vm.ProtRead, File: f}); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Mmap(c1, 600, 1, vm.MapOpts{Prot: vm.ProtRead, File: f}); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Access(c0, 500, false); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Access(c1, 600, false); err != nil {
+				t.Fatal(err)
+			}
+			// One file page: exactly one frame despite two mappings.
+			if created := w.alloc.Created(); created != 1 {
+				t.Fatalf("file page duplicated: %d frames", created)
+			}
+			// Unmapping one alias must not kill the shared frame.
+			if err := sys.Munmap(c0, 500, 1); err != nil {
+				t.Fatal(err)
+			}
+			w.quiesce()
+			if live := w.alloc.Live(); live != 1 {
+				t.Fatalf("shared frame freed early or leaked: live=%d", live)
+			}
+		})
+	}
+}
+
+func TestRemapReplacesExisting(t *testing.T) {
+	for i := range systems(newWorld(1)) {
+		w := newWorld(1)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			c := m0(w)
+			if err := sys.Mmap(c, 50, 10, vm.MapOpts{Prot: vm.ProtWrite}); err != nil {
+				t.Fatal(err)
+			}
+			for vpn := uint64(50); vpn < 60; vpn++ {
+				if err := sys.Access(c, vpn, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			faults := c.Stats().PageFaults
+			// Overlapping re-mmap: old frames released, pages fault anew.
+			if err := sys.Mmap(c, 55, 10, vm.MapOpts{Prot: vm.ProtWrite}); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Access(c, 57, true); err != nil {
+				t.Fatal(err)
+			}
+			if c.Stats().PageFaults == faults {
+				t.Fatal("remapped page did not fault freshly")
+			}
+			w.quiesce()
+			// 10 still-mapped from first (50..55 live, 5 pages) + 1
+			// faulted on the remap. Frames for 55..60's first
+			// generation must have been freed.
+			if live := w.alloc.Live(); live != 6 {
+				t.Fatalf("Live = %d, want 6", live)
+			}
+		})
+	}
+}
+
+func TestRadixVMTargetedShootdown(t *testing.T) {
+	// A region only core 0 touched: munmap from core 0 sends no IPIs.
+	// Then a region both touched: exactly one IPI to the other core.
+	w := newWorld(4)
+	as := vm.New(w.m, w.rc, w.alloc, nil)
+	c0, c1 := w.m.CPU(0), w.m.CPU(1)
+	must(t, as.Mmap(c0, 100, 4, vm.MapOpts{Prot: vm.ProtWrite}))
+	for vpn := uint64(100); vpn < 104; vpn++ {
+		must(t, as.Access(c0, vpn, true))
+	}
+	must(t, as.Munmap(c0, 100, 4))
+	if got := c0.Stats().IPIsSent; got != 0 {
+		t.Fatalf("local-only munmap sent %d IPIs, want 0", got)
+	}
+
+	must(t, as.Mmap(c0, 200, 4, vm.MapOpts{Prot: vm.ProtWrite}))
+	for vpn := uint64(200); vpn < 204; vpn++ {
+		must(t, as.Access(c0, vpn, true))
+		must(t, as.Access(c1, vpn, true))
+	}
+	must(t, as.Munmap(c0, 200, 4))
+	if got := c0.Stats().IPIsSent; got != 1 {
+		t.Fatalf("two-core munmap sent %d IPIs, want exactly 1", got)
+	}
+	// Cores 2,3 were active in the address space? They weren't; but even
+	// if they were, they never faulted these pages. Verify precision by
+	// activating them first.
+	must(t, as.Mmap(w.m.CPU(2), 300, 1, vm.MapOpts{}))
+	must(t, as.Mmap(c0, 400, 4, vm.MapOpts{Prot: vm.ProtWrite}))
+	must(t, as.Access(c0, 400, true))
+	must(t, as.Access(c1, 400, true))
+	before := c0.Stats().IPIsSent
+	must(t, as.Munmap(c0, 400, 4))
+	if got := c0.Stats().IPIsSent - before; got != 1 {
+		t.Fatalf("munmap interrupted %d cores, want 1 (precise targeting)", got)
+	}
+}
+
+func TestLinuxBroadcastShootdown(t *testing.T) {
+	// Linux must interrupt every active core, even ones that never
+	// touched the region — the conservative design RadixVM fixes.
+	w := newWorld(4)
+	as := linuxvm.New(w.m, w.rc, w.alloc)
+	c0 := w.m.CPU(0)
+	for i := 1; i < 4; i++ {
+		// Activate cores 1..3 in the address space elsewhere.
+		must(t, as.Mmap(w.m.CPU(i), uint64(1000*i), 1, vm.MapOpts{Prot: vm.ProtWrite}))
+		must(t, as.Access(w.m.CPU(i), uint64(1000*i), true))
+	}
+	must(t, as.Mmap(c0, 100, 1, vm.MapOpts{Prot: vm.ProtWrite}))
+	must(t, as.Access(c0, 100, true))
+	must(t, as.Munmap(c0, 100, 1))
+	if got := c0.Stats().IPIsSent; got != 3 {
+		t.Fatalf("broadcast sent %d IPIs, want 3 (all active cores)", got)
+	}
+}
+
+func TestRadixVMDisjointOpsZeroContention(t *testing.T) {
+	// End-to-end headline: cores doing mmap/fault/munmap in disjoint
+	// address ranges move no cache lines between them.
+	const ncores = 4
+	w := newWorld(ncores)
+	as := vm.New(w.m, w.rc, w.alloc, nil)
+	base := func(id int) uint64 { return uint64(id*8+8) << 18 } // distinct subtrees & lines
+	warm := func(c *hw.CPU) {
+		lo := base(c.ID())
+		must(t, as.Mmap(c, lo, 4, vm.MapOpts{Prot: vm.ProtWrite}))
+		for v := lo; v < lo+4; v++ {
+			must(t, as.Access(c, v, true))
+		}
+		must(t, as.Munmap(c, lo, 4))
+	}
+	for i := 0; i < ncores; i++ {
+		warm(w.m.CPU(i))
+		warm(w.m.CPU(i)) // twice: frames + weak lines settle
+	}
+	w.m.ResetStats()
+	hw.RunGang(w.m, ncores, 2000, func(c *hw.CPU, g *hw.Gang) {
+		lo := base(c.ID())
+		for k := 0; k < 100; k++ {
+			must(t, as.Mmap(c, lo, 4, vm.MapOpts{Prot: vm.ProtWrite}))
+			for v := lo; v < lo+4; v++ {
+				must(t, as.Access(c, v, true))
+			}
+			must(t, as.Munmap(c, lo, 4))
+			g.Sync(c)
+		}
+	})
+	if tr := w.m.TotalStats().Transfers; tr != 0 {
+		t.Errorf("disjoint VM ops moved %d cache lines, want 0", tr)
+	}
+	if ipi := w.m.TotalStats().IPIsSent; ipi != 0 {
+		t.Errorf("disjoint VM ops sent %d IPIs, want 0", ipi)
+	}
+}
+
+func TestConcurrentFaultVsMunmapRace(t *testing.T) {
+	// §3.4: a pagefault racing a munmap either completes first (and its
+	// page is then shot down) or sees no mapping. Never a stale success
+	// after munmap returns.
+	for i := range systems(newWorld(2)) {
+		w := newWorld(2)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			for round := 0; round < 50; round++ {
+				c0 := w.m.CPU(0)
+				must(t, sys.Mmap(c0, 700, 8, vm.MapOpts{Prot: vm.ProtWrite}))
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					c1 := w.m.CPU(1)
+					for v := uint64(700); v < 708; v++ {
+						sys.Access(c1, v, true) // may segv; must not wedge
+					}
+				}()
+				if rng.Intn(2) == 0 {
+					c0.Tick(100)
+				}
+				must(t, sys.Munmap(c0, 700, 8))
+				<-done
+				// Post-munmap, both cores must see it unmapped.
+				if err := sys.Access(w.m.CPU(1), 703, false); !errors.Is(err, vm.ErrSegv) {
+					t.Fatalf("round %d: stale access after munmap: %v", round, err)
+				}
+				w.rc.Maintain(c0)
+			}
+			w.quiesce()
+			if live := w.alloc.Live(); live != 0 {
+				t.Fatalf("%d frames leaked in race", live)
+			}
+		})
+	}
+}
+
+func TestSharedMMUModeWorks(t *testing.T) {
+	// RadixVM with shared page tables (the Figure 9 ablation) must be
+	// functionally identical, just slower/broadcast-y.
+	w := newWorld(3)
+	as := vm.New(w.m, w.rc, w.alloc, vm.NewSharedMMU(w.m))
+	c0, c1 := w.m.CPU(0), w.m.CPU(1)
+	must(t, as.Mmap(c0, 100, 2, vm.MapOpts{Prot: vm.ProtWrite}))
+	must(t, as.Access(c0, 100, true))
+	// With a shared table, core 1's access is a hardware walk, not a
+	// fault.
+	faults := c1.Stats().PageFaults
+	must(t, as.Access(c1, 100, true))
+	if c1.Stats().PageFaults != faults {
+		t.Fatal("shared table still faulted on second core")
+	}
+	must(t, as.Munmap(c0, 100, 2))
+	if err := as.Access(c1, 100, false); !errors.Is(err, vm.ErrSegv) {
+		t.Fatalf("stale shared-table access: %v", err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package workload implements the paper's three microbenchmarks (§5.1),
+// each parameterized over the VM system and core count:
+//
+//   - local: each thread repeatedly mmaps a private 4 KB region, writes
+//     it, and munmaps it — the per-thread memory pool pattern.
+//   - pipeline: each thread mmaps a region, writes it, and hands it to
+//     the next thread, which writes it again and munmaps it — the
+//     streaming/MapReduce hand-off pattern.
+//   - global: each thread mmaps a 64 KB piece of one large region, then
+//     all threads access all pages in random order — the shared-library /
+//     shared-hash-table pattern.
+//
+// The reported metric is the paper's: total page writes per second (in
+// virtual time). On RadixVM each write is a fault even if another core
+// already allocated the page, because page tables are per-core.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"radixvm/internal/hw"
+	"radixvm/internal/refcache"
+	"radixvm/internal/vm"
+)
+
+// Env bundles the machine-wide substrate a workload runs on.
+type Env struct {
+	M  *hw.Machine
+	RC *refcache.Refcache
+}
+
+// Result reports one workload run.
+type Result struct {
+	Name       string
+	System     string
+	Cores      int
+	PageWrites uint64
+	Cycles     uint64 // virtual wall-clock consumed
+	Stats      hw.Stats
+}
+
+// PerSecond converts the page-write count into the paper's pages/sec at
+// the modeled 2.4 GHz clock.
+func (r Result) PerSecond() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.PageWrites) * 2.4e9 / float64(r.Cycles)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-8s %-8s %2d cores: %8.2fM page writes/sec",
+		r.Name, r.System, r.Cores, r.PerSecond()/1e6)
+}
+
+// spread places core id's private region in its own radix subtree and on
+// its own root cache line, mirroring how real address spaces give threads
+// disjoint arenas.
+func spread(id int) uint64 { return uint64(id*4+4) << 18 }
+
+// run executes body on the first cores cores under a gang with per-
+// iteration Refcache maintenance, measures virtual time, and gathers
+// stats. warm runs once per core before measurement.
+func run(env *Env, name string, sys vm.System, cores int, warm, body func(c *hw.CPU, g *hw.Gang) uint64) Result {
+	var writes [hw.MaxCores]uint64
+	if warm != nil {
+		hw.RunGang(env.M, cores, 4000, func(c *hw.CPU, g *hw.Gang) {
+			warm(c, g)
+		})
+	}
+	env.M.ResetStats()
+	start := env.M.MaxClock()
+	hw.RunGang(env.M, cores, 4000, func(c *hw.CPU, g *hw.Gang) {
+		writes[c.ID()] = body(c, g)
+	})
+	var total uint64
+	for i := 0; i < cores; i++ {
+		total += writes[i]
+	}
+	return Result{
+		Name:       name,
+		System:     sys.Name(),
+		Cores:      cores,
+		PageWrites: total,
+		Cycles:     env.M.MaxClock() - start,
+		Stats:      env.M.TotalStats(),
+	}
+}
+
+// Local runs the local microbenchmark: iters rounds of mmap/write/munmap
+// of a regionPages-page private region per core (the paper uses one 4 KB
+// page to maximally stress the VM).
+func Local(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Result {
+	round := func(c *hw.CPU, g *hw.Gang) uint64 {
+		lo := spread(c.ID())
+		var writes uint64
+		for k := 0; k < iters; k++ {
+			mustNil(sys.Mmap(c, lo, regionPages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+			for v := lo; v < lo+regionPages; v++ {
+				mustNil(sys.Access(c, v, true))
+				writes++
+			}
+			mustNil(sys.Munmap(c, lo, regionPages))
+			env.RC.Maintain(c)
+			g.Sync(c)
+		}
+		return writes
+	}
+	warm := func(c *hw.CPU, g *hw.Gang) uint64 {
+		lo := spread(c.ID())
+		for k := 0; k < 3; k++ {
+			mustNil(sys.Mmap(c, lo, regionPages, vm.MapOpts{Prot: vm.ProtWrite}))
+			for v := lo; v < lo+regionPages; v++ {
+				mustNil(sys.Access(c, v, true))
+			}
+			mustNil(sys.Munmap(c, lo, regionPages))
+		}
+		return 0
+	}
+	return run(env, "local", sys, cores, warm, round)
+}
+
+// Pipeline runs the pipeline microbenchmark: core i maps and writes a
+// region, then passes it to core (i+1) mod n, which writes it again and
+// unmaps it.
+func Pipeline(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Result {
+	// Hand-off queues, one per receiving core. The handoff carries the
+	// producer's virtual time so the consumer observes proper causality.
+	type handoff struct {
+		lo uint64
+		t  uint64
+	}
+	chans := make([]chan handoff, cores)
+	for i := range chans {
+		chans[i] = make(chan handoff, 4)
+	}
+	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+		id := c.ID()
+		next := (id + 1) % cores
+		// Each in-flight region gets a distinct address so producer
+		// and consumer never reuse a VA before munmap completes.
+		base := spread(id)
+		var writes uint64
+		for k := 0; k < iters; k++ {
+			lo := base + uint64(k%8)*regionPages*2
+			mustNil(sys.Mmap(c, lo, regionPages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+			for v := lo; v < lo+regionPages; v++ {
+				mustNil(sys.Access(c, v, true))
+				writes++
+			}
+			var in handoff
+			g.Block(c, func() {
+				chans[next] <- handoff{lo: lo, t: c.Now()}
+				in = <-chans[id]
+			})
+			c.AdvanceTo(in.t + 200) // cross-core queue hand-off
+			for v := in.lo; v < in.lo+regionPages; v++ {
+				mustNil(sys.Access(c, v, true))
+				writes++
+			}
+			mustNil(sys.Munmap(c, in.lo, regionPages))
+			env.RC.Maintain(c)
+			g.Sync(c)
+		}
+		return writes
+	}
+	return run(env, "pipeline", sys, cores, nil, body)
+}
+
+// Global runs the global microbenchmark: each thread maps its own
+// piecePages-page slice of one large shared region (the paper uses 64 KB
+// per thread), all threads write every page of the whole region in random
+// order, and each thread unmaps its piece; repeat.
+func Global(env *Env, sys vm.System, cores int, iters int, piecePages uint64) Result {
+	const regionBase = uint64(3) << 32 // shared region, distinct from spreads
+	bar := hw.NewBarrier(cores)
+	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+		id := c.ID()
+		rng := rand.New(rand.NewSource(int64(id + 1)))
+		total := piecePages * uint64(cores)
+		var writes uint64
+		for k := 0; k < iters; k++ {
+			mine := regionBase + uint64(id)*piecePages
+			mustNil(sys.Mmap(c, mine, piecePages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+			bar.Wait(c, g)
+			for _, off := range rng.Perm(int(total)) {
+				mustNil(sys.Access(c, regionBase+uint64(off), true))
+				writes++
+				// Sync every access: contended fill faults cost
+				// thousands of cycles each, so coarser syncs would
+				// let virtual clocks skew past the gang quantum and
+				// serialize the whole phase spuriously.
+				g.Sync(c)
+			}
+			bar.Wait(c, g)
+			mustNil(sys.Munmap(c, mine, piecePages))
+			env.RC.Maintain(c)
+			bar.Wait(c, g)
+		}
+		return writes
+	}
+	return run(env, "global", sys, cores, nil, body)
+}
+
+func mustNil(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

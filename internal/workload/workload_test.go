@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"radixvm/internal/bonsaivm"
+	"radixvm/internal/hw"
+	"radixvm/internal/linuxvm"
+	"radixvm/internal/mem"
+	"radixvm/internal/refcache"
+	"radixvm/internal/vm"
+)
+
+func newEnv(ncores int) (*Env, *mem.Allocator) {
+	m := hw.NewMachine(hw.TestConfig(ncores))
+	rc := refcache.New(m)
+	return &Env{M: m, RC: rc}, mem.NewAllocator(m, rc)
+}
+
+func TestLocalRunsOnAllSystems(t *testing.T) {
+	for _, mk := range []func(*Env, *mem.Allocator) vm.System{
+		func(e *Env, a *mem.Allocator) vm.System { return vm.New(e.M, e.RC, a, nil) },
+		func(e *Env, a *mem.Allocator) vm.System { return linuxvm.New(e.M, e.RC, a) },
+		func(e *Env, a *mem.Allocator) vm.System { return bonsaivm.New(e.M, e.RC, a) },
+	} {
+		env, alloc := newEnv(2)
+		sys := mk(env, alloc)
+		r := Local(env, sys, 2, 30, 1)
+		if r.PageWrites != 60 {
+			t.Fatalf("%s: PageWrites = %d, want 60", sys.Name(), r.PageWrites)
+		}
+		if r.PerSecond() <= 0 {
+			t.Fatalf("%s: non-positive throughput", sys.Name())
+		}
+	}
+}
+
+func TestPipelineShootsDownOncePerRegion(t *testing.T) {
+	// Paper §5.3: "every munmap results in exactly one remote TLB
+	// shootdown" in the pipeline benchmark on RadixVM.
+	env, alloc := newEnv(2)
+	sys := vm.New(env.M, env.RC, alloc, nil)
+	const iters = 20
+	r := Pipeline(env, sys, 2, iters, 4)
+	if r.PageWrites != 2*iters*4*2 {
+		t.Fatalf("PageWrites = %d", r.PageWrites)
+	}
+	// Each of the 2*iters munmaps interrupts exactly the producing core.
+	ipis := r.Stats.IPIsSent
+	if ipis != 2*iters {
+		t.Errorf("IPIs = %d, want %d (one per munmap)", ipis, 2*iters)
+	}
+}
+
+func TestLocalRadixVMSendsNoIPIs(t *testing.T) {
+	// Use the realistic epoch length: with the test config's tiny epochs
+	// Refcache flushes every couple of iterations and its (by design)
+	// small constant maintenance traffic dominates the measurement.
+	m := hw.NewMachine(hw.DefaultConfig(4))
+	rc := refcache.New(m)
+	env := &Env{M: m, RC: rc}
+	sys := vm.New(env.M, env.RC, mem.NewAllocator(m, rc), nil)
+	r := Local(env, sys, 4, 50, 1)
+	if r.Stats.IPIsSent != 0 {
+		t.Errorf("local benchmark sent %d IPIs, want 0", r.Stats.IPIsSent)
+	}
+	if r.Stats.Transfers != 0 {
+		t.Errorf("local benchmark moved %d lines, want 0", r.Stats.Transfers)
+	}
+}
+
+func TestGlobalAllPagesWritten(t *testing.T) {
+	env, alloc := newEnv(3)
+	sys := vm.New(env.M, env.RC, alloc, nil)
+	r := Global(env, sys, 3, 2, 4)
+	// 3 cores x 2 iters x (3*4 pages each) writes.
+	if want := uint64(3 * 2 * 12); r.PageWrites != want {
+		t.Fatalf("PageWrites = %d, want %d", r.PageWrites, want)
+	}
+}
+
+func TestLocalScalesLinearlyOnRadixVM(t *testing.T) {
+	// The Figure 5 headline in miniature: per-op virtual cost must stay
+	// ~flat from 1 to 8 cores on RadixVM.
+	perOp := func(cores int) float64 {
+		env, alloc := newEnv(cores)
+		sys := vm.New(env.M, env.RC, alloc, nil)
+		r := Local(env, sys, cores, 60, 1)
+		return float64(r.Cycles) * float64(cores) / float64(r.PageWrites)
+	}
+	one, eight := perOp(1), perOp(8)
+	if eight > one*1.3 {
+		t.Errorf("local did not scale: per-op cost %0.0f -> %0.0f cycles", one, eight)
+	}
+}
+
+func TestLocalCollapsesOnLinux(t *testing.T) {
+	// And the contrast: Linux's per-op cost must grow markedly with
+	// cores (the address space lock serializes everything).
+	perOp := func(cores int) float64 {
+		env, alloc := newEnv(cores)
+		sys := linuxvm.New(env.M, env.RC, alloc)
+		r := Local(env, sys, cores, 60, 1)
+		return float64(r.Cycles) * float64(cores) / float64(r.PageWrites)
+	}
+	one, eight := perOp(1), perOp(8)
+	if eight < one*2 {
+		t.Errorf("linux local did not collapse: per-op cost %0.0f -> %0.0f cycles", one, eight)
+	}
+}

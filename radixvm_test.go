@@ -1,0 +1,95 @@
+package radixvm_test
+
+import (
+	"errors"
+	"testing"
+
+	"radixvm"
+)
+
+// TestFacadeQuickstart exercises the public API end to end, following the
+// package documentation's quick start.
+func TestFacadeQuickstart(t *testing.T) {
+	m := radixvm.New(4)
+	if m.NCores() != 4 {
+		t.Fatalf("NCores = %d", m.NCores())
+	}
+	as := m.NewAddressSpace()
+	cpu := m.CPU(0)
+	if err := as.Mmap(cpu, 0x1000, 16, radixvm.MapOpts{Prot: radixvm.ProtRead | radixvm.ProtWrite}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Access(cpu, 0x1000, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Munmap(cpu, 0x1000, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Access(cpu, 0x1000, false); !errors.Is(err, radixvm.ErrSegv) {
+		t.Fatalf("access after munmap: %v", err)
+	}
+	m.Quiesce()
+	if m.LiveFrames() != 0 {
+		t.Fatalf("LiveFrames = %d", m.LiveFrames())
+	}
+	if m.MaxClock() == 0 {
+		t.Fatal("virtual time did not advance")
+	}
+}
+
+// TestFacadeBaselines checks the baseline constructors satisfy System.
+func TestFacadeBaselines(t *testing.T) {
+	m := radixvm.New(2)
+	for _, sys := range []radixvm.System{
+		m.NewLinuxAddressSpace(),
+		m.NewBonsaiAddressSpace(),
+		m.NewSharedTableAddressSpace(),
+	} {
+		c := m.CPU(0)
+		if err := sys.Mmap(c, 9000, 2, radixvm.MapOpts{Prot: radixvm.ProtWrite}); err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		if err := sys.Access(c, 9000, true); err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+		if err := sys.Munmap(c, 9000, 2); err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+	}
+}
+
+// TestFacadeSharedFile checks page-cache sharing through the facade.
+func TestFacadeSharedFile(t *testing.T) {
+	m := radixvm.New(2)
+	as := m.NewAddressSpace()
+	f := m.NewFile()
+	c0, c1 := m.CPU(0), m.CPU(1)
+	for i, c := range []*radixvm.CPU{c0, c1} {
+		vpn := uint64(0x4000 + i*0x100)
+		if err := as.Mmap(c, vpn, 1, radixvm.MapOpts{Prot: radixvm.ProtRead, File: f}); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Access(c, vpn, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.LiveFrames() != 1 {
+		t.Fatalf("LiveFrames = %d, want 1 shared frame", m.LiveFrames())
+	}
+}
+
+// TestFacadeGang checks RunGang drives all requested cores.
+func TestFacadeGang(t *testing.T) {
+	m := radixvm.New(4)
+	var ran [4]bool
+	m.RunGang(4, func(c *radixvm.CPU, g *radixvm.Gang) {
+		ran[c.ID()] = true
+		c.Tick(100)
+		g.Sync(c)
+	})
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("core %d did not run", i)
+		}
+	}
+}
