@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +21,21 @@ import (
 	"radixvm/internal/harness"
 )
 
+// jsonExp is one experiment in the -json output: figure experiments carry
+// rows, text experiments (table1, table2, memory) carry rendered text.
+type jsonExp struct {
+	Name   string           `json:"name"`
+	Tables []*harness.Table `json:"tables,omitempty"`
+	Text   string           `json:"text,omitempty"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|table2|memory")
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,20,40,80)")
 	iters := flag.Int("iters", 0, "per-core iterations (default per experiment)")
 	quick := flag.Bool("quick", false, "fast smoke sweep (1,4,8 cores, few iters)")
 	memCores := flag.Int("memcores", 20, "core count for the -exp memory experiment")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
@@ -47,42 +57,61 @@ func main() {
 		o.Iters = *iters
 	}
 
-	run := func(name string) {
+	// run computes one experiment, returning tables for figure experiments
+	// and rendered text for the text-only ones.
+	run := func(name string) jsonExp {
 		switch name {
 		case "table1":
-			fmt.Print(harness.Table1("."))
+			return jsonExp{Name: name, Text: harness.Table1(".")}
 		case "fig4":
-			harness.Fig4(o).Print(os.Stdout)
+			return jsonExp{Name: name, Tables: []*harness.Table{harness.Fig4(o)}}
 		case "fig5":
-			for _, t := range harness.Fig5(o) {
-				t.Print(os.Stdout)
-			}
+			return jsonExp{Name: name, Tables: harness.Fig5(o)}
 		case "fig6":
-			harness.Fig6(o).Print(os.Stdout)
+			return jsonExp{Name: name, Tables: []*harness.Table{harness.Fig6(o)}}
 		case "fig7":
-			harness.Fig7(o).Print(os.Stdout)
+			return jsonExp{Name: name, Tables: []*harness.Table{harness.Fig7(o)}}
 		case "fig8":
-			harness.Fig8(o).Print(os.Stdout)
+			return jsonExp{Name: name, Tables: []*harness.Table{harness.Fig8(o)}}
 		case "fig9":
-			for _, t := range harness.Fig9(o) {
-				t.Print(os.Stdout)
-			}
+			return jsonExp{Name: name, Tables: harness.Fig9(o)}
 		case "table2":
-			fmt.Print(harness.Table2())
+			return jsonExp{Name: name, Text: harness.Table2()}
 		case "memory":
-			fmt.Print(harness.MetisMemory(*memCores))
+			return jsonExp{Name: name, Text: harness.MetisMemory(*memCores)}
 		default:
 			fmt.Fprintf(os.Stderr, "radixbench: unknown experiment %q\n", name)
 			os.Exit(2)
+			panic("unreachable")
 		}
 	}
 
+	names := []string{*exp}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "memory"} {
-			run(name)
-			fmt.Println()
-		}
-		return
+		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "memory"}
 	}
-	run(*exp)
+
+	var results []jsonExp
+	for _, name := range names {
+		r := run(name)
+		if *jsonOut {
+			results = append(results, r)
+			continue
+		}
+		if r.Text != "" {
+			fmt.Print(r.Text)
+		}
+		for _, t := range r.Tables {
+			t.Print(os.Stdout)
+		}
+		fmt.Println()
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{"experiments": results}); err != nil {
+			fmt.Fprintf(os.Stderr, "radixbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

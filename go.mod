@@ -1,0 +1,3 @@
+module radixvm
+
+go 1.23

@@ -42,18 +42,20 @@ func QuickOptions() Options {
 	return Options{Cores: []int{1, 4, 8}, Iters: 60}
 }
 
-// Row is one data point: a labeled series value at a core count.
+// Row is one data point: a labeled series value at a core count. The JSON
+// tags define the machine-readable schema `radixbench -json` emits for
+// perf-trajectory tooling.
 type Row struct {
-	Series string
-	Cores  int
-	Value  float64
-	Unit   string
+	Series string  `json:"series"`
+	Cores  int     `json:"cores"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
 }
 
 // Table is a named set of rows.
 type Table struct {
-	Title string
-	Rows  []Row
+	Title string `json:"title"`
+	Rows  []Row  `json:"rows"`
 }
 
 // Print renders the table as aligned text.

@@ -1,0 +1,80 @@
+package hw
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Packed one-bit spinlocks. Where SpinBit spends 24 bytes per lock (a
+// mutex plus its gate), structures that embed a lock per slot — the radix
+// tree reserves one bit in each of its 512 slots (§3.2) — pack the
+// exclusion bits into a handful of atomic words and keep only the
+// per-slot Gate. That matches the paper's layout (the lock really is one
+// bit of the slot) and cuts the dominant per-node memory cost.
+//
+// Real mutual exclusion comes from a CAS on the bit; a loser spins with
+// runtime.Gosched, which is fine here because critical sections are short
+// in real time (only virtual time is long). Virtual-time serialization
+// comes from the per-bit Gate, exactly as in SpinBit.
+//
+// Memory ordering: the winning CAS is an acquire, the clearing store a
+// release, so the Gate (and any other state the bit guards) needs no
+// further synchronization between holders.
+
+// Gate is an exported wrapper of the virtual-time wait gate, for use with
+// the packed-bit lock operations. The zero value is an idle gate.
+type Gate struct{ g waitGate }
+
+// Prime records an acquisition of the associated (already-set) bit at
+// virtual time now without contention modeling. Only legal when no other
+// core can observe the bit — e.g. bulk lock-bit propagation into a radix
+// node that has not been published yet (§3.4), where the creator sets all
+// 512 bits with plain word stores and primes the gates. Release with
+// ReleaseBitIn as usual.
+func (g *Gate) Prime(now uint64) { g.g.busyStart = now }
+
+// Reset reinitializes the gate of an unheld bit embedded in recycled
+// memory: the new incarnation starts with no critical-section history.
+func (g *Gate) Reset() { g.g = waitGate{} }
+
+// AcquireBitIn locks bit mask of word w for core c, spinning until it is
+// free, then waits out the previous holder's critical section in virtual
+// time through gate. The caller must have charged the containing cache
+// line already (the acquisition is a CAS on that line), as with
+// AcquireBit.
+func (c *CPU) AcquireBitIn(w *atomic.Uint64, mask uint64, gate *Gate) {
+	now := c.Now() // arrival time: before any real-time spinning
+	for {
+		old := w.Load()
+		if old&mask == 0 {
+			if w.CompareAndSwap(old, old|mask) {
+				break
+			}
+			continue
+		}
+		runtime.Gosched()
+	}
+	c.advanceTo(gate.g.arrive(now))
+}
+
+// TryAcquireBitIn attempts to take bit mask of word w without blocking.
+func (c *CPU) TryAcquireBitIn(w *atomic.Uint64, mask uint64, gate *Gate) bool {
+	now := c.Now()
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			c.advanceTo(gate.g.arrive(now))
+			return true
+		}
+	}
+}
+
+// ReleaseBitIn unlocks bit mask of word w, recording the end of c's
+// critical section on gate.
+func (c *CPU) ReleaseBitIn(w *atomic.Uint64, mask uint64, gate *Gate) {
+	gate.g.release(c.Now())
+	w.And(^mask)
+}

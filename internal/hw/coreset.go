@@ -8,7 +8,7 @@ import (
 
 // MaxCores is the largest number of simulated cores a CoreSet can track.
 // The paper's machine has 80 cores; we leave headroom for sweeps.
-const MaxCores = 256
+const MaxCores = 128
 
 // CoreSet is a fixed-size bitmap of core IDs. The zero value is the empty
 // set. CoreSet is a value type: copying it copies the set. It is not safe

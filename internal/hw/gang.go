@@ -13,11 +13,22 @@ import "sync"
 //
 // A core that finishes its work must call Leave so the others stop waiting
 // for it.
+// Internally the gang tracks the slowest member incrementally: clocks are
+// monotonic, so the minimum can only change when the current minimum
+// member reports or membership changes. Sync therefore recomputes the
+// minimum (a scan of the member list) and wakes waiters only on those
+// events, instead of scanning a map and broadcasting on every call — the
+// seed's per-Sync map scan plus thundering-herd broadcast was among the
+// largest real-CPU costs of every gang-driven benchmark.
 type Gang struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	quantum uint64
-	clocks  map[int]uint64 // active member id -> last reported clock
+	clocks  [MaxCores]uint64
+	member  [MaxCores]bool
+	ids     []int // active member ids, unordered
+	minVal  uint64
+	minID   int
 }
 
 // DefaultQuantum bounds virtual-clock skew to roughly one benchmark
@@ -31,28 +42,42 @@ func NewGang(quantum uint64) *Gang {
 	if quantum == 0 {
 		quantum = DefaultQuantum
 	}
-	g := &Gang{quantum: quantum, clocks: make(map[int]uint64)}
+	g := &Gang{quantum: quantum}
 	g.cond = sync.NewCond(&g.mu)
+	g.recompute()
 	return g
 }
 
 // Join registers cpu as an active member. Call before the core's loop
 // starts (and before any member can block on it).
 func (g *Gang) Join(cpu *CPU) {
+	now := cpu.Now()
 	g.mu.Lock()
-	g.clocks[cpu.ID()] = cpu.Now()
-	g.mu.Unlock()
+	id := cpu.ID()
+	if !g.member[id] {
+		g.member[id] = true
+		g.ids = append(g.ids, id)
+	}
+	g.clocks[id] = now
+	g.recompute() // a joiner may lower the minimum
 	g.cond.Broadcast()
+	g.mu.Unlock()
 }
 
 // Sync reports cpu's clock and blocks while cpu is more than one quantum
 // ahead of the slowest active member.
 func (g *Gang) Sync(cpu *CPU) {
 	now := cpu.Now()
+	id := cpu.ID()
 	g.mu.Lock()
-	g.clocks[cpu.ID()] = now
-	g.cond.Broadcast()
-	for now > g.min()+g.quantum {
+	g.clocks[id] = now
+	if id == g.minID {
+		// Only the slowest member's report can advance the minimum, so
+		// only then do waiters need a wakeup.
+		g.recompute()
+		g.cond.Broadcast()
+	}
+	for now > g.minVal+g.quantum {
 		g.cond.Wait()
 	}
 	g.mu.Unlock()
@@ -61,26 +86,37 @@ func (g *Gang) Sync(cpu *CPU) {
 // Leave removes cpu from the gang so other members no longer wait for it.
 func (g *Gang) Leave(cpu *CPU) {
 	g.mu.Lock()
-	delete(g.clocks, cpu.ID())
+	id := cpu.ID()
+	if g.member[id] {
+		g.member[id] = false
+		for i, m := range g.ids {
+			if m == id {
+				g.ids[i] = g.ids[len(g.ids)-1]
+				g.ids = g.ids[:len(g.ids)-1]
+				break
+			}
+		}
+		g.recompute()
+		g.cond.Broadcast()
+	}
 	g.mu.Unlock()
-	g.cond.Broadcast()
 }
 
-// min returns the slowest active clock; callers hold g.mu. An empty gang
-// reports the maximum clock so nobody blocks.
-func (g *Gang) min() uint64 {
-	if len(g.clocks) == 0 {
-		return ^uint64(0) - 1<<32
+// recompute rescans the member list for the slowest clock; callers hold
+// g.mu. An empty gang reports the maximum clock so nobody blocks.
+func (g *Gang) recompute() {
+	if len(g.ids) == 0 {
+		g.minID = -1
+		g.minVal = ^uint64(0) - 1<<32
+		return
 	}
-	first := true
-	var m uint64
-	for _, c := range g.clocks {
-		if first || c < m {
-			m = c
-			first = false
+	g.minID = g.ids[0]
+	g.minVal = g.clocks[g.minID]
+	for _, id := range g.ids[1:] {
+		if c := g.clocks[id]; c < g.minVal {
+			g.minID, g.minVal = id, c
 		}
 	}
-	return m
 }
 
 // RunGang runs fn(cpu) concurrently on cores [0, ncores) of m, each joined

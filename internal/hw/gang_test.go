@@ -14,7 +14,8 @@ func TestGangBoundsSkew(t *testing.T) {
 			c.Tick(100)
 			g.Sync(c)
 			g.mu.Lock()
-			lo := g.min()
+			g.recompute()
+			lo := g.minVal
 			g.mu.Unlock()
 			if now := c.Now(); now > lo && now-lo > skews[c.ID()] {
 				skews[c.ID()] = now - lo

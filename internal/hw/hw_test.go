@@ -1,7 +1,9 @@
 package hw
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -19,11 +21,11 @@ func TestCoreSetBasics(t *testing.T) {
 	s.Add(0)
 	s.Add(63)
 	s.Add(64)
-	s.Add(255)
+	s.Add(MaxCores - 1)
 	if s.Count() != 4 {
 		t.Fatalf("Count = %d, want 4", s.Count())
 	}
-	for _, id := range []int{0, 63, 64, 255} {
+	for _, id := range []int{0, 63, 64, MaxCores - 1} {
 		if !s.Has(id) {
 			t.Errorf("Has(%d) = false", id)
 		}
@@ -37,7 +39,7 @@ func TestCoreSetBasics(t *testing.T) {
 	}
 	var got []int
 	s.ForEach(func(id int) { got = append(got, id) })
-	want := []int{0, 64, 255}
+	want := []int{0, 64, MaxCores - 1}
 	if len(got) != len(want) {
 		t.Fatalf("ForEach = %v, want %v", got, want)
 	}
@@ -46,7 +48,7 @@ func TestCoreSetBasics(t *testing.T) {
 			t.Fatalf("ForEach = %v, want %v", got, want)
 		}
 	}
-	if s.String() != "{0,64,255}" {
+	if s.String() != fmt.Sprintf("{0,64,%d}", MaxCores-1) {
 		t.Errorf("String = %q", s.String())
 	}
 	s.Clear()
@@ -87,7 +89,7 @@ func TestCoreSetQuick(t *testing.T) {
 		var s CoreSet
 		model := map[int]bool{}
 		for i, raw := range ids {
-			id := int(raw)
+			id := int(raw) % MaxCores
 			if i%3 == 2 {
 				s.Remove(id)
 				delete(model, id)
@@ -270,24 +272,34 @@ func TestRWLockReadersPayLineWrite(t *testing.T) {
 	}
 }
 
-func TestSpinBit(t *testing.T) {
+func TestPackedBitLock(t *testing.T) {
 	m := testMachine(t, 2)
 	c := m.CPU(0)
-	var b SpinBit
-	c.AcquireBit(&b)
-	if c.TryAcquireBit(&b) {
-		t.Fatal("TryAcquireBit succeeded while held")
+	var word atomic.Uint64
+	var gates [2]Gate
+	const bit0, bit1 = uint64(1) << 0, uint64(1) << 7
+	c.AcquireBitIn(&word, bit0, &gates[0])
+	if c.TryAcquireBitIn(&word, bit0, &gates[0]) {
+		t.Fatal("TryAcquireBitIn succeeded while held")
 	}
+	// A different bit of the same word stays independently lockable.
+	if !c.TryAcquireBitIn(&word, bit1, &gates[1]) {
+		t.Fatal("sibling bit not acquirable")
+	}
+	c.ReleaseBitIn(&word, bit1, &gates[1])
 	c.Tick(777)
-	c.ReleaseBit(&b)
+	c.ReleaseBitIn(&word, bit0, &gates[0])
 	c2 := m.CPU(1)
-	if !c2.TryAcquireBit(&b) {
-		t.Fatal("TryAcquireBit failed while free")
+	if !c2.TryAcquireBitIn(&word, bit0, &gates[0]) {
+		t.Fatal("TryAcquireBitIn failed while free")
 	}
 	if c2.Now() < 777 {
 		t.Errorf("bit did not serialize virtual time: %d", c2.Now())
 	}
-	c2.ReleaseBit(&b)
+	c2.ReleaseBitIn(&word, bit0, &gates[0])
+	if word.Load() != 0 {
+		t.Errorf("released word = %#x, want 0", word.Load())
+	}
 }
 
 func TestSendIPIs(t *testing.T) {

@@ -1,6 +1,9 @@
 package hw
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Line models one cache line of shared memory. Data structures embed Line
 // values at the granularity of their real memory layout (e.g. one Line per
@@ -16,17 +19,44 @@ import "sync"
 // cost Config.LocalHit and involve no shared state beyond the Line's own
 // short-lived mutex.
 //
-// The zero value is an uncached line, ready to use.
+// Repeated touches by a line's sole owner — the steady state of every
+// scalable workload the paper measures — take a lock-free fast path: fast
+// caches (sole sharer core)+1 when one core holds the line exclusively,
+// and a single atomic load then suffices to classify the touch as a local
+// hit. All transitions away from that state happen under mu and clear
+// fast first, so a stale fast hit is indistinguishable from the same touch
+// linearized just before the remote transfer.
+//
+// The zero value is an uncached line, ready to use. Lines are embedded by
+// the thousand in simulated data structures (128 per radix node), so the
+// struct is kept as small as the model allows.
 type Line struct {
-	mu      sync.Mutex
-	gate    waitGate // home-node service queue in virtual time
-	owner   int32    // last writing core + 1; 0 = none
-	shared  CoreSet  // cores that currently have the line cached
-	version uint64   // bumped on every write (diagnostics)
+	fast   atomic.Int32 // (sole sharer & owner core)+1, else 0
+	owner  atomic.Int32 // last writing core + 1; 0 = none
+	mu     sync.Mutex
+	gate   waitGate // home-node service queue in virtual time
+	shared CoreSet  // cores that currently have the line cached
+}
+
+// Reset returns l to the uncached zero state, for data structures that
+// recycle memory (e.g. the radix tree's per-CPU node pools): the recycled
+// object's lines behave exactly like freshly allocated memory — cold, owned
+// by nobody. Only legal when no core can touch l concurrently.
+func (l *Line) Reset() {
+	l.fast.Store(0)
+	l.owner.Store(0)
+	l.gate = waitGate{}
+	l.shared.Clear()
 }
 
 // Read models a load from the line by core c.
 func (c *CPU) Read(l *Line) {
+	if l.fast.Load() == int32(c.id)+1 {
+		// Sole sharer and owner: hit, no shared state touched.
+		c.stats.LocalHits++
+		c.Tick(c.m.cfg.LocalHit)
+		return
+	}
 	now := c.Now()
 	l.mu.Lock()
 	if l.shared.Has(c.id) {
@@ -40,6 +70,7 @@ func (c *CPU) Read(l *Line) {
 	end := start + cost
 	l.gate.release(end)
 	l.shared.Add(c.id)
+	l.refreshFast(l.shared.Count() == 1)
 	l.mu.Unlock()
 	c.countMiss(cross, cold)
 	c.advanceTo(end)
@@ -47,12 +78,18 @@ func (c *CPU) Read(l *Line) {
 
 // Write models a store to the line by core c.
 func (c *CPU) Write(l *Line) {
+	if l.fast.Load() == int32(c.id)+1 {
+		// Sole sharer and owner: silent upgrade, no shared state touched.
+		c.stats.LocalHits++
+		c.Tick(c.m.cfg.LocalHit)
+		return
+	}
 	now := c.Now()
 	l.mu.Lock()
 	if l.shared.Count() == 1 && l.shared.Has(c.id) {
 		// Sole holder: hit or silent upgrade to exclusive.
-		l.owner = int32(c.id) + 1
-		l.version++
+		l.owner.Store(int32(c.id) + 1)
+		l.fast.Store(int32(c.id) + 1)
 		l.mu.Unlock()
 		c.stats.LocalHits++
 		c.clock = now + c.m.cfg.LocalHit
@@ -62,13 +99,32 @@ func (c *CPU) Write(l *Line) {
 	start := l.gate.arrive(now)
 	end := start + cost
 	l.gate.release(end)
-	l.owner = int32(c.id) + 1
+	l.owner.Store(int32(c.id) + 1)
 	l.shared.Clear()
 	l.shared.Add(c.id)
-	l.version++
+	l.fast.Store(int32(c.id) + 1)
 	l.mu.Unlock()
 	c.countMiss(cross, cold)
 	c.advanceTo(end)
+}
+
+// refreshFast updates the fast-path hint after a state change. Called with
+// l.mu held. The hint is set only when one core both caches and owns the
+// line (so a fast Write can skip the owner update too); soleSharer reports
+// whether exactly one core shares the line now.
+func (l *Line) refreshFast(soleSharer bool) {
+	if soleSharer {
+		// The sole sharer may fast-hit only if it is also the owner (or
+		// the line has no owner yet but then a fast Write would leave a
+		// stale owner, so require ownership).
+		var sole int
+		l.shared.ForEach(func(id int) { sole = id })
+		if l.owner.Load() == int32(sole)+1 {
+			l.fast.Store(int32(sole) + 1)
+			return
+		}
+	}
+	l.fast.Store(0)
 }
 
 // countMiss attributes a miss to the right statistic: coherence transfers
@@ -88,12 +144,13 @@ func (c *CPU) countMiss(cross, cold bool) {
 // Called with l.mu held.
 func (c *CPU) xferCost(l *Line) (cost uint64, crossSocket, cold bool) {
 	cfg := &c.m.cfg
-	if l.owner == 0 && l.shared.Empty() {
+	owner := l.owner.Load()
+	if owner == 0 && l.shared.Empty() {
 		// Cold: fill from DRAM (not coherence traffic).
 		return cfg.DRAMAccess, false, true
 	}
 	// Fetch from the previous owner's (or a sharer's) cache.
-	src := int(l.owner) - 1
+	src := int(owner) - 1
 	if src < 0 {
 		// Shared but clean; approximate source as the lowest sharer.
 		src = lowestMember(&l.shared)

@@ -100,40 +100,9 @@ func (c *CPU) WUnlock(l *RWLock) {
 	l.mu.Unlock()
 }
 
-// SpinBit is a one-bit spinlock embedded in data-structure slots, as in the
-// paper's radix tree ("each slot in the radix tree reserves one bit for
-// this purpose"). Unlike Lock it has no Line of its own: the caller charges
-// the containing line explicitly, because eight slots share a line and
-// that false sharing is part of what the paper measures.
-//
-// Real exclusion comes from an atomic bit; virtual-time serialization from
-// the critical-section end time, like Lock.
-type SpinBit struct {
-	state sync.Mutex // stands in for the lock bit; contention cost modeled by caller
-	gate  waitGate
-}
-
-// AcquireBit locks the slot bit for core c. The caller must have already
-// charged the containing cache line (typically via Write on the slot's
-// Line, since acquiring the bit is a CAS on that line).
-func (c *CPU) AcquireBit(b *SpinBit) {
-	now := c.Now()
-	b.state.Lock()
-	c.advanceTo(b.gate.arrive(now))
-}
-
-// TryAcquireBit attempts to take the bit without blocking.
-func (c *CPU) TryAcquireBit(b *SpinBit) bool {
-	now := c.Now()
-	if !b.state.TryLock() {
-		return false
-	}
-	c.advanceTo(b.gate.arrive(now))
-	return true
-}
-
-// ReleaseBit unlocks the slot bit.
-func (c *CPU) ReleaseBit(b *SpinBit) {
-	b.gate.release(c.Now())
-	b.state.Unlock()
-}
+// One-bit slot spinlocks — the paper's "each slot in the radix tree
+// reserves one bit for this purpose" — live in bitlock.go: exclusion bits
+// packed into atomic words plus a per-bit Gate. Unlike Lock they have no
+// Line of their own: the caller charges the containing line explicitly,
+// because several slots share a line and that false sharing is part of
+// what the paper measures.

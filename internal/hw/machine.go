@@ -212,17 +212,23 @@ func (c *CPU) Socket() int { return c.m.Socket(c.id) }
 func (c *CPU) Stats() *Stats { return &c.stats }
 
 // Now returns the core's current virtual time, folding in any pending
-// remotely-charged cycles.
+// remotely-charged cycles. The fast path is a single atomic load: pending
+// is almost always zero (remote charges only arrive during shootdowns), and
+// an XCHG on every clock read showed up as ~9% of flat CPU in the radix hot
+// paths.
 func (c *CPU) Now() uint64 {
-	if p := c.pending.Swap(0); p != 0 {
-		c.clock += p
+	if c.pending.Load() != 0 {
+		c.clock += c.pending.Swap(0)
 	}
 	return c.clock
 }
 
 // Tick advances the core's virtual clock by cycles of local computation.
 func (c *CPU) Tick(cycles uint64) {
-	c.clock = c.Now() + cycles
+	if c.pending.Load() != 0 {
+		c.clock += c.pending.Swap(0)
+	}
+	c.clock += cycles
 }
 
 // AdvanceTo moves the clock forward to at least t. Workloads use it to

@@ -41,8 +41,10 @@ func (f *Frame) Data() []byte {
 
 // Allocator hands out reference-counted frames with per-core free lists.
 type Allocator struct {
-	m  *hw.Machine
-	rc *refcache.Refcache
+	m        *hw.Machine
+	rc       *refcache.Refcache
+	pageZero uint64                       // m.Config().PageZero, hoisted out of Alloc
+	freeFn   func(*hw.CPU, *refcache.Obj) // shared free callback (frame in Obj.Data)
 
 	nextPFN atomic.Uint64
 	lists   []freelist
@@ -63,7 +65,16 @@ type freelist struct {
 // NewAllocator creates a frame allocator over machine m using rc for frame
 // reference counts.
 func NewAllocator(m *hw.Machine, rc *refcache.Refcache) *Allocator {
-	return &Allocator{m: m, rc: rc, lists: make([]freelist, m.NCores())}
+	a := &Allocator{
+		m:        m,
+		rc:       rc,
+		pageZero: m.Config().PageZero,
+		lists:    make([]freelist, m.NCores()),
+	}
+	// One shared free callback for every frame (the frame rides in
+	// Obj.Data), instead of a fresh closure per Alloc.
+	a.freeFn = func(c *hw.CPU, o *refcache.Obj) { a.release(c, o.Data.(*Frame)) }
+	return a
 }
 
 // Alloc returns a zeroed frame with reference count 1, charged to cpu. The
@@ -87,8 +98,9 @@ func (a *Allocator) Alloc(cpu *hw.CPU) *Frame {
 		a.registry = append(a.registry, f)
 		a.regMu.Unlock()
 	}
-	f.Obj = a.rc.NewObj(1, func(c *hw.CPU, _ *refcache.Obj) { a.release(c, f) })
-	cpu.Tick(a.m.Config().PageZero)
+	f.Obj = a.rc.NewObj(1, a.freeFn)
+	f.Obj.Data = f
+	cpu.Tick(a.pageZero)
 	cpu.Stats().PagesZeroed++
 	a.allocated.Add(1)
 	return f

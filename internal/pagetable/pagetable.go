@@ -37,10 +37,14 @@ type PTE struct {
 	Present bool
 }
 
+// node holds only the array its level uses — child pointers at interior
+// levels, PTEs at leaves — so a table node costs one 4 KB array instead of
+// two (a real page table node is 4 KB; the seed's nodes carried both
+// arrays and doubled the footprint of every table).
 type node struct {
-	level    int                                  // Levels-1 at the root, 0 at the leaves
-	children [EntriesPerNode]atomic.Pointer[node] // level > 0
-	ptes     [EntriesPerNode]atomic.Uint64        // level == 0: pfn<<1 | present
+	level    int                    // Levels-1 at the root, 0 at the leaves
+	children []atomic.Pointer[node] // level > 0
+	ptes     []atomic.Uint64        // level == 0: pfn<<1 | present
 	lines    [EntriesPerNode / slotsPerLine]hw.Line
 }
 
@@ -60,7 +64,13 @@ func New(m *hw.Machine) *PageTable {
 
 func (pt *PageTable) newNode(level int) *node {
 	pt.nodes.Add(1)
-	return &node{level: level}
+	n := &node{level: level}
+	if level > 0 {
+		n.children = make([]atomic.Pointer[node], EntriesPerNode)
+	} else {
+		n.ptes = make([]atomic.Uint64, EntriesPerNode)
+	}
+	return n
 }
 
 func idxAt(vpn uint64, level int) int {

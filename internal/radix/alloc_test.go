@@ -1,0 +1,134 @@
+package radix
+
+import (
+	"testing"
+
+	"radixvm/internal/hw"
+)
+
+// Allocation budgets for the tree's hot paths. These are regression guards:
+// the pagefault and mmap paths are called millions of times per benchmark,
+// and the seed version of this package allocated ~28 KB per expanded node
+// and a pinned-node slice per lookup, which dominated both CPU and GC time.
+
+// TestLookupZeroAlloc locks down Lookup = 0 allocs/op, on hits at every
+// depth and on misses.
+func TestLookupZeroAlloc(t *testing.T) {
+	m, _, tr := newTree(1)
+	c := m.CPU(0)
+
+	setRange(tr, c, 42, 43, &val{7})             // deep leaf path
+	setRange(tr, c, 512, 1024, &val{9})          // folded interior
+	setRange(tr, c, span(3), span(3)*2, &val{1}) // root-level fold
+
+	cases := []struct {
+		name string
+		vpn  uint64
+	}{
+		{"leaf", 42},
+		{"folded", 700},
+		{"root-fold", span(3) + 12345},
+		{"miss", 99_999},
+	}
+	for _, tc := range cases {
+		if got := testing.AllocsPerRun(200, func() { tr.Lookup(c, tc.vpn) }); got != 0 {
+			t.Errorf("Lookup(%s) = %v allocs/op, want 0", tc.name, got)
+		}
+	}
+}
+
+// TestLockPageSteadyStateAllocs bounds the pagefault path: once the leaf
+// exists, LockPage + Value + Set + Unlock may allocate at most the one
+// immutable slotState that Set swaps in.
+func TestLockPageSteadyStateAllocs(t *testing.T) {
+	m, _, tr := newTree(1)
+	c := m.CPU(0)
+	setRange(tr, c, 100, 101, &val{5})
+	v := &val{6}
+	got := testing.AllocsPerRun(200, func() {
+		r := tr.LockPage(c, 100)
+		if r.Entry(0).Value() == nil {
+			t.Fatal("page lost")
+		}
+		r.Entry(0).Set(v)
+		r.Unlock()
+	})
+	if got > 1 {
+		t.Errorf("steady-state LockPage+Set+Unlock = %v allocs/op, want <= 1", got)
+	}
+}
+
+// TestLockRangeSteadyStateAllocs bounds the mmap/munmap path: re-mapping an
+// existing small range must allocate only the per-entry slot states.
+func TestLockRangeSteadyStateAllocs(t *testing.T) {
+	m, _, tr := newTree(1)
+	c := m.CPU(0)
+	const lo, hi = 2048, 2056 // 8 pages, one leaf node
+	setRange(tr, c, lo, hi, &val{1})
+	v := &val{2}
+	got := testing.AllocsPerRun(200, func() {
+		r := tr.LockRange(c, lo, hi)
+		for i := range r.Entries() {
+			r.Entry(i).Set(v)
+		}
+		r.Unlock()
+	})
+	if got > float64(hi-lo) {
+		t.Errorf("steady-state LockRange cycle = %v allocs/op, want <= %d (one state per entry)", got, hi-lo)
+	}
+}
+
+// TestNodePoolRecycles verifies that reclaimed nodes land on the freeing
+// CPU's pool and that subsequent expansions consume them instead of
+// heap-allocating.
+func TestNodePoolRecycles(t *testing.T) {
+	m, rc, tr := newTree(1)
+	c := m.CPU(0)
+	setRange(tr, c, 1000, 1010, &val{3})
+	clearRange(tr, c, 1000, 1010)
+	quiesce(rc)
+	pooled := tr.PoolSize(c)
+	if pooled == 0 {
+		t.Fatal("no nodes recycled after reclamation")
+	}
+	setRange(tr, c, 1000, 1010, &val{4})
+	if got := tr.PoolSize(c); got >= pooled {
+		t.Errorf("pool not consumed on re-expansion: %d -> %d", pooled, got)
+	}
+	if got := tr.Lookup(c, 1005); got == nil || got.x != 4 {
+		t.Fatalf("recycled node lost mapping: %v", got)
+	}
+}
+
+// TestConcurrentFoldExpandLookup races folded-range expansion (plain-store
+// node construction, bulk lock-bit propagation, pool recycling) against
+// lock-free lookups, for the race detector's benefit.
+func TestConcurrentFoldExpandLookup(t *testing.T) {
+	const ncores = 4
+	m, rc, tr := newTree(ncores)
+	hw.RunGang(m, ncores, 2000, func(c *hw.CPU, g *hw.Gang) {
+		if c.ID() == 0 {
+			for k := 0; k < 150; k++ {
+				setRange(tr, c, 0, 1024, &val{k}) // folds two interior slots
+				r := tr.LockPage(c, 513)          // expands one fold to a leaf
+				if v := r.Entry(0).Value(); v == nil || v.x != k {
+					t.Errorf("expanded page = %v, want %d", v, k)
+				}
+				r.Unlock()
+				clearRange(tr, c, 0, 1024)
+				rc.Maintain(c)
+				g.Sync(c)
+			}
+			return
+		}
+		for k := 0; k < 150; k++ {
+			for j := uint64(0); j < 16; j++ {
+				if v := tr.Lookup(c, j*67%1024); v != nil && v.x < 0 {
+					t.Error("torn value")
+				}
+			}
+			rc.Maintain(c)
+			g.Sync(c)
+		}
+	})
+}

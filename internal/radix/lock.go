@@ -2,11 +2,23 @@ package radix
 
 import "radixvm/internal/hw"
 
+// Inline capacities for a Range's entry and pin lists. LockPage needs at
+// most 1 entry and 2·(Levels-1) pins (a descend pin plus an expansion pin
+// per level); small LockRanges fit comfortably. Larger ranges spill to
+// heap-backed slices, whose capacity the per-CPU Range cache then retains,
+// so even big ranges stop allocating in steady state.
+const (
+	inlineEntries = 16
+	inlinePins    = 8
+)
+
 // Range is a set of locked slots covering a VPN range, produced by
 // LockRange or LockPage. Entries appear in ascending VPN order; each entry
 // is either a leaf slot (one page) or an interior slot whose whole span is
 // inside the range (a folded entry). The caller reads and writes entries,
-// then calls Unlock.
+// then calls Unlock, after which the Range is invalid: Ranges are recycled
+// through a per-CPU cache so the pagefault and mmap paths allocate nothing
+// in steady state.
 type Range[V any] struct {
 	t   *Tree[V]
 	cpu *hw.CPU
@@ -15,6 +27,30 @@ type Range[V any] struct {
 
 	entries []Entry[V]
 	pins    []*node[V]
+
+	eInline [inlineEntries]Entry[V]
+	pInline [inlinePins]*node[V]
+	busy    bool
+}
+
+// getRange returns cpu's cached Range carrier, or a fresh one if the cache
+// is empty or its carrier is in use (nested locking). Owner-goroutine
+// discipline, like the node pools.
+func (t *Tree[V]) getRange(cpu *hw.CPU, lo, hi uint64) *Range[V] {
+	var r *Range[V]
+	if c := t.ranges[cpu.ID()]; c != nil && !c.busy {
+		r = c
+	} else {
+		r = &Range[V]{}
+		r.entries = r.eInline[:0]
+		r.pins = r.pInline[:0]
+		if c == nil {
+			t.ranges[cpu.ID()] = r
+		}
+	}
+	r.busy = true
+	r.t, r.cpu, r.Lo, r.Hi = t, cpu, lo, hi
+	return r
 }
 
 // Entry is one locked slot of a Range.
@@ -33,7 +69,7 @@ type Entry[V any] struct {
 // bit into the freshly allocated child.
 func (t *Tree[V]) LockRange(cpu *hw.CPU, lo, hi uint64) *Range[V] {
 	checkRange(lo, hi)
-	r := &Range[V]{t: t, cpu: cpu, Lo: lo, Hi: hi}
+	r := t.getRange(cpu, lo, hi)
 	t.lockIn(r, t.root, lo, hi)
 	return r
 }
@@ -51,7 +87,7 @@ func (t *Tree[V]) lockIn(r *Range[V], n *node[V], lo, hi uint64) {
 
 		for {
 			cpu.Read(n.line(idx))
-			st := n.slots[idx].st.Load()
+			st := n.sts[idx].Load()
 			if st != nil && st.child != nil {
 				// Interior link: descend without locking
 				// (traversal is pinned, not locked).
@@ -67,10 +103,10 @@ func (t *Tree[V]) lockIn(r *Range[V], n *node[V], lo, hi uint64) {
 			// since the slot may have gained a child while we
 			// waited for the bit.
 			cpu.Write(n.line(idx)) // CAS on the lock bit
-			cpu.AcquireBit(&n.slots[idx].bit)
-			st = n.slots[idx].st.Load()
+			n.acquire(cpu, idx)
+			st = n.sts[idx].Load()
 			if st != nil && st.child != nil {
-				cpu.ReleaseBit(&n.slots[idx].bit)
+				n.release(cpu, idx)
 				continue
 			}
 			if n.level == 0 || (clipLo == slotLo && clipHi == slotHi) {
@@ -106,12 +142,12 @@ func (t *Tree[V]) expand(cpu *hw.CPU, n *node[V], idx int, st *slotState[V]) *no
 	child := t.newNode(cpu, n.level-1, n.slotBase(idx), fill, used, true)
 	child.parent = n
 	child.parentIdx = idx
-	n.slots[idx].st.Store(&slotState[V]{child: child.obj})
+	n.sts[idx].Store(&slotState[V]{child: child.obj})
 	cpu.Write(n.line(idx))
 	if st == nil {
 		t.rc.Inc(cpu, n.obj) // slot went empty -> used
 	}
-	cpu.ReleaseBit(&n.slots[idx].bit)
+	n.release(cpu, idx)
 	return child
 }
 
@@ -125,7 +161,7 @@ func (t *Tree[V]) lockedDescend(r *Range[V], n *node[V], lo, hi uint64) {
 		slotLo := n.slotBase(idx)
 		slotHi := slotLo + sp
 		if slotHi <= lo || slotLo >= hi {
-			cpu.ReleaseBit(&n.slots[idx].bit)
+			n.release(cpu, idx)
 			continue
 		}
 		clipLo, clipHi := maxU(lo, slotLo), minU(hi, slotHi)
@@ -133,7 +169,7 @@ func (t *Tree[V]) lockedDescend(r *Range[V], n *node[V], lo, hi uint64) {
 			r.entries = append(r.entries, Entry[V]{r: r, n: n, idx: idx, Lo: clipLo, Hi: clipHi})
 			continue
 		}
-		st := n.slots[idx].st.Load() // stable: we hold the bit
+		st := n.sts[idx].Load() // stable: we hold the bit
 		child := t.expand(cpu, n, idx, st)
 		r.pins = append(r.pins, child)
 		t.lockedDescend(r, child, clipLo, clipHi)
@@ -147,12 +183,12 @@ func (t *Tree[V]) lockedDescend(r *Range[V], n *node[V], lo, hi uint64) {
 // serializes against concurrent mmaps of the region).
 func (t *Tree[V]) LockPage(cpu *hw.CPU, vpn uint64) *Range[V] {
 	checkRange(vpn, vpn+1)
-	r := &Range[V]{t: t, cpu: cpu, Lo: vpn, Hi: vpn + 1}
+	r := t.getRange(cpu, vpn, vpn+1)
 	n := t.root
 	for {
 		idx := n.slotIndex(vpn)
 		cpu.Read(n.line(idx))
-		st := n.slots[idx].st.Load()
+		st := n.sts[idx].Load()
 		if st != nil && st.child != nil {
 			child := t.loadChild(cpu, n, idx, st)
 			if child == nil {
@@ -163,10 +199,10 @@ func (t *Tree[V]) LockPage(cpu *hw.CPU, vpn uint64) *Range[V] {
 			continue
 		}
 		cpu.Write(n.line(idx))
-		cpu.AcquireBit(&n.slots[idx].bit)
-		st = n.slots[idx].st.Load()
+		n.acquire(cpu, idx)
+		st = n.sts[idx].Load()
 		if st != nil && st.child != nil {
-			cpu.ReleaseBit(&n.slots[idx].bit)
+			n.release(cpu, idx)
 			continue
 		}
 		if n.level == 0 || st == nil {
@@ -194,7 +230,7 @@ func (t *Tree[V]) expandToward(r *Range[V], n *node[V], idx int, st *slotState[V
 		keep := child.slotIndex(vpn)
 		for i := 0; i < SlotsPerNode; i++ {
 			if i != keep {
-				cpu.ReleaseBit(&child.slots[i].bit)
+				child.release(cpu, i)
 			}
 		}
 		if child.level == 0 {
@@ -202,7 +238,7 @@ func (t *Tree[V]) expandToward(r *Range[V], n *node[V], idx int, st *slotState[V
 			return
 		}
 		n, idx = child, keep
-		st = n.slots[idx].st.Load() // stable under our bit
+		st = n.sts[idx].Load() // stable under our bit
 	}
 }
 
@@ -212,23 +248,29 @@ func (r *Range[V]) Entries() []Entry[V] { return r.entries }
 // Entry returns the i'th locked entry.
 func (r *Range[V]) Entry(i int) *Entry[V] { return &r.entries[i] }
 
-// Unlock releases all lock bits (right to left) and traversal pins.
+// Unlock releases all lock bits (right to left) and traversal pins, then
+// returns the Range to its CPU's cache. The Range must not be used after
+// Unlock.
 func (r *Range[V]) Unlock() {
 	for i := len(r.entries) - 1; i >= 0; i-- {
 		e := &r.entries[i]
-		r.cpu.ReleaseBit(&e.n.slots[e.idx].bit)
+		e.n.release(r.cpu, e.idx)
 	}
-	r.entries = nil
 	for i := len(r.pins) - 1; i >= 0; i-- {
 		r.t.unpin(r.cpu, r.pins[i])
 	}
-	r.pins = nil
+	// Drop node references but keep any grown capacity for reuse.
+	clear(r.entries)
+	clear(r.pins)
+	r.entries = r.entries[:0]
+	r.pins = r.pins[:0]
+	r.busy = false
 }
 
 // Value returns the entry's current value (nil if unmapped). For a folded
 // entry the value stands for every page in [Lo, Hi).
 func (e *Entry[V]) Value() *V {
-	st := e.n.slots[e.idx].st.Load()
+	st := e.n.sts[e.idx].Load()
 	if st == nil {
 		return nil
 	}
@@ -240,16 +282,16 @@ func (e *Entry[V]) Value() *V {
 func (e *Entry[V]) Set(v *V) {
 	t := e.r.t
 	cpu := e.r.cpu
-	old := e.n.slots[e.idx].st.Load()
+	old := e.n.sts[e.idx].Load()
 	cpu.Write(e.n.line(e.idx))
 	if v == nil {
-		e.n.slots[e.idx].st.Store(nil)
+		e.n.sts[e.idx].Store(nil)
 		if old != nil {
 			t.rc.Dec(cpu, e.n.obj)
 		}
 		return
 	}
-	e.n.slots[e.idx].st.Store(&slotState[V]{val: v})
+	e.n.sts[e.idx].Store(&slotState[V]{val: v})
 	if old == nil {
 		t.rc.Inc(cpu, e.n.obj)
 	}

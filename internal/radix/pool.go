@@ -1,0 +1,87 @@
+package radix
+
+import (
+	"unsafe"
+
+	"radixvm/internal/hw"
+)
+
+// Per-CPU node pools, mirroring sv6's per-core slab allocators: freeNode
+// recycles a reclaimed node onto the freeing core's pool instead of feeding
+// the garbage collector, and newNode pops from the allocating core's pool.
+// Nodes are ~12 KB each (512 slots + 128 cache-line models), so without
+// recycling every folded-slot expansion churns the heap and the GC — the
+// seed profile attributed 93% of allocated bytes to newNode.
+//
+// Concurrency discipline: pool i is touched only by the goroutine driving
+// CPU i (the same owner-only rule as Refcache's per-core delta caches), so
+// the pools need no locks. Quiescent helpers like Refcache.FlushAll may
+// drive several CPUs from one goroutine; that is fine — the rule is one
+// goroutine per CPU at a time, not one goroutine forever.
+//
+// Safety of recycling: a node is freed only when its true reference count
+// is zero, meaning no traversal pins and no used slots, so no reader can
+// hold the node itself. Stale slotState pointers may still reference the
+// node's *refcache.Obj, but every incarnation gets a fresh Obj (and thus a
+// fresh weak reference), so a TryGet through a stale link can only fail —
+// it can never resurrect the recycled memory under its new identity.
+
+// poolCap bounds each CPU's free list; beyond it nodes fall back to the GC.
+const poolCap = 64
+
+type nodePoolData[V any] struct {
+	free []*node[V]
+}
+
+// nodePool pads the per-CPU free list to a whole multiple of the host
+// cache-line size so adjacent CPUs' pools never false-share.
+type nodePool[V any] struct {
+	nodePoolData[V]
+	_ [(cacheLine - unsafe.Sizeof(nodePoolData[struct{}]{})%cacheLine) % cacheLine]byte
+}
+
+const cacheLine = 64
+
+// getNode pops a recycled node for cpu, or nil if the pool is empty (the
+// caller then heap-allocates). Recycled nodes are fully reset: empty slots,
+// unheld bits, cold lines.
+func (t *Tree[V]) getNode(cpu *hw.CPU) *node[V] {
+	p := &t.pools[cpu.ID()].nodePoolData
+	if n := len(p.free); n > 0 {
+		nd := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return nd
+	}
+	return nil
+}
+
+// recycle resets n and pushes it onto cpu's pool. Called from freeNode,
+// after the parent slot has been unlinked, so no core can reach n.
+func (t *Tree[V]) recycle(cpu *hw.CPU, n *node[V]) {
+	p := &t.pools[cpu.ID()].nodePoolData
+	if len(p.free) >= poolCap {
+		return // pool full: let the GC take it
+	}
+	n.parent = nil
+	n.obj = nil
+	for i := range n.sts {
+		// Plain stores are legal: the node is unreachable, and the next
+		// incarnation is published through the parent slot's atomic store.
+		storePlain(&n.sts[i], nil)
+		n.gates[i].Reset()
+	}
+	for w := range n.bits {
+		n.bits[w].Store(0)
+	}
+	for i := range n.lines {
+		n.lines[i].Reset()
+	}
+	p.free = append(p.free, n)
+}
+
+// PoolSize returns the number of recycled nodes cached for cpu
+// (diagnostics and tests).
+func (t *Tree[V]) PoolSize(cpu *hw.CPU) int {
+	return len(t.pools[cpu.ID()].free)
+}

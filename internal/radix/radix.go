@@ -30,6 +30,7 @@ package radix
 import (
 	"fmt"
 	"sync/atomic"
+	"unsafe"
 
 	"radixvm/internal/hw"
 	"radixvm/internal/refcache"
@@ -52,20 +53,53 @@ const (
 	slotsPerLine = 4
 )
 
+// cloneKind selects how folded-slot expansion replicates the folded value
+// into the 512 slots of a fresh child node — the allocation behavior of the
+// hottest path in the tree.
+type cloneKind int
+
+const (
+	// cloneShared: clone is the identity (New with nil clone). All 512
+	// slots of an expanded node share one immutable slotState; expansion
+	// performs a single allocation.
+	cloneShared cloneKind = iota
+	// cloneCopy: clone is a plain value copy (NewCopy). Expansion backs
+	// all 512 values and slot states with two contiguous slabs.
+	cloneCopy
+	// cloneFunc: clone is an arbitrary user function (New with non-nil
+	// clone). Expansion must call it per slot, but the slot states still
+	// come from one slab.
+	cloneFunc
+)
+
 // Tree is a concurrent radix tree mapping VPNs to values of type V.
 //
 // clone duplicates a value when a folded range must be split into per-page
 // copies (pass nil to share pointers, appropriate for immutable values).
 type Tree[V any] struct {
-	m     *hw.Machine
-	rc    *refcache.Refcache
-	clone func(*V) *V
-	root  *node[V]
+	m        *hw.Machine
+	rc       *refcache.Refcache
+	clone    func(*V) *V
+	kind     cloneKind
+	pageZero uint64 // m.Config().PageZero, hoisted out of newNode
+	root     *node[V]
+
+	// pools and ranges are per-CPU scratch state (owner-goroutine only,
+	// like Refcache's delta caches): recycled nodes and reusable Range
+	// carriers, which make the steady-state lock paths allocation-free.
+	pools  []nodePool[V]
+	ranges []*Range[V]
 
 	nodesLive atomic.Int64
 	nodesEver atomic.Int64
 }
 
+// node mirrors the paper's 8 KB radix node (Figure 3): 512 slots, each a
+// 16-byte (value pointer, lock bit) pair. The Go-side layout is kept lean
+// because nodes dominate the tree's real memory: slot states are one
+// pointer each, the 512 lock bits are packed into 8 atomic words (the lock
+// really is one bit of the slot, as in the paper), and only the
+// virtual-time gates and cache-line models add simulation overhead.
 type node[V any] struct {
 	tree      *Tree[V]
 	level     int    // 0 at leaves
@@ -73,13 +107,40 @@ type node[V any] struct {
 	parent    *node[V]
 	parentIdx int
 	obj       *refcache.Obj // counts used slots + traversal pins
-	slots     [SlotsPerNode]slot[V]
+	sts       [SlotsPerNode]atomic.Pointer[slotState[V]]
+	bits      [SlotsPerNode / 64]atomic.Uint64 // packed slot lock bits
+	gates     [SlotsPerNode]hw.Gate            // per-slot critical-section gates
 	lines     [SlotsPerNode / slotsPerLine]hw.Line
 }
 
-type slot[V any] struct {
-	bit hw.SpinBit
-	st  atomic.Pointer[slotState[V]]
+// acquire takes slot idx's lock bit for cpu; the caller must have charged
+// the slot's cache line (the acquisition is a CAS on it).
+func (n *node[V]) acquire(cpu *hw.CPU, idx int) {
+	cpu.AcquireBitIn(&n.bits[idx>>6], uint64(1)<<(uint(idx)&63), &n.gates[idx])
+}
+
+// release drops slot idx's lock bit.
+func (n *node[V]) release(cpu *hw.CPU, idx int) {
+	cpu.ReleaseBitIn(&n.bits[idx>>6], uint64(1)<<(uint(idx)&63), &n.gates[idx])
+}
+
+// The plain-store fast path below assumes atomic.Pointer is exactly one
+// word (its zero-size noCopy/type-guard fields precede the pointer); the
+// two declarations assert size equality in both directions, so compilation
+// fails if a future runtime grows or shrinks the layout.
+var (
+	_ [unsafe.Sizeof(atomic.Pointer[int]{}) - unsafe.Sizeof(unsafe.Pointer(nil))]byte
+	_ [unsafe.Sizeof(unsafe.Pointer(nil)) - unsafe.Sizeof(atomic.Pointer[int]{})]byte
+)
+
+// storePlain initializes slot state p with a plain (non-atomic) store.
+// Only legal while the node is unpublished (construction or pool reset), so
+// no other goroutine can observe the slot: the parent-slot atomic store
+// that later publishes the node orders these writes before any reader's
+// atomic loads. Expanding a folded slot initializes all 512 slots of the
+// child, and doing it with atomic stores was 20% of flat CPU in the seed.
+func storePlain[V any](p *atomic.Pointer[slotState[V]], st *slotState[V]) {
+	*(**slotState[V])(unsafe.Pointer(p)) = st
 }
 
 // slotState is the immutable content of a slot: either a child link (an
@@ -91,31 +152,101 @@ type slotState[V any] struct {
 }
 
 // New creates an empty tree on machine m, using rc for node lifetimes.
+// A nil clone shares value pointers (appropriate for immutable values) and
+// lets folded-slot expansion share a single slot state across all 512
+// slots of the new child.
 func New[V any](m *hw.Machine, rc *refcache.Refcache, clone func(*V) *V) *Tree[V] {
+	kind := cloneFunc
 	if clone == nil {
+		kind = cloneShared
 		clone = func(v *V) *V { return v }
 	}
-	t := &Tree[V]{m: m, rc: rc, clone: clone}
+	return buildTree(m, rc, clone, kind)
+}
+
+// NewCopy creates a tree whose clone is a plain value copy (c := *v). This
+// declares that V needs no deep cloning, which lets folded-slot expansion
+// back all 512 per-page copies with one contiguous slab instead of 512
+// individual heap allocations — the right choice for flat metadata structs
+// like VM mappings.
+func NewCopy[V any](m *hw.Machine, rc *refcache.Refcache) *Tree[V] {
+	return buildTree(m, rc, func(v *V) *V { c := *v; return &c }, cloneCopy)
+}
+
+func buildTree[V any](m *hw.Machine, rc *refcache.Refcache, clone func(*V) *V, kind cloneKind) *Tree[V] {
+	t := &Tree[V]{
+		m:        m,
+		rc:       rc,
+		clone:    clone,
+		kind:     kind,
+		pageZero: m.Config().PageZero,
+		pools:    make([]nodePool[V], m.NCores()),
+		ranges:   make([]*Range[V], m.NCores()),
+	}
 	t.root = t.newNode(nil, Levels-1, 0, nil, 0, false)
 	// The root is permanent: its object holds one immortal reference.
 	return t
 }
 
-// newNode allocates a node at the given level whose slots all hold clones
-// of fill (nil for an empty node). If locked, every slot's lock bit is
-// taken by the caller (lock-bit propagation during expansion). The caller
-// receives the node with one traversal pin already held on cpu (none for
-// the root, which instead gets an immortal reference).
+// newNode allocates (or recycles) a node at the given level whose slots all
+// hold clones of fill (nil for an empty node). If locked, every slot's lock
+// bit is taken by the caller (lock-bit propagation during expansion). The
+// caller receives the node with one traversal pin already held on cpu (none
+// for the root, which instead gets an immortal reference).
+//
+// The node is private until the caller publishes it through the parent
+// slot's atomic store, so initialization uses plain stores, slab-backed
+// slot states, and uncontended lock-bit pre-acquisition — none of which
+// changes the simulated cost accounting (a fresh node's lines are cold and
+// its bits free, exactly as before).
 func (t *Tree[V]) newNode(cpu *hw.CPU, level int, base uint64, fill *V, used int64, locked bool) *node[V] {
-	n := &node[V]{tree: t, level: level, base: base}
+	var n *node[V]
+	if cpu != nil {
+		n = t.getNode(cpu)
+	}
+	if n == nil {
+		n = &node[V]{}
+	}
+	n.tree = t
+	n.level = level
+	n.base = base
 	if fill != nil {
-		for i := range n.slots {
-			n.slots[i].st.Store(&slotState[V]{val: t.clone(fill)})
+		switch t.kind {
+		case cloneShared:
+			// Identity clone: every slot shares one immutable state.
+			st := &slotState[V]{val: fill}
+			for i := range n.sts {
+				storePlain(&n.sts[i], st)
+			}
+		case cloneCopy:
+			// Value-copy clone: one slab of values, one slab of states.
+			vals := make([]V, SlotsPerNode)
+			states := make([]slotState[V], SlotsPerNode)
+			for i := range n.sts {
+				vals[i] = *fill
+				states[i].val = &vals[i]
+				storePlain(&n.sts[i], &states[i])
+			}
+		default:
+			// Arbitrary clone: per-slot values, slab-backed states.
+			states := make([]slotState[V], SlotsPerNode)
+			for i := range n.sts {
+				states[i].val = t.clone(fill)
+				storePlain(&n.sts[i], &states[i])
+			}
 		}
 	}
 	if locked {
-		for i := range n.slots {
-			cpu.AcquireBit(&n.slots[i].bit)
+		// Lock-bit propagation (§3.4) in bulk: set all 512 bits with 8
+		// word stores and prime the gates; the node is unpublished, so no
+		// contention is possible and no cost is charged — exactly as the
+		// seed's per-slot acquisition of 512 fresh, free bits.
+		now := cpu.Now()
+		for w := range n.bits {
+			n.bits[w].Store(^uint64(0))
+		}
+		for i := range n.gates {
+			n.gates[i].Prime(now)
 		}
 	}
 	initial := used
@@ -123,7 +254,7 @@ func (t *Tree[V]) newNode(cpu *hw.CPU, level int, base uint64, fill *V, used int
 		initial = 1 // the root's immortal self-reference
 	} else {
 		initial += 1 // the creator's traversal pin
-		cpu.Tick(t.m.Config().PageZero)
+		cpu.Tick(t.pageZero)
 	}
 	n.obj = t.rc.NewObj(initial, freeNode[V])
 	n.obj.Data = n
@@ -133,8 +264,9 @@ func (t *Tree[V]) newNode(cpu *hw.CPU, level int, base uint64, fill *V, used int
 }
 
 // freeNode is the Refcache callback that reclaims an empty node: it clears
-// the parent's slot (racing fairly with concurrent lockers via CAS) and
-// drops the used-slot reference the child link held on the parent.
+// the parent's slot (racing fairly with concurrent lockers via CAS), drops
+// the used-slot reference the child link held on the parent, and recycles
+// the node onto the freeing CPU's pool.
 func freeNode[V any](cpu *hw.CPU, o *refcache.Obj) {
 	n := o.Data.(*node[V])
 	t := n.tree
@@ -143,14 +275,17 @@ func freeNode[V any](cpu *hw.CPU, o *refcache.Obj) {
 	if p == nil {
 		return // root (never freed in practice)
 	}
-	s := &p.slots[n.parentIdx]
-	st := s.st.Load()
-	if st != nil && st.child == o && s.st.CompareAndSwap(st, nil) {
+	s := &p.sts[n.parentIdx]
+	st := s.Load()
+	if st != nil && st.child == o && s.CompareAndSwap(st, nil) {
 		cpu.Write(&p.lines[n.parentIdx/slotsPerLine])
 		t.rc.Dec(cpu, p.obj)
 	}
 	// If the CAS failed, a locker already replaced the dead link and took
-	// over the accounting.
+	// over the accounting. Either way no core can reach n anymore (its true
+	// count is zero: no pins, no used slots), so it is safe to recycle.
+	o.Data = nil
+	t.recycle(cpu, n)
 }
 
 // span returns the number of VPNs one slot of a node at this level covers.
@@ -189,7 +324,7 @@ func (t *Tree[V]) loadChild(cpu *hw.CPU, n *node[V], idx int, st *slotState[V]) 
 	if obj == nil {
 		// The child died. Whoever swings the slot to nil does the
 		// parent accounting; the loser simply moves on.
-		if n.slots[idx].st.CompareAndSwap(st, nil) {
+		if n.sts[idx].CompareAndSwap(st, nil) {
 			cpu.Write(n.line(idx))
 			t.rc.Dec(cpu, n.obj)
 		}
@@ -206,32 +341,38 @@ func (t *Tree[V]) unpin(cpu *hw.CPU, n *node[V]) {
 // Lookup returns the value covering vpn, or nil if unmapped. It takes no
 // locks: interior nodes are only read, so concurrent lookups of disjoint
 // keys against concurrent inserts of disjoint keys move no cache lines
-// (Figure 7's property).
+// (Figure 7's property). It also performs no heap allocations — the
+// traversal pins live in a fixed on-stack array (the tree is at most
+// Levels deep), which keeps the pagefault and Figure 7 read paths off the
+// allocator entirely.
 func (t *Tree[V]) Lookup(cpu *hw.CPU, vpn uint64) *V {
 	checkRange(vpn, vpn+1)
 	n := t.root
-	pinned := []*node[V]{}
-	defer func() {
-		for _, p := range pinned {
-			t.unpin(cpu, p)
-		}
-	}()
+	var pinned [Levels]*node[V]
+	np := 0
+	var ret *V
 	for {
 		idx := n.slotIndex(vpn)
 		cpu.Read(n.line(idx))
-		st := n.slots[idx].st.Load()
+		st := n.sts[idx].Load()
 		if st == nil {
-			return nil
+			break
 		}
 		if st.child != nil {
 			child := t.loadChild(cpu, n, idx, st)
 			if child == nil {
-				return nil
+				break
 			}
-			pinned = append(pinned, child)
+			pinned[np] = child
+			np++
 			n = child
 			continue
 		}
-		return st.val
+		ret = st.val
+		break
 	}
+	for i := np - 1; i >= 0; i-- {
+		t.unpin(cpu, pinned[i])
+	}
+	return ret
 }

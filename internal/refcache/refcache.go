@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"radixvm/internal/hw"
 )
@@ -42,6 +43,7 @@ const DefaultCacheSlots = 4096
 type Refcache struct {
 	m         *hw.Machine
 	slots     uint64
+	localHit  uint64 // m.Config().LocalHit, hoisted out of the Inc/Dec path
 	cores     []coreState
 	nextObjID atomic.Uint64
 
@@ -51,12 +53,23 @@ type Refcache struct {
 	numFlushed int // cores that have flushed in the current epoch
 }
 
-type coreState struct {
+// cacheLine is the (real) host cache-line size the per-core padding targets.
+const cacheLine = 64
+
+type coreStateData struct {
 	cache     []entry
 	review    []reviewEntry
 	epoch     uint64 // last epoch this core flushed in
 	lastFlush uint64 // virtual time of the last flush
-	_         [32]byte
+}
+
+// coreState pads coreStateData to a whole multiple of the cache-line size,
+// so adjacent cores' delta caches in the cores slice can never share a
+// line. (A fixed-size tail pad is not enough: it left the struct at 96
+// bytes, straddling every other line boundary.)
+type coreState struct {
+	coreStateData
+	_ [(cacheLine - unsafe.Sizeof(coreStateData{})%cacheLine) % cacheLine]byte
 }
 
 type entry struct {
@@ -81,7 +94,7 @@ func NewSized(m *hw.Machine, slots int) *Refcache {
 	if slots <= 0 || slots&(slots-1) != 0 {
 		panic(fmt.Sprintf("refcache: cache slots %d not a power of two", slots))
 	}
-	rc := &Refcache{m: m, slots: uint64(slots)}
+	rc := &Refcache{m: m, slots: uint64(slots), localHit: m.Config().LocalHit}
 	rc.cores = make([]coreState, m.NCores())
 	for i := range rc.cores {
 		rc.cores[i].cache = make([]entry, slots)
@@ -107,6 +120,7 @@ type Obj struct {
 	dirty    bool  // became non-zero while on a review queue
 	onReview bool
 	weak     Weak                // back-referencing weak state (always present)
+	weak0    weakState           // the initial weak state, embedded so NewObj is one allocation
 	free     func(*hw.CPU, *Obj) // invoked exactly once when truly dead
 	freed    atomic.Bool
 }
@@ -115,13 +129,20 @@ type Obj struct {
 // non-nil, runs exactly once when Refcache determines the true count is
 // zero (and no TryGet revived the object). It runs with the object's lock
 // held, on the goroutine performing epoch maintenance.
+//
+// Construction is a single allocation: the initial weak state is embedded
+// in the object rather than heap-allocated, which matters to callers that
+// create objects on hot paths (one per radix-tree node, including nodes
+// recycled through the per-CPU pools — each recycled node still gets a
+// fresh Obj, so stale weak references can never resurrect a recycled node).
 func (rc *Refcache) NewObj(initial int64, free func(*hw.CPU, *Obj)) *Obj {
 	o := &Obj{
 		id:     rc.nextObjID.Add(1),
 		refcnt: initial,
 		free:   free,
 	}
-	o.weak.state.Store(&weakState{obj: o})
+	o.weak0 = weakState{obj: o}
+	o.weak.state.Store(&o.weak0)
 	return o
 }
 
@@ -162,7 +183,7 @@ func (rc *Refcache) adjust(cpu *hw.CPU, o *Obj, d int64) {
 		e.delta = 0
 	}
 	e.delta += d
-	cpu.Tick(rc.m.Config().LocalHit) // per-core cache: core-local line
+	cpu.Tick(rc.localHit) // per-core cache: core-local line
 }
 
 // evict applies a cached delta to o's global count, implementing the

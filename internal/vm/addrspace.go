@@ -28,11 +28,6 @@ type Mapping struct {
 	altCtr   counter.Counter
 }
 
-func cloneMapping(v *Mapping) *Mapping {
-	c := *v
-	return &c
-}
-
 // AddressSpace is a RadixVM address space.
 type AddressSpace struct {
 	m     *hw.Machine
@@ -55,7 +50,9 @@ func New(m *hw.Machine, rc *refcache.Refcache, alloc *mem.Allocator, mmu MMU) *A
 		m:     m,
 		rc:    rc,
 		alloc: alloc,
-		tree:  radix.New[Mapping](m, rc, cloneMapping),
+		// A Mapping needs no deep clone, so NewCopy lets folded-slot
+		// expansion slab-allocate the 512 per-page copies.
+		tree: radix.NewCopy[Mapping](m, rc),
 		mmu:   mmu,
 	}
 }
