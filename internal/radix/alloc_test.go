@@ -2,6 +2,7 @@ package radix
 
 import (
 	"testing"
+	"unsafe"
 
 	"radixvm/internal/hw"
 )
@@ -39,7 +40,8 @@ func TestLookupZeroAlloc(t *testing.T) {
 
 // TestLockPageSteadyStateAllocs bounds the pagefault path: once the leaf
 // exists, LockPage + Value + Set + Unlock may allocate at most the one
-// immutable slotState that Set swaps in.
+// immutable slotState that Set swaps in (zero when the value is unchanged;
+// see TestFaultPathZeroAlloc).
 func TestLockPageSteadyStateAllocs(t *testing.T) {
 	m, _, tr := newTree(1)
 	c := m.CPU(0)
@@ -55,6 +57,83 @@ func TestLockPageSteadyStateAllocs(t *testing.T) {
 	})
 	if got > 1 {
 		t.Errorf("steady-state LockPage+Set+Unlock = %v allocs/op, want <= 1", got)
+	}
+}
+
+// TestFaultPathZeroAlloc locks down the index half of the page-fault path
+// at exactly zero allocations: lock the page, read its metadata, update it
+// in place, store it back, unlock. Set recognizes the unchanged value
+// pointer and reuses the slot's immutable state, so the fill-fault path —
+// millions of ops in the Figure 5 benchmarks — never touches the heap.
+func TestFaultPathZeroAlloc(t *testing.T) {
+	m, _, tr := newTree(1)
+	c := m.CPU(0)
+	setRange(tr, c, 2048, 2064, &val{1})
+	// Fault each page once so leaves exist and groups are materialized.
+	for vpn := uint64(2048); vpn < 2064; vpn++ {
+		r := tr.LockPage(c, vpn)
+		r.Entry(0).Set(r.Entry(0).Value())
+		r.Unlock()
+	}
+	vpn := uint64(2048)
+	got := testing.AllocsPerRun(300, func() {
+		r := tr.LockPage(c, vpn)
+		e := r.Entry(0)
+		v := e.Value()
+		if v == nil {
+			t.Fatal("page lost")
+		}
+		v.x++      // update metadata in place, as PageFault does
+		e.Set(v)   // unchanged pointer: no slot-state allocation
+		r.Unlock()
+		vpn = 2048 + (vpn+1)%16
+	})
+	if got != 0 {
+		t.Errorf("fault-path lock/read/update/unlock = %v allocs/op, want 0", got)
+	}
+}
+
+// TestNodeFootprintUniformVsDiverged is the bytes-per-node accounting test
+// for the copy-on-diverge representation: a fault-path chain node (diverged
+// in a single slot) must cost a small fraction of the fully materialized
+// node, which in turn is what the pre-lazy representation paid for every
+// node. The thresholds encode the ROADMAP's ~4x live-set claim with slack.
+func TestNodeFootprintUniformVsDiverged(t *testing.T) {
+	m, _, tr := newTree(1)
+	c := m.CPU(0)
+	// Expand a folded root-level range down to one leaf: the paper's
+	// fault path, producing a chain of singly-diverged nodes.
+	setRange(tr, c, 0, span(2), &val{7})
+	r := tr.LockPage(c, 1234)
+	leaf := r.Entry(0).n
+	r.Entry(0).Set(r.Entry(0).Value())
+	r.Unlock()
+
+	nodeSz := int64(unsafe.Sizeof(node[val]{}))
+	groupSz := int64(unsafe.Sizeof(slotGroup[val]{}))
+	eager := nodeSz + int64(groupsPerNode)*groupSz // what every node used to cost
+
+	compact := nodeSz + countGroups(leaf)*groupSz
+	if compact*4 > eager {
+		t.Errorf("chain-node footprint %d B not 4x below eager %d B (%d groups materialized)",
+			compact, eager, countGroups(leaf))
+	}
+
+	// Touch every slot of the leaf: full divergence materializes every
+	// group and converges to the eager footprint.
+	for i := 0; i < SlotsPerNode; i++ {
+		tr.Lookup(c, leaf.base+uint64(i))
+	}
+	if got := countGroups(leaf); got != int64(groupsPerNode) {
+		t.Fatalf("fully touched leaf materialized %d groups, want %d", got, groupsPerNode)
+	}
+
+	// The tree-wide estimate must track the same accounting.
+	if fp := tr.FootprintBytes(); fp < uint64(eager) || fp > uint64(tr.NodesLive())*uint64(eager) {
+		t.Errorf("FootprintBytes = %d, outside [%d, %d]", fp, eager, tr.NodesLive()*eager)
+	}
+	if tr.GroupsEver() < int64(groupsPerNode) {
+		t.Errorf("GroupsEver = %d, want >= %d after full divergence", tr.GroupsEver(), groupsPerNode)
 	}
 }
 

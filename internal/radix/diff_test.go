@@ -1,0 +1,99 @@
+package radix
+
+import (
+	"math/rand"
+	"testing"
+
+	"radixvm/internal/hw"
+	"radixvm/internal/rbtree"
+)
+
+// TestDifferentialVsRBTree drives identical randomized op sequences
+// through the radix tree and the red-black tree that serves as the Linux
+// baseline's VMA index, then compares the final mappings page by page.
+// The rbtree is the straightforward per-page reference model: whatever
+// the radix tree's folding, expansion, lock-bit propagation, lazy group
+// materialization, and reclamation do internally, the visible mapping
+// must match a flat ordered map.
+func TestDifferentialVsRBTree(t *testing.T) {
+	const (
+		trials = 6
+		window = uint64(1 << 14) // covers leaf, level-1, and level-2 folds
+		ops    = 400
+	)
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		m, rc, tr := newTree(1)
+		c := m.CPU(0)
+		ref := rbtree.New[int]()
+
+		for op := 0; op < ops; op++ {
+			lo := uint64(rng.Intn(int(window)))
+			ln := uint64(rng.Intn(700) + 1)
+			hi := lo + ln
+			if hi > window {
+				hi = window
+			}
+			if hi == lo {
+				hi = lo + 1
+			}
+			switch rng.Intn(6) {
+			case 0, 1, 2: // mmap-style: fold the range to one value
+				v := &val{op}
+				setRange(tr, c, lo, hi, v)
+				for p := lo; p < hi; p++ {
+					ref.Insert(c, p, op)
+				}
+			case 3: // munmap-style: clear the range
+				clearRange(tr, c, lo, hi)
+				for p := lo; p < hi; p++ {
+					ref.Delete(c, p)
+				}
+			case 4: // pagefault-style: expand down to one leaf page
+				r := tr.LockPage(c, lo)
+				e := r.Entry(0)
+				if v := e.Value(); v != nil {
+					v.x = op
+					e.Set(v)
+					// The fold may cover more than this page, but the
+					// in-place update must be visible on exactly the
+					// pages the entry spans.
+					for p := e.Lo; p < e.Hi; p++ {
+						ref.Insert(c, p, op)
+					}
+				}
+				r.Unlock()
+			default: // mid-sequence spot check
+				if got, want := lookupVal(tr, c, lo), refGet(ref, c, lo); got != want {
+					t.Fatalf("trial %d op %d: Lookup(%d) = %d, rbtree = %d", trial, op, lo, got, want)
+				}
+			}
+			rc.Maintain(c)
+		}
+		quiesce(rc)
+
+		// Final comparison over the whole window, plus a stripe beyond it
+		// to catch folds bleeding out of range.
+		for p := uint64(0); p < window+64; p++ {
+			if got, want := lookupVal(tr, c, p), refGet(ref, c, p); got != want {
+				t.Fatalf("trial %d: final mapping diverged at page %d: radix %d, rbtree %d", trial, p, got, want)
+			}
+		}
+	}
+}
+
+// lookupVal flattens a radix lookup to an int (-1 = unmapped).
+func lookupVal(tr *Tree[val], c *hw.CPU, p uint64) int {
+	if v := tr.Lookup(c, p); v != nil {
+		return v.x
+	}
+	return -1
+}
+
+// refGet flattens an rbtree lookup to an int (-1 = unmapped).
+func refGet(ref *rbtree.Tree[int], c *hw.CPU, p uint64) int {
+	if v, ok := ref.Get(c, p); ok {
+		return v
+	}
+	return -1
+}

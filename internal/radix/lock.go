@@ -86,8 +86,9 @@ func (t *Tree[V]) lockIn(r *Range[V], n *node[V], lo, hi uint64) {
 		clipLo, clipHi := maxU(lo, slotLo), minU(hi, slotHi)
 
 		for {
-			cpu.Read(n.line(idx))
-			st := n.sts[idx].Load()
+			g := n.group(idx)
+			cpu.Read(&g.line)
+			st := g.sts[idx%slotsPerLine].Load()
 			if st != nil && st.child != nil {
 				// Interior link: descend without locking
 				// (traversal is pinned, not locked).
@@ -102,9 +103,9 @@ func (t *Tree[V]) lockIn(r *Range[V], n *node[V], lo, hi uint64) {
 			// Terminal slot: take the lock bit, then re-check,
 			// since the slot may have gained a child while we
 			// waited for the bit.
-			cpu.Write(n.line(idx)) // CAS on the lock bit
+			cpu.Write(&g.line) // CAS on the lock bit
 			n.acquire(cpu, idx)
-			st = n.sts[idx].Load()
+			st = g.sts[idx%slotsPerLine].Load()
 			if st != nil && st.child != nil {
 				n.release(cpu, idx)
 				continue
@@ -142,7 +143,7 @@ func (t *Tree[V]) expand(cpu *hw.CPU, n *node[V], idx int, st *slotState[V]) *no
 	child := t.newNode(cpu, n.level-1, n.slotBase(idx), fill, used, true)
 	child.parent = n
 	child.parentIdx = idx
-	n.sts[idx].Store(&slotState[V]{child: child.obj})
+	n.slot(idx).Store(&slotState[V]{child: child.obj})
 	cpu.Write(n.line(idx))
 	if st == nil {
 		t.rc.Inc(cpu, n.obj) // slot went empty -> used
@@ -152,8 +153,9 @@ func (t *Tree[V]) expand(cpu *hw.CPU, n *node[V], idx int, st *slotState[V]) *no
 }
 
 // lockedDescend processes a freshly expanded child whose lock bits are all
-// held: slots outside [lo, hi) are released, slots wholly inside become
-// entries, and boundary interior slots are expanded further.
+// held: slots outside [lo, hi) are released (in bulk, staying uniform),
+// slots wholly inside become entries, and boundary interior slots are
+// expanded further.
 func (t *Tree[V]) lockedDescend(r *Range[V], n *node[V], lo, hi uint64) {
 	cpu := r.cpu
 	sp := span(n.level)
@@ -161,7 +163,7 @@ func (t *Tree[V]) lockedDescend(r *Range[V], n *node[V], lo, hi uint64) {
 		slotLo := n.slotBase(idx)
 		slotHi := slotLo + sp
 		if slotHi <= lo || slotLo >= hi {
-			n.release(cpu, idx)
+			n.bulkRelease(cpu, idx)
 			continue
 		}
 		clipLo, clipHi := maxU(lo, slotLo), minU(hi, slotHi)
@@ -169,7 +171,7 @@ func (t *Tree[V]) lockedDescend(r *Range[V], n *node[V], lo, hi uint64) {
 			r.entries = append(r.entries, Entry[V]{r: r, n: n, idx: idx, Lo: clipLo, Hi: clipHi})
 			continue
 		}
-		st := n.sts[idx].Load() // stable: we hold the bit
+		st := n.peek(idx) // stable: we hold the bit
 		child := t.expand(cpu, n, idx, st)
 		r.pins = append(r.pins, child)
 		t.lockedDescend(r, child, clipLo, clipHi)
@@ -187,8 +189,9 @@ func (t *Tree[V]) LockPage(cpu *hw.CPU, vpn uint64) *Range[V] {
 	n := t.root
 	for {
 		idx := n.slotIndex(vpn)
-		cpu.Read(n.line(idx))
-		st := n.sts[idx].Load()
+		g := n.group(idx)
+		cpu.Read(&g.line)
+		st := g.sts[idx%slotsPerLine].Load()
 		if st != nil && st.child != nil {
 			child := t.loadChild(cpu, n, idx, st)
 			if child == nil {
@@ -198,9 +201,9 @@ func (t *Tree[V]) LockPage(cpu *hw.CPU, vpn uint64) *Range[V] {
 			n = child
 			continue
 		}
-		cpu.Write(n.line(idx))
+		cpu.Write(&g.line)
 		n.acquire(cpu, idx)
-		st = n.sts[idx].Load()
+		st = g.sts[idx%slotsPerLine].Load()
 		if st != nil && st.child != nil {
 			n.release(cpu, idx)
 			continue
@@ -221,24 +224,23 @@ func (t *Tree[V]) LockPage(cpu *hw.CPU, vpn uint64) *Range[V] {
 // expandToward expands a folded slot (bit held) down to the leaf covering
 // vpn, releasing every other lock bit propagated along the way, and
 // appends the leaf entry to r. It finishes the LockPage job itself because
-// the caller cannot re-acquire bits it already holds.
+// the caller cannot re-acquire bits it already holds. The chain nodes it
+// creates stay uniform apart from the path slot: the bulk release lands in
+// the uniform gate history, and only the path slot's group materializes
+// (when the next expansion installs its child link).
 func (t *Tree[V]) expandToward(r *Range[V], n *node[V], idx int, st *slotState[V], vpn uint64) {
 	cpu := r.cpu
 	for {
 		child := t.expand(cpu, n, idx, st)
 		r.pins = append(r.pins, child)
 		keep := child.slotIndex(vpn)
-		for i := 0; i < SlotsPerNode; i++ {
-			if i != keep {
-				child.release(cpu, i)
-			}
-		}
+		child.releaseAllExcept(cpu, keep)
 		if child.level == 0 {
 			r.entries = append(r.entries, Entry[V]{r: r, n: child, idx: keep, Lo: vpn, Hi: vpn + 1})
 			return
 		}
 		n, idx = child, keep
-		st = n.sts[idx].Load() // stable under our bit
+		st = n.peek(idx) // stable under our bit
 	}
 }
 
@@ -268,9 +270,18 @@ func (r *Range[V]) Unlock() {
 }
 
 // Value returns the entry's current value (nil if unmapped). For a folded
-// entry the value stands for every page in [Lo, Hi).
+// entry the value stands for every page in [Lo, Hi). On trees whose clone
+// makes per-slot copies, Value materializes the slot's group so the caller
+// gets the slot's private copy (mutating it must not leak to siblings, as
+// the pagefault path relies on); shared-clone trees read through to the
+// uniform state without materializing.
 func (e *Entry[V]) Value() *V {
-	st := e.n.sts[e.idx].Load()
+	var st *slotState[V]
+	if e.r.t.kind == cloneShared {
+		st = e.n.peek(e.idx)
+	} else {
+		st = e.n.slot(e.idx).Load()
+	}
 	if st == nil {
 		return nil
 	}
@@ -278,20 +289,27 @@ func (e *Entry[V]) Value() *V {
 }
 
 // Set stores v (nil clears the slot), maintaining the node's used-slot
-// count. The caller owns the entry's lock bit.
+// count. The caller owns the entry's lock bit. Storing the value the slot
+// already holds — the pagefault path reads Value, updates the metadata in
+// place, and stores it back — reuses the existing immutable slot state, so
+// steady-state faults allocate nothing.
 func (e *Entry[V]) Set(v *V) {
 	t := e.r.t
 	cpu := e.r.cpu
-	old := e.n.sts[e.idx].Load()
+	s := e.n.slot(e.idx)
+	old := s.Load()
 	cpu.Write(e.n.line(e.idx))
 	if v == nil {
-		e.n.sts[e.idx].Store(nil)
+		s.Store(nil)
 		if old != nil {
 			t.rc.Dec(cpu, e.n.obj)
 		}
 		return
 	}
-	e.n.sts[e.idx].Store(&slotState[V]{val: v})
+	if old != nil && old.child == nil && old.val == v {
+		return // identical immutable state: nothing to swap in
+	}
+	s.Store(&slotState[V]{val: v})
 	if old == nil {
 		t.rc.Inc(cpu, e.n.obj)
 	}

@@ -29,6 +29,14 @@ import (
 // poolCap bounds each CPU's free list; beyond it nodes fall back to the GC.
 const poolCap = 64
 
+// poolGroupCap bounds how many materialized slot groups a recycled node
+// may keep. Fault-path chain nodes diverge in one or two groups, which are
+// worth keeping (the next incarnation re-fills them instead of
+// re-allocating); a node that diverged widely would make every later
+// incarnation pay full eager re-initialization — and pin ~18 KB in the
+// pool — so its groups are dropped and it recycles compact.
+const poolGroupCap = 4
+
 type nodePoolData[V any] struct {
 	free []*node[V]
 }
@@ -58,26 +66,48 @@ func (t *Tree[V]) getNode(cpu *hw.CPU) *node[V] {
 
 // recycle resets n and pushes it onto cpu's pool. Called from freeNode,
 // after the parent slot has been unlinked, so no core can reach n.
+// Materialized slot groups stay attached (reset to the empty cold state):
+// the next incarnation re-fills them from its uniform state, which keeps
+// steady-state expansion from re-allocating the groups hot paths touch.
 func (t *Tree[V]) recycle(cpu *hw.CPU, n *node[V]) {
 	p := &t.pools[cpu.ID()].nodePoolData
 	if len(p.free) >= poolCap {
-		return // pool full: let the GC take it
+		// Pool full: let the GC take the node and its groups.
+		t.groupsLive.Add(-countGroups(n))
+		return
 	}
 	n.parent = nil
 	n.obj = nil
-	for i := range n.sts {
-		// Plain stores are legal: the node is unreachable, and the next
+	n.uniSt = nil
+	n.uniStore = slotState[V]{}
+	n.uni = uniformGates{}
+	dropAll := countGroups(n) > poolGroupCap
+	for gi := range n.groups {
+		// Plain resets are legal: the node is unreachable, and the next
 		// incarnation is published through the parent slot's atomic store.
-		storePlain(&n.sts[i], nil)
-		n.gates[i].Reset()
+		if g := n.groups[gi].Load(); g != nil {
+			if dropAll {
+				n.groups[gi].Store(nil)
+				t.groupsLive.Add(-1)
+			} else {
+				resetGroup(g)
+			}
+		}
 	}
 	for w := range n.bits {
 		n.bits[w].Store(0)
 	}
-	for i := range n.lines {
-		n.lines[i].Reset()
-	}
 	p.free = append(p.free, n)
+}
+
+func countGroups[V any](n *node[V]) int64 {
+	var c int64
+	for gi := range n.groups {
+		if n.groups[gi].Load() != nil {
+			c++
+		}
+	}
+	return c
 }
 
 // PoolSize returns the number of recycled nodes cached for cpu

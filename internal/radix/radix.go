@@ -14,21 +14,43 @@
 //   - Traversal takes no locks: descending pins each node through a
 //     Refcache weak reference, which also lets the tree revive a node that
 //     went empty before Refcache got around to deleting it.
-//   - Expanding a folded slot allocates a child node with the parent's
-//     value copied into every slot and the lock bit propagated to every
-//     entry, then unlocks the parent slot — exactly the paper's protocol.
+//   - Expanding a folded slot allocates a child node whose slots all carry
+//     the parent's value with the lock bit propagated to every entry, then
+//     unlocks the parent slot — exactly the paper's protocol.
 //   - Interior slots are written only at initialization (expansion) or by
 //     folded-range operations, so lookups on disjoint keys induce no cache
 //     line transfers, unlike a balanced tree or skip list.
 //
+// # Copy-on-diverge node representation
+//
+// A node *simulates* the paper's 8 KB page of 512 (value, lock-bit) slots,
+// but its real Go-side state — per-slot values, virtual-time gates, and
+// cache-line models — is created on first divergence, not eagerly. A node
+// is born *uniform*: one shared slot value (the expansion fill), one
+// compact uniform gate state describing the bulk lock-bit propagation, a
+// packed lock-bit array, and an empty directory of slot groups. The
+// per-slot state of the four slots sharing a cache line materializes as
+// one slotGroup the first time anything touches that line — a lookup's
+// read, a locker's write, an expansion installing a child link. Slots
+// nobody has touched cost nothing beyond their lock bit.
+//
+// Materialization is exact: a group created late carries precisely the
+// state (clones of the fill value, gate histories from the bulk lock-bit
+// propagation and release) that the eager representation would have held,
+// so the simulated virtual-time outputs are unchanged — only the real
+// memory footprint shrinks (~13x for the fault path's chain nodes, which
+// diverge in a single slot).
+//
 // Node lifetime: each node's Refcache object counts its non-empty slots
 // plus transient traversal pins; when the true count reaches zero the node
 // is reclaimed, clearing its parent slot through the weak-reference kill
-// protocol.
+// protocol. Reclaimed nodes recycle through per-CPU pools, keeping their
+// materialized groups for the next incarnation.
 package radix
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"unsafe"
 
@@ -45,30 +67,36 @@ const (
 	Levels = 4
 	// MaxVPN is the first VPN beyond the tree's range.
 	MaxVPN = uint64(1) << (BitsPerLevel * Levels)
-	// NodeBytes approximates one node's memory footprint for Table 2
-	// accounting: 512 slots of 16 bytes (value pointer + lock/state).
+	// NodeBytes approximates one node's simulated memory footprint for
+	// Table 2 accounting: 512 slots of 16 bytes (value pointer +
+	// lock/state). The real Go-side footprint is far smaller for uniform
+	// nodes; see FootprintBytes.
 	NodeBytes = SlotsPerNode * 16
 	// slotsPerLine: four 16-byte slots share a 64-byte cache line, the
-	// granularity at which false sharing can occur (§5.5).
+	// granularity at which false sharing can occur (§5.5) and at which
+	// slot state materializes (one slotGroup per line).
 	slotsPerLine = 4
+	// groupsPerNode is the size of a node's slot-group directory.
+	groupsPerNode = SlotsPerNode / slotsPerLine
 )
 
 // cloneKind selects how folded-slot expansion replicates the folded value
-// into the 512 slots of a fresh child node — the allocation behavior of the
+// into the slots of a fresh child node — the allocation behavior of the
 // hottest path in the tree.
 type cloneKind int
 
 const (
-	// cloneShared: clone is the identity (New with nil clone). All 512
-	// slots of an expanded node share one immutable slotState; expansion
-	// performs a single allocation.
+	// cloneShared: clone is the identity (New with nil clone). All slots
+	// of an expanded node share one immutable slotState.
 	cloneShared cloneKind = iota
-	// cloneCopy: clone is a plain value copy (NewCopy). Expansion backs
-	// all 512 values and slot states with two contiguous slabs.
+	// cloneCopy: clone is a plain value copy (NewCopy). Materializing a
+	// slot group backs its values and slot states with the group's
+	// embedded slabs; slots never touched make no copies at all.
 	cloneCopy
 	// cloneFunc: clone is an arbitrary user function (New with non-nil
-	// clone). Expansion must call it per slot, but the slot states still
-	// come from one slab.
+	// clone). It is called per slot, lazily, when the slot's group
+	// materializes — so it must be safe to call from whichever core
+	// first touches the group.
 	cloneFunc
 )
 
@@ -90,16 +118,82 @@ type Tree[V any] struct {
 	pools  []nodePool[V]
 	ranges []*Range[V]
 
-	nodesLive atomic.Int64
-	nodesEver atomic.Int64
+	nodesLive  atomic.Int64
+	nodesEver  atomic.Int64
+	groupsEver atomic.Int64 // slot groups materialized (fresh allocations)
+	groupsLive atomic.Int64 // slot groups currently attached to live or pooled nodes
 }
 
-// node mirrors the paper's 8 KB radix node (Figure 3): 512 slots, each a
-// 16-byte (value pointer, lock bit) pair. The Go-side layout is kept lean
-// because nodes dominate the tree's real memory: slot states are one
-// pointer each, the 512 lock bits are packed into 8 atomic words (the lock
-// really is one bit of the slot, as in the paper), and only the
-// virtual-time gates and cache-line models add simulation overhead.
+// uniformGates is the compact virtual-time gate state shared by every slot
+// whose group has not materialized. Expansion primes all 512 gates at one
+// instant (the bulk lock-bit propagation, §3.4) and then releases them in
+// a handful of bursts — all-but-one slot at one time in the fault path
+// (releaseAllExcept), a prefix and a suffix at two times in the range-lock
+// path (bulkRelease from lockedDescend) — so the state is a step function
+// over slot indices with very few steps ("plateaus"). Only those two bulk
+// paths append here, and within one node they release ascending contiguous
+// index runs at non-decreasing times, which appending plateaus represents
+// exactly; every other release goes through a materialized group's own
+// gate. If an unforeseen pattern exceeds the plateau capacity, the slot
+// being released materializes its group instead (correct, just not
+// compact).
+type uniformGates struct {
+	busyStart uint64 // bulk Prime time; 0 if the node was born unlocked
+	n         int8
+	idx       [maxPlateaus]int32  // plateau p covers slots [idx[p], idx[p+1])
+	free      [maxPlateaus]uint64 // release time of plateau p's slots
+}
+
+const maxPlateaus = 4
+
+// freeAt returns the gate release time a materializing group must restore
+// for slot i. Slots before the first plateau (or in a node never bulk-
+// released) report 0; slots still locked may report a plateau time
+// prematurely, which is unobservable — no core can arrive at a held bit's
+// gate, and the eventual release maxes the real end time in.
+func (u *uniformGates) freeAt(i int) uint64 {
+	var free uint64
+	for p := 0; p < int(u.n); p++ {
+		if int32(i) >= u.idx[p] {
+			free = u.free[p]
+		}
+	}
+	return free
+}
+
+// release records the bulk release of slot i at virtual time t, returning
+// false if the plateau capacity is exhausted (caller must materialize).
+func (u *uniformGates) release(i int, t uint64) bool {
+	if u.n > 0 && u.free[u.n-1] == t {
+		return true // extends the open plateau
+	}
+	if int(u.n) == maxPlateaus {
+		return false
+	}
+	u.idx[u.n] = int32(i)
+	u.free[u.n] = t
+	u.n++
+	return true
+}
+
+// slotGroup is the materialized per-slot state of the slotsPerLine slots
+// sharing one simulated cache line: the line model, the per-slot
+// virtual-time gates, and the per-slot states, with embedded slabs backing
+// the fill clones so materialization is a single allocation.
+type slotGroup[V any] struct {
+	line  hw.Line
+	gates [slotsPerLine]hw.Gate
+	sts   [slotsPerLine]atomic.Pointer[slotState[V]]
+	slab  [slotsPerLine]slotState[V] // backs fill clones (cloneCopy/cloneFunc)
+	vals  [slotsPerLine]V            // cloneCopy value slab
+}
+
+// node simulates the paper's 8 KB radix node (Figure 3): 512 slots, each a
+// 16-byte (value pointer, lock bit) pair. Real state follows the
+// copy-on-diverge scheme in the package comment: a compact uniform header
+// plus a directory of lazily materialized slot groups. The 512 lock bits
+// are packed into 8 atomic words and always present (the lock really is
+// one bit of the slot, as in the paper).
 type node[V any] struct {
 	tree      *Tree[V]
 	level     int    // 0 at leaves
@@ -107,21 +201,209 @@ type node[V any] struct {
 	parent    *node[V]
 	parentIdx int
 	obj       *refcache.Obj // counts used slots + traversal pins
-	sts       [SlotsPerNode]atomic.Pointer[slotState[V]]
-	bits      [SlotsPerNode / 64]atomic.Uint64 // packed slot lock bits
-	gates     [SlotsPerNode]hw.Gate            // per-slot critical-section gates
-	lines     [SlotsPerNode / slotsPerLine]hw.Line
+
+	// uniSt is the slot state every unmaterialized slot holds (nil for an
+	// empty node). It is written only while the node is unpublished and
+	// immutable afterwards: post-publication writes go through a slot's
+	// materialized group. uniStore is its embedded backing, so uniform
+	// construction allocates nothing beyond the node itself.
+	uniSt    *slotState[V]
+	uniStore slotState[V]
+
+	// matMu serializes group materialization against uniform-gate
+	// updates (bulk lock-bit releases). Taken once per group lifetime
+	// and once per bulk release; never on steady-state paths.
+	matMu sync.Mutex
+	uni   uniformGates
+
+	bits   [SlotsPerNode / 64]atomic.Uint64 // packed slot lock bits
+	groups [groupsPerNode]atomic.Pointer[slotGroup[V]]
+}
+
+// group returns slot idx's group, materializing it if needed. The caller
+// is about to touch the group's line or gates; pure value reads should use
+// peek, which does not materialize.
+func (n *node[V]) group(idx int) *slotGroup[V] {
+	gi := idx / slotsPerLine
+	if g := n.groups[gi].Load(); g != nil {
+		return g
+	}
+	return n.materialize(gi)
+}
+
+func (n *node[V]) materialize(gi int) *slotGroup[V] {
+	n.matMu.Lock()
+	g := n.materializeLocked(gi)
+	n.matMu.Unlock()
+	return g
+}
+
+// materializeLocked builds and publishes group gi if absent. matMu held.
+func (n *node[V]) materializeLocked(gi int) *slotGroup[V] {
+	g := n.groups[gi].Load()
+	if g == nil {
+		g = new(slotGroup[V])
+		n.initGroup(g, gi)
+		n.groups[gi].Store(g)
+		n.tree.groupsEver.Add(1)
+		n.tree.groupsLive.Add(1)
+	}
+	return g
+}
+
+// initGroup fills g with exactly the state the eager representation would
+// hold for slots [gi*slotsPerLine, (gi+1)*slotsPerLine): clones of the
+// uniform fill and gates restored from the uniform gate history. Called
+// with matMu held (post-publication materialization) or with the node
+// unpublished (construction/recycling), so plain stores are legal — the
+// group pointer's atomic store publishes it.
+func (n *node[V]) initGroup(g *slotGroup[V], gi int) {
+	t := n.tree
+	base := gi * slotsPerLine
+	for j := 0; j < slotsPerLine; j++ {
+		var st *slotState[V]
+		if n.uniSt != nil {
+			switch t.kind {
+			case cloneShared:
+				st = n.uniSt
+			case cloneCopy:
+				g.vals[j] = *n.uniSt.val
+				g.slab[j] = slotState[V]{val: &g.vals[j]}
+				st = &g.slab[j]
+			default:
+				g.slab[j] = slotState[V]{val: t.clone(n.uniSt.val)}
+				st = &g.slab[j]
+			}
+		}
+		storePlain(&g.sts[j], st)
+		g.gates[j].Restore(n.uni.freeAt(base+j), n.uni.busyStart)
+	}
+}
+
+// resetGroup returns a pooled node's group to the empty cold state.
+func resetGroup[V any](g *slotGroup[V]) {
+	var zeroV V
+	g.line.Reset()
+	for j := 0; j < slotsPerLine; j++ {
+		g.gates[j].Reset()
+		storePlain(&g.sts[j], nil)
+		g.slab[j] = slotState[V]{}
+		g.vals[j] = zeroV // drop value references for the GC
+	}
+}
+
+// peek reads slot idx's state without materializing its group: untouched
+// slots report the uniform state. Used by pure value reads (Entry.Value on
+// shared-clone trees, expansion's re-read under a held bit), which charge
+// no line cost and so need no line model.
+func (n *node[V]) peek(idx int) *slotState[V] {
+	if g := n.groups[idx/slotsPerLine].Load(); g != nil {
+		return g.sts[idx%slotsPerLine].Load()
+	}
+	return n.uniSt
+}
+
+// slot returns slot idx's state word, materializing its group.
+func (n *node[V]) slot(idx int) *atomic.Pointer[slotState[V]] {
+	return &n.group(idx).sts[idx%slotsPerLine]
+}
+
+// line returns slot idx's cache-line model, materializing its group.
+func (n *node[V]) line(idx int) *hw.Line {
+	return &n.group(idx).line
 }
 
 // acquire takes slot idx's lock bit for cpu; the caller must have charged
-// the slot's cache line (the acquisition is a CAS on it).
+// the slot's cache line (the acquisition is a CAS on it), which also
+// guarantees the group exists.
 func (n *node[V]) acquire(cpu *hw.CPU, idx int) {
-	cpu.AcquireBitIn(&n.bits[idx>>6], uint64(1)<<(uint(idx)&63), &n.gates[idx])
+	g := n.group(idx)
+	cpu.AcquireBitIn(&n.bits[idx>>6], uint64(1)<<(uint(idx)&63), &g.gates[idx%slotsPerLine])
 }
 
-// release drops slot idx's lock bit.
+// release drops slot idx's lock bit. A slot whose group never
+// materialized (a locked entry the caller neither read nor wrote)
+// materializes it here: the group's gate picks up the uniform history and
+// then records this release itself, which keeps every gate state exact.
+// The plateau encoding is reserved for the creation-time bulk patterns
+// (bulkRelease, releaseAllExcept), whose ascending contiguous bursts it
+// can represent; arbitrary per-slot releases cannot be folded into it.
 func (n *node[V]) release(cpu *hw.CPU, idx int) {
-	cpu.ReleaseBitIn(&n.bits[idx>>6], uint64(1)<<(uint(idx)&63), &n.gates[idx])
+	g := n.group(idx)
+	cpu.ReleaseBitIn(&n.bits[idx>>6], uint64(1)<<(uint(idx)&63), &g.gates[idx%slotsPerLine])
+}
+
+// bulkRelease drops slot idx's lock bit during lock-bit propagation's
+// release sweep (lockedDescend walking a freshly expanded child). Within
+// one node these sweeps release ascending contiguous index runs at at most
+// two distinct virtual times (before and after the boundary expansions),
+// which is exactly what the uniform plateau table encodes — so slots whose
+// group never materialized stay compact, with the same gate-before-bit
+// ordering ReleaseBitIn provides (a locker that wins the freed bit
+// observes the release time).
+func (n *node[V]) bulkRelease(cpu *hw.CPU, idx int) {
+	mask := uint64(1) << (uint(idx) & 63)
+	if g := n.groups[idx/slotsPerLine].Load(); g != nil {
+		cpu.ReleaseBitIn(&n.bits[idx>>6], mask, &g.gates[idx%slotsPerLine])
+		return
+	}
+	n.matMu.Lock()
+	if g := n.groups[idx/slotsPerLine].Load(); g != nil {
+		n.matMu.Unlock()
+		cpu.ReleaseBitIn(&n.bits[idx>>6], mask, &g.gates[idx%slotsPerLine])
+		return
+	}
+	now := cpu.Now()
+	if !n.uni.release(idx, now) {
+		// Plateau overflow (an unforeseen release pattern): materialize
+		// this slot's group so its gate records its own history.
+		g := n.materializeLocked(idx / slotsPerLine)
+		n.matMu.Unlock()
+		cpu.ReleaseBitIn(&n.bits[idx>>6], mask, &g.gates[idx%slotsPerLine])
+		return
+	}
+	n.matMu.Unlock()
+	n.bits[idx>>6].And(^mask)
+}
+
+// releaseAllExcept bulk-releases every slot lock bit except keep's, the
+// fault path's expansion step (§3.4: expand, then keep only the faulting
+// page's lock). All releases happen at one virtual instant, so the
+// uniform gate history absorbs them as a single plateau; materialized
+// groups (pooled nodes carry them) get per-gate releases. Gate state is
+// updated before any bit is cleared, exactly as ReleaseBitIn orders it.
+func (n *node[V]) releaseAllExcept(cpu *hw.CPU, keep int) {
+	now := cpu.Now()
+	n.matMu.Lock()
+	// One plateau covers all unmaterialized slots. The table of a freshly
+	// expanded node is empty, so this cannot overflow today; if a future
+	// caller ever hands in a node with a full table, fall back to
+	// materializing everything so each gate records its own history (the
+	// loop below then restores the release into every group).
+	if !n.uni.release(0, now) {
+		for gi := range n.groups {
+			n.materializeLocked(gi)
+		}
+	}
+	for gi := range n.groups {
+		g := n.groups[gi].Load()
+		if g == nil {
+			continue
+		}
+		for j := 0; j < slotsPerLine; j++ {
+			if idx := gi*slotsPerLine + j; idx != keep {
+				g.gates[j].Restore(now, n.uni.busyStart)
+			}
+		}
+	}
+	n.matMu.Unlock()
+	for w := range n.bits {
+		mask := ^uint64(0)
+		if w == keep>>6 {
+			mask &^= uint64(1) << (uint(keep) & 63)
+		}
+		n.bits[w].And(^mask)
+	}
 }
 
 // The plain-store fast path below assumes atomic.Pointer is exactly one
@@ -134,11 +416,10 @@ var (
 )
 
 // storePlain initializes slot state p with a plain (non-atomic) store.
-// Only legal while the node is unpublished (construction or pool reset), so
-// no other goroutine can observe the slot: the parent-slot atomic store
-// that later publishes the node orders these writes before any reader's
-// atomic loads. Expanding a folded slot initializes all 512 slots of the
-// child, and doing it with atomic stores was 20% of flat CPU in the seed.
+// Only legal while the containing group is unpublished (group construction
+// or pool reset), so no other goroutine can observe the slot: the atomic
+// store that later publishes the group (or the node) orders these writes
+// before any reader's atomic loads.
 func storePlain[V any](p *atomic.Pointer[slotState[V]], st *slotState[V]) {
 	*(**slotState[V])(unsafe.Pointer(p)) = st
 }
@@ -153,8 +434,9 @@ type slotState[V any] struct {
 
 // New creates an empty tree on machine m, using rc for node lifetimes.
 // A nil clone shares value pointers (appropriate for immutable values) and
-// lets folded-slot expansion share a single slot state across all 512
-// slots of the new child.
+// lets all slots of an expanded child share a single slot state. A non-nil
+// clone is called lazily, from whichever core first touches a slot group,
+// so it must be safe for concurrent use.
 func New[V any](m *hw.Machine, rc *refcache.Refcache, clone func(*V) *V) *Tree[V] {
 	kind := cloneFunc
 	if clone == nil {
@@ -165,10 +447,10 @@ func New[V any](m *hw.Machine, rc *refcache.Refcache, clone func(*V) *V) *Tree[V
 }
 
 // NewCopy creates a tree whose clone is a plain value copy (c := *v). This
-// declares that V needs no deep cloning, which lets folded-slot expansion
-// back all 512 per-page copies with one contiguous slab instead of 512
-// individual heap allocations — the right choice for flat metadata structs
-// like VM mappings.
+// declares that V needs no deep cloning, which lets slot groups back their
+// per-page copies with embedded slabs instead of individual heap
+// allocations — the right choice for flat metadata structs like VM
+// mappings — and make only the four copies their line actually holds.
 func NewCopy[V any](m *hw.Machine, rc *refcache.Refcache) *Tree[V] {
 	return buildTree(m, rc, func(v *V) *V { c := *v; return &c }, cloneCopy)
 }
@@ -188,17 +470,19 @@ func buildTree[V any](m *hw.Machine, rc *refcache.Refcache, clone func(*V) *V, k
 	return t
 }
 
-// newNode allocates (or recycles) a node at the given level whose slots all
-// hold clones of fill (nil for an empty node). If locked, every slot's lock
-// bit is taken by the caller (lock-bit propagation during expansion). The
-// caller receives the node with one traversal pin already held on cpu (none
-// for the root, which instead gets an immortal reference).
+// newNode allocates (or recycles) a node at the given level whose slots
+// all logically hold clones of fill (nil for an empty node). If locked,
+// every slot's lock bit is taken by the caller (lock-bit propagation
+// during expansion). The caller receives the node with one traversal pin
+// already held on cpu (none for the root, which instead gets an immortal
+// reference).
 //
 // The node is private until the caller publishes it through the parent
-// slot's atomic store, so initialization uses plain stores, slab-backed
-// slot states, and uncontended lock-bit pre-acquisition — none of which
-// changes the simulated cost accounting (a fresh node's lines are cold and
-// its bits free, exactly as before).
+// slot's atomic store. Construction is uniform-form: the fill value and
+// gate history live in the header, and per-slot state materializes only as
+// slots are touched — none of which changes the simulated cost accounting
+// (a fresh node's lines are cold and its bits free, exactly as an eager
+// node's would be).
 func (t *Tree[V]) newNode(cpu *hw.CPU, level int, base uint64, fill *V, used int64, locked bool) *node[V] {
 	var n *node[V]
 	if cpu != nil {
@@ -211,42 +495,28 @@ func (t *Tree[V]) newNode(cpu *hw.CPU, level int, base uint64, fill *V, used int
 	n.level = level
 	n.base = base
 	if fill != nil {
-		switch t.kind {
-		case cloneShared:
-			// Identity clone: every slot shares one immutable state.
-			st := &slotState[V]{val: fill}
-			for i := range n.sts {
-				storePlain(&n.sts[i], st)
-			}
-		case cloneCopy:
-			// Value-copy clone: one slab of values, one slab of states.
-			vals := make([]V, SlotsPerNode)
-			states := make([]slotState[V], SlotsPerNode)
-			for i := range n.sts {
-				vals[i] = *fill
-				states[i].val = &vals[i]
-				storePlain(&n.sts[i], &states[i])
-			}
-		default:
-			// Arbitrary clone: per-slot values, slab-backed states.
-			states := make([]slotState[V], SlotsPerNode)
-			for i := range n.sts {
-				states[i].val = t.clone(fill)
-				storePlain(&n.sts[i], &states[i])
-			}
-		}
+		n.uniStore = slotState[V]{val: fill}
+		n.uniSt = &n.uniStore
+	} else {
+		n.uniSt = nil
 	}
+	n.uni = uniformGates{}
 	if locked {
 		// Lock-bit propagation (§3.4) in bulk: set all 512 bits with 8
-		// word stores and prime the gates; the node is unpublished, so no
-		// contention is possible and no cost is charged — exactly as the
-		// seed's per-slot acquisition of 512 fresh, free bits.
-		now := cpu.Now()
+		// word stores and record the priming instant; the node is
+		// unpublished, so no contention is possible and no cost is
+		// charged — exactly as acquiring 512 fresh, free bits.
+		n.uni.busyStart = cpu.Now()
 		for w := range n.bits {
 			n.bits[w].Store(^uint64(0))
 		}
-		for i := range n.gates {
-			n.gates[i].Prime(now)
+	}
+	// A pooled node may carry materialized groups from its previous
+	// incarnation; re-fill them from the new uniform state (cheap: nodes
+	// that stayed compact have at most a group or two).
+	for gi := range n.groups {
+		if g := n.groups[gi].Load(); g != nil {
+			n.initGroup(g, gi)
 		}
 	}
 	initial := used
@@ -275,10 +545,12 @@ func freeNode[V any](cpu *hw.CPU, o *refcache.Obj) {
 	if p == nil {
 		return // root (never freed in practice)
 	}
-	s := &p.sts[n.parentIdx]
+	// The child link was installed through p's materialized group (expand
+	// charges the parent line), so the group exists.
+	s := p.slot(n.parentIdx)
 	st := s.Load()
 	if st != nil && st.child == o && s.CompareAndSwap(st, nil) {
-		cpu.Write(&p.lines[n.parentIdx/slotsPerLine])
+		cpu.Write(p.line(n.parentIdx))
 		t.rc.Dec(cpu, p.obj)
 	}
 	// If the CAS failed, a locker already replaced the dead link and took
@@ -299,16 +571,30 @@ func (n *node[V]) slotBase(idx int) uint64 {
 	return n.base + uint64(idx)*span(n.level)
 }
 
-func (n *node[V]) line(idx int) *hw.Line { return &n.lines[idx/slotsPerLine] }
-
 // NodesLive returns the number of currently allocated tree nodes.
 func (t *Tree[V]) NodesLive() int64 { return t.nodesLive.Load() }
 
 // NodesEver returns the number of nodes ever allocated.
 func (t *Tree[V]) NodesEver() int64 { return t.nodesEver.Load() }
 
-// Bytes returns the tree's structural memory footprint.
+// GroupsEver returns the number of slot groups ever materialized — the
+// divergence counter: a tree whose operations stay uniform materializes
+// almost nothing.
+func (t *Tree[V]) GroupsEver() int64 { return t.groupsEver.Load() }
+
+// Bytes returns the tree's simulated structural memory footprint, the
+// paper's Table 2 accounting (every node is an 8 KB page there, however
+// compact its Go-side representation is).
 func (t *Tree[V]) Bytes() uint64 { return uint64(t.nodesLive.Load()) * NodeBytes }
+
+// FootprintBytes estimates the tree's real Go-side memory: compact node
+// headers plus materialized slot groups. Uniform and singly-diverged nodes
+// cost a small fraction of NodeBytes; only fully diverged nodes approach
+// the eager representation's size.
+func (t *Tree[V]) FootprintBytes() uint64 {
+	return uint64(t.nodesLive.Load())*uint64(unsafe.Sizeof(node[V]{})) +
+		uint64(t.groupsLive.Load())*uint64(unsafe.Sizeof(slotGroup[V]{}))
+}
 
 func checkRange(lo, hi uint64) {
 	if lo >= hi || hi > MaxVPN {
@@ -319,12 +605,13 @@ func checkRange(lo, hi uint64) {
 // loadChild resolves a slot's child link by taking a traversal pin through
 // the weak reference. It returns the pinned node, or nil if the child is
 // dead (in which case the caller sees the slot as empty after cleanup).
+// Child links live only in materialized groups, so g is always available.
 func (t *Tree[V]) loadChild(cpu *hw.CPU, n *node[V], idx int, st *slotState[V]) *node[V] {
 	obj := t.rc.TryGet(cpu, st.child.Weak())
 	if obj == nil {
 		// The child died. Whoever swings the slot to nil does the
 		// parent accounting; the loser simply moves on.
-		if n.sts[idx].CompareAndSwap(st, nil) {
+		if n.slot(idx).CompareAndSwap(st, nil) {
 			cpu.Write(n.line(idx))
 			t.rc.Dec(cpu, n.obj)
 		}
@@ -341,10 +628,10 @@ func (t *Tree[V]) unpin(cpu *hw.CPU, n *node[V]) {
 // Lookup returns the value covering vpn, or nil if unmapped. It takes no
 // locks: interior nodes are only read, so concurrent lookups of disjoint
 // keys against concurrent inserts of disjoint keys move no cache lines
-// (Figure 7's property). It also performs no heap allocations — the
-// traversal pins live in a fixed on-stack array (the tree is at most
-// Levels deep), which keeps the pagefault and Figure 7 read paths off the
-// allocator entirely.
+// (Figure 7's property). It also performs no steady-state heap
+// allocations — the traversal pins live in a fixed on-stack array (the
+// tree is at most Levels deep); only the first-ever touch of a slot group
+// materializes it.
 func (t *Tree[V]) Lookup(cpu *hw.CPU, vpn uint64) *V {
 	checkRange(vpn, vpn+1)
 	n := t.root
@@ -353,8 +640,9 @@ func (t *Tree[V]) Lookup(cpu *hw.CPU, vpn uint64) *V {
 	var ret *V
 	for {
 		idx := n.slotIndex(vpn)
-		cpu.Read(n.line(idx))
-		st := n.sts[idx].Load()
+		g := n.group(idx)
+		cpu.Read(&g.line)
+		st := g.sts[idx%slotsPerLine].Load()
 		if st == nil {
 			break
 		}

@@ -89,16 +89,17 @@ func New(m *hw.Machine) *Refcache {
 }
 
 // NewSized creates a Refcache domain with slots delta-cache entries per
-// core. slots must be a power of two.
+// core. slots must be a power of two. Per-core delta caches are allocated
+// lazily, on a core's first Inc/Dec: a domain on an 80-core machine costs
+// a few hundred bytes until cores actually count something, instead of
+// ~64 KB per core up front (which used to dominate benchmark-environment
+// construction).
 func NewSized(m *hw.Machine, slots int) *Refcache {
 	if slots <= 0 || slots&(slots-1) != 0 {
 		panic(fmt.Sprintf("refcache: cache slots %d not a power of two", slots))
 	}
 	rc := &Refcache{m: m, slots: uint64(slots), localHit: m.Config().LocalHit}
 	rc.cores = make([]coreState, m.NCores())
-	for i := range rc.cores {
-		rc.cores[i].cache = make([]entry, slots)
-	}
 	rc.epoch.Store(1)
 	return rc
 }
@@ -120,7 +121,8 @@ type Obj struct {
 	dirty    bool  // became non-zero while on a review queue
 	onReview bool
 	weak     Weak                // back-referencing weak state (always present)
-	weak0    weakState           // the initial weak state, embedded so NewObj is one allocation
+	weak0    weakState           // the (obj, alive) state, embedded so NewObj is one allocation
+	weak1    weakState           // the (obj, dying) state; flipping the dying bit swaps pointers, no allocation
 	free     func(*hw.CPU, *Obj) // invoked exactly once when truly dead
 	freed    atomic.Bool
 }
@@ -136,14 +138,42 @@ type Obj struct {
 // recycled through the per-CPU pools — each recycled node still gets a
 // fresh Obj, so stale weak references can never resurrect a recycled node).
 func (rc *Refcache) NewObj(initial int64, free func(*hw.CPU, *Obj)) *Obj {
-	o := &Obj{
-		id:     rc.nextObjID.Add(1),
-		refcnt: initial,
-		free:   free,
-	}
-	o.weak0 = weakState{obj: o}
-	o.weak.state.Store(&o.weak0)
+	o := &Obj{}
+	rc.InitObj(o, initial, free)
 	return o
+}
+
+// InitObj (re)initializes an Obj embedded in a larger structure for a new
+// lifetime, the allocation-free alternative to NewObj: a physical page
+// frame embeds its Obj and reinitializes it on each trip through the
+// allocator, which makes the page-fault path's frame allocation heap-free.
+//
+// The caller must hold the only reference to o — a freed object being
+// readied for reuse, or a freshly zeroed embedding. Reuse is sound only
+// for objects whose weak references are never retained across lifetimes
+// (frames qualify: they never use weak-ref revival, and Refcache's
+// two-epoch free guarantee means no core still caches a delta for the
+// previous incarnation). Objects that hand out weak references to
+// long-lived holders — radix-tree nodes — must keep taking fresh Objs from
+// NewObj, so a stale weak reference can never resurrect recycled memory
+// under its new identity.
+//
+// o.Data is left untouched (a frame's Obj always points back to the
+// frame); the embedded coherence lines are reset, so the new incarnation's
+// count behaves like freshly allocated memory — cold, owned by nobody —
+// exactly as a heap-allocated Obj would.
+func (rc *Refcache) InitObj(o *Obj, initial int64, free func(*hw.CPU, *Obj)) {
+	o.id = rc.nextObjID.Add(1)
+	o.refcnt = initial
+	o.dirty = false
+	o.onReview = false
+	o.free = free
+	o.freed.Store(false)
+	o.line.Reset()
+	o.weak.line.Reset()
+	o.weak0 = weakState{obj: o}
+	o.weak1 = weakState{obj: o, dying: true}
+	o.weak.state.Store(&o.weak0)
 }
 
 // Weak returns the object's weak reference, from which TryGet can revive it.
@@ -161,8 +191,12 @@ func (o *Obj) GlobalCount() int64 {
 func (o *Obj) Freed() bool { return o.freed.Load() }
 
 func (rc *Refcache) slot(cpu *hw.CPU, o *Obj) *entry {
+	cs := &rc.cores[cpu.ID()].coreStateData
+	if cs.cache == nil {
+		cs.cache = make([]entry, rc.slots)
+	}
 	h := o.id * 0x9E3779B97F4A7C15
-	return &rc.cores[cpu.ID()].cache[(h>>17)&(rc.slots-1)]
+	return &cs.cache[(h>>17)&(rc.slots-1)]
 }
 
 // Inc increments o's reference count from core cpu. It touches only the
@@ -228,7 +262,8 @@ func (rc *Refcache) Maintain(cpu *hw.CPU) {
 func (rc *Refcache) flushCore(cpu *hw.CPU, ge uint64) {
 	cs := &rc.cores[cpu.ID()]
 	alreadyFlushed := cs.epoch >= ge
-	// Flush: evict all non-zero deltas and clear the cache.
+	// Flush: evict all non-zero deltas and clear the cache. A core that
+	// never counted anything has no cache to flush (it is nil).
 	for i := range cs.cache {
 		e := &cs.cache[i]
 		if e.obj != nil && e.delta != 0 {
@@ -260,12 +295,15 @@ func (rc *Refcache) flushCore(cpu *hw.CPU, ge uint64) {
 
 // reviewCore implements the paper's review(): objects queued at epoch E are
 // examined once the global epoch reaches E+2, guaranteeing every core has
-// flushed its delta cache at least once in between.
+// flushed its delta cache at least once in between. The queue is compacted
+// in place — re-queued dirty zeros stay ahead of the too-recent tail — so
+// steady-state review churn reuses the queue's capacity instead of
+// reallocating it every epoch.
 func (rc *Refcache) reviewCore(cpu *hw.CPU) {
 	cs := &rc.cores[cpu.ID()]
 	now := rc.epoch.Load()
 	q := cs.review
-	var keep []reviewEntry
+	w := 0
 	i := 0
 	for ; i < len(q); i++ {
 		re := q[i]
@@ -285,7 +323,8 @@ func (rc *Refcache) reviewCore(cpu *hw.CPU) {
 			o.dirty = false
 			o.onReview = true
 			o.weak.setDying(cpu, true)
-			keep = append(keep, reviewEntry{obj: o, epoch: now})
+			q[w] = reviewEntry{obj: o, epoch: now}
+			w++
 		default:
 			if o.freed.Swap(true) {
 				panic("refcache: double free")
@@ -296,7 +335,17 @@ func (rc *Refcache) reviewCore(cpu *hw.CPU) {
 		}
 		o.mu.Unlock()
 	}
-	cs.review = append(keep, q[i:]...)
+	w += copy(q[w:], q[i:])
+	clear(q[w:]) // drop freed-object references for the GC
+	kept := q[:w]
+	// A free callback run above may itself Dec counts to zero (freeing a
+	// radix node Decs its parent) and queue objects via evict; those
+	// entries landed past q's original length — possibly in a grown
+	// array — and must not be dropped by the compaction.
+	if extra := cs.review[len(q):]; len(extra) > 0 {
+		kept = append(kept, extra...)
+	}
+	cs.review = kept
 }
 
 // Epoch returns the current global epoch (diagnostic).

@@ -45,8 +45,9 @@ func (rc *Refcache) TryGet(cpu *hw.CPU, w *Weak) *Obj {
 			return s.obj
 		}
 		// Revive: atomically clear the dying bit, then take a
-		// reference as usual.
-		if w.state.CompareAndSwap(s, &weakState{obj: s.obj}) {
+		// reference as usual. The (obj, alive) state is pre-built in
+		// the object, so flipping the bit allocates nothing.
+		if w.state.CompareAndSwap(s, &s.obj.weak0) {
 			cpu.Write(&w.line)
 			rc.Inc(cpu, s.obj)
 			return s.obj
@@ -64,14 +65,21 @@ func (w *Weak) Get() *Obj {
 }
 
 // setDying sets or clears the dying bit, leaving the pointer intact. No-op
-// if the pointer has already been cleared.
+// if the pointer has already been cleared. Both (obj, dying) states are
+// pre-built in the object, so the swap never allocates — objects cycling
+// through zero (the shared-page Figure 8 workload, frame churn in the
+// local workload) stay off the heap.
 func (w *Weak) setDying(cpu *hw.CPU, dying bool) {
 	for {
 		s := w.state.Load()
 		if s == nil || s.obj == nil || s.dying == dying {
 			return
 		}
-		if w.state.CompareAndSwap(s, &weakState{obj: s.obj, dying: dying}) {
+		next := &s.obj.weak0
+		if dying {
+			next = &s.obj.weak1
+		}
+		if w.state.CompareAndSwap(s, next) {
 			cpu.Write(&w.line)
 			return
 		}

@@ -127,10 +127,14 @@ func (as *AddressSpace) Munmap(cpu *hw.CPU, vpn, npages uint64) error {
 
 // unmapLocked clears every mapping in the locked range: gather, shoot
 // down, then release references — in that order, so the physical pages
-// cannot be reused while any TLB still maps them.
+// cannot be reused while any TLB still maps them. The gather lists are
+// stack-backed for the common small munmap, so the unmap half of the
+// local allocate/free pattern stays off the heap.
 func (as *AddressSpace) unmapLocked(cpu *hw.CPU, r *radix.Range[Mapping]) {
-	var frames []*mem.Frame
-	var ctrs []counter.Counter
+	var framesBuf [16]*mem.Frame
+	var ctrsBuf [4]counter.Counter
+	frames := framesBuf[:0]
+	ctrs := ctrsBuf[:0]
 	var targets hw.CoreSet
 	for i := range r.Entries() {
 		e := r.Entry(i)

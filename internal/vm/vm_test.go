@@ -380,3 +380,78 @@ func must(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+// TestPageFaultPathZeroAlloc locks down the full fill-fault path — trap,
+// metadata lock, frame handling, per-core page table fill, TLB insert,
+// shootdown-set update — at zero heap allocations. With the frame's
+// refcache Obj embedded (refcache.InitObj) and the radix slot state reused
+// on unchanged values, nothing on the steady-state fault path allocates.
+func TestPageFaultPathZeroAlloc(t *testing.T) {
+	w := newWorld(1)
+	as := vm.New(w.m, w.rc, w.alloc, nil)
+	c := w.m.CPU(0)
+	const lo, npages = uint64(1 << 20), uint64(16)
+	if err := as.Mmap(c, lo, npages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}); err != nil {
+		t.Fatal(err)
+	}
+	// First faults: expand leaves, allocate frames, build the page table.
+	for p := lo; p < lo+npages; p++ {
+		if err := as.PageFault(c, p, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vpn := lo
+	got := testing.AllocsPerRun(300, func() {
+		if err := as.PageFault(c, vpn, true); err != nil {
+			t.Fatal(err)
+		}
+		vpn = lo + (vpn+1)%npages
+	})
+	if got != 0 {
+		t.Errorf("fill-fault path = %v allocs/op, want 0", got)
+	}
+}
+
+// TestFaultAfterRecycleZeroAlloc covers the other fault flavor: a fault
+// that allocates a physical frame. Once the frame free lists are warm,
+// allocating a recycled frame reinitializes its embedded Obj in place and
+// the whole fault allocates nothing.
+func TestFaultAfterRecycleZeroAlloc(t *testing.T) {
+	w := newWorld(1)
+	as := vm.New(w.m, w.rc, w.alloc, nil)
+	c := w.m.CPU(0)
+	const lo = uint64(1 << 21)
+	if err := as.Mmap(c, lo, 8, vm.MapOpts{Prot: vm.ProtWrite}); err != nil {
+		t.Fatal(err)
+	}
+	fault := func() {
+		if err := as.PageFault(c, lo, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Munmap(c, lo, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Mmap(c, lo, 1, vm.MapOpts{Prot: vm.ProtWrite}); err != nil {
+			t.Fatal(err)
+		}
+		w.quiesce() // frame back on the free list, nodes back in pools
+	}
+	fault() // warm: leaf exists, free list primed, page table built
+	// The mmap/munmap halves of the cycle allocate (range carriers aside,
+	// each Mmap clones fresh metadata); measure the fault in isolation by
+	// subtracting the cycle without it.
+	base := testing.AllocsPerRun(100, func() {
+		if err := as.Munmap(c, lo, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Mmap(c, lo, 1, vm.MapOpts{Prot: vm.ProtWrite}); err != nil {
+			t.Fatal(err)
+		}
+		w.quiesce()
+	})
+	withFault := testing.AllocsPerRun(100, func() { fault() })
+	if delta := withFault - base; delta > 0 {
+		t.Errorf("frame-allocating fault adds %v allocs/op over the bare mmap cycle, want 0 (cycle %v, with fault %v)",
+			delta, base, withFault)
+	}
+}
