@@ -161,6 +161,49 @@ func BenchmarkFig9Shootdown(b *testing.B) {
 	}
 }
 
+// BenchmarkMprotect runs the write-protect cycling microbenchmark on the
+// three VM systems (the new mprotect experiment; not a paper figure).
+func BenchmarkMprotect(b *testing.B) {
+	for _, sys := range []string{"radixvm", "bonsai", "linux"} {
+		b.Run(sys, func(b *testing.B) {
+			e, a := benchEnv(benchCores)
+			s := makeSystem(sys, e, a)
+			var pagesPerSec float64
+			for i := 0; i < b.N; i++ {
+				r := workload.Protect(e, s, benchCores, 60, 4)
+				pagesPerSec = r.PerSecond()
+			}
+			b.ReportMetric(pagesPerSec/1e6, "Mpages/s")
+		})
+	}
+}
+
+// BenchmarkMmapMunmapCycle tracks the allocation-free control plane: the
+// steady-state map/unmap cycle on RadixVM. Run with -benchmem; the
+// allocation columns must read 0 (enforced by AllocsPerRun tests in
+// internal/vm).
+func BenchmarkMmapMunmapCycle(b *testing.B) {
+	e, a := benchEnv(1)
+	s := vm.New(e.M, e.RC, a, nil)
+	c := e.M.CPU(0)
+	const lo, npages = uint64(1 << 22), uint64(4)
+	opts := vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}
+	mustNilB(b, s.Mmap(c, lo, npages, opts))
+	mustNilB(b, s.Munmap(c, lo, npages))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustNilB(b, s.Mmap(c, lo, npages, opts))
+		mustNilB(b, s.Munmap(c, lo, npages))
+	}
+}
+
+func mustNilB(b *testing.B, err error) {
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
 // Micro-benchmarks for the radix tree's three hot paths. Run with
 // -benchmem: the allocation columns are the point. Baselines recorded when
 // the copy-on-diverge node representation landed (Xeon @ 2.10GHz, go1.24):

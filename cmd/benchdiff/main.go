@@ -1,0 +1,125 @@
+// Command benchdiff compares two `radixbench -json` outputs and renders a
+// per-figure delta table (GitHub-flavored markdown, suitable for a job
+// summary). Rows are matched by (experiment, table title, series, cores);
+// every value in the schema is a throughput, so a drop is a regression.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_prev.json -new BENCH_head.json [-warn 10]
+//
+// With -warn N (percent), regressions beyond N% additionally emit GitHub
+// Actions `::warning::` annotations on stderr. The exit code is always 0:
+// virtual-time throughput on shared CI runners is noisy, so the table and
+// annotations inform rather than gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"radixvm/internal/harness"
+)
+
+type jsonExp struct {
+	Name   string           `json:"name"`
+	Tables []*harness.Table `json:"tables,omitempty"`
+	Text   string           `json:"text,omitempty"`
+}
+
+type benchFile struct {
+	Experiments []jsonExp `json:"experiments"`
+}
+
+func load(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+type key struct {
+	exp, title, series string
+	cores              int
+}
+
+func index(f *benchFile) (map[key]harness.Row, []key) {
+	vals := map[key]harness.Row{}
+	var order []key
+	for _, e := range f.Experiments {
+		for _, t := range e.Tables {
+			for _, r := range t.Rows {
+				k := key{exp: e.Name, title: t.Title, series: r.Series, cores: r.Cores}
+				if _, dup := vals[k]; !dup {
+					order = append(order, k)
+				}
+				vals[k] = r
+			}
+		}
+	}
+	return vals, order
+}
+
+func main() {
+	oldPath := flag.String("old", "", "previous run's radixbench -json output")
+	newPath := flag.String("new", "", "this run's radixbench -json output")
+	warnPct := flag.Float64("warn", 10, "emit ::warning:: annotations for regressions beyond this percent (0 disables)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: both -old and -new are required")
+		os.Exit(2)
+	}
+
+	oldF, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	newF, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	oldVals, _ := index(oldF)
+	newVals, newOrder := index(newF)
+
+	fmt.Println("### Perf trajectory vs previous run")
+	fmt.Println()
+	fmt.Println("| figure | series | cores | previous | current | delta |")
+	fmt.Println("|---|---|---:|---:|---:|---:|")
+	regressions := 0
+	for _, k := range newOrder {
+		nr := newVals[k]
+		or, ok := oldVals[k]
+		if !ok {
+			fmt.Printf("| %s | %s | %d | — | %.2f %s | new |\n", k.title, k.series, k.cores, nr.Value, nr.Unit)
+			continue
+		}
+		delta := "—"
+		if or.Value != 0 {
+			pct := (nr.Value - or.Value) / or.Value * 100
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if *warnPct > 0 && pct < -*warnPct && !math.IsInf(pct, 0) {
+				delta += " ⚠️"
+				regressions++
+				fmt.Fprintf(os.Stderr, "::warning title=perf regression::%s / %s @%d cores: %.2f -> %.2f %s (%+.1f%%)\n",
+					k.title, k.series, k.cores, or.Value, nr.Value, nr.Unit, pct)
+			}
+		}
+		fmt.Printf("| %s | %s | %d | %.2f | %.2f %s | %s |\n", k.title, k.series, k.cores, or.Value, nr.Value, nr.Unit, delta)
+	}
+	fmt.Println()
+	if regressions > 0 {
+		fmt.Printf("⚠️ %d series regressed by more than %.0f%%.\n", regressions, *warnPct)
+	} else {
+		fmt.Println("No regressions beyond the threshold.")
+	}
+}

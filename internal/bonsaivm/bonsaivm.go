@@ -91,7 +91,10 @@ func (as *AddressSpace) Munmap(cpu *hw.CPU, vpn, npages uint64) error {
 	return nil
 }
 
-func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
+// overlapsLocked gathers (by value, from the current snapshot) every
+// region intersecting [lo, hi), in ascending start order; the caller holds
+// the address-space lock.
+func (as *AddressSpace) overlapsLocked(cpu *hw.CPU, lo, hi uint64) []region {
 	snap := as.regions.Snapshot()
 	var overlaps []region
 	if k, v, ok := snap.Floor(cpu, lo); ok && k < lo && v.end > lo {
@@ -104,6 +107,11 @@ func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
 		overlaps = append(overlaps, *v)
 		return true
 	})
+	return overlaps
+}
+
+func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
+	overlaps := as.overlapsLocked(cpu, lo, hi)
 	if len(overlaps) == 0 {
 		return
 	}
@@ -134,12 +142,80 @@ func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
 	}
 }
 
+// Mprotect implements vm.System: like mmap/munmap it serializes on the
+// address space lock — the Bonsai design only makes *faults* lock-free —
+// republishing the affected regions with the new protection (RCU-style:
+// fresh region structs, never in-place mutation, so concurrent lock-free
+// faulters always read a consistent region). Revoked rights downgrade the
+// shared table's PTEs and broadcast a TLB flush; granted rights are
+// realized lazily by protection faults.
+func (as *AddressSpace) Mprotect(cpu *hw.CPU, vpn, npages uint64, prot vm.Prot) error {
+	if npages == 0 {
+		return vm.ErrRange
+	}
+	cpu.Stats().Mprotects++
+	cpu.Tick(vm.LinuxSyscallCost)
+	as.noteActive(cpu)
+	cpu.Acquire(&as.lock)
+	defer cpu.Release(&as.lock)
+	lo, hi := vpn, vpn+npages
+
+	overlaps := as.overlapsLocked(cpu, lo, hi)
+	covered := lo
+	revoked := false
+	hole := len(overlaps) == 0 || overlaps[0].start > lo
+	for _, o := range overlaps {
+		clipLo, clipHi := max(lo, o.start), min(hi, o.end)
+		if clipLo > covered {
+			hole = true
+		}
+		covered = clipHi
+		if o.prot&^prot != 0 {
+			revoked = true
+		}
+		shifted := func(start uint64) vm.Backing {
+			nb := o.back
+			if nb.File != nil {
+				nb.Offset += start - o.start
+			}
+			return nb
+		}
+		// Publish without ever uncovering a page: faulters read a
+		// lock-free snapshot per call, so insert the higher-key pieces
+		// first (while o's full-width entry still covers them from
+		// below) and finish by atomically replacing o's own key with
+		// its leftmost piece — never Delete.
+		if o.end > hi {
+			as.regions.Insert(cpu, hi, &region{start: hi, end: o.end, prot: o.prot, back: shifted(hi)})
+		}
+		if o.start < lo {
+			as.regions.Insert(cpu, clipLo, &region{start: clipLo, end: clipHi, prot: prot, back: shifted(clipLo)})
+			as.regions.Insert(cpu, o.start, &region{start: o.start, end: lo, prot: o.prot, back: o.back})
+		} else {
+			as.regions.Insert(cpu, o.start, &region{start: clipLo, end: clipHi, prot: prot, back: shifted(clipLo)})
+		}
+	}
+	if revoked {
+		as.mmu.Protect(cpu, lo, hi, vm.PermBits(prot), hw.CoreSet{}, as.activeSet())
+	}
+	if hole || covered < hi {
+		return vm.ErrSegv
+	}
+	return nil
+}
+
 // PageFault is lock-free: it reads an atomic snapshot of the region tree,
 // installs the translation, and re-validates against the current tree. If
 // a concurrent munmap removed the region in between, the fault undoes its
 // installation — a simplified version of the Bonsai system's RCU
 // validation protocol.
 func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
+	return as.pageFault(cpu, vpn, write, false)
+}
+
+// pageFault handles one fault; trapped means a TLB permission trap raised
+// it and the caller already counted the ProtFault.
+func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) error {
 	cpu.Stats().PageFaults++
 	cpu.Tick(vm.FaultCost)
 	as.noteActive(cpu)
@@ -148,6 +224,13 @@ func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
 	if v == nil {
 		return vm.ErrSegv
 	}
+	if !v.prot.Allows(write) {
+		if !trapped {
+			cpu.Stats().ProtFaults++
+		}
+		return vm.ErrProt
+	}
+	perm := vm.PermBits(v.prot)
 	var frame *mem.Frame
 	if v.back.File != nil {
 		fr, _ := v.back.File.Page(cpu, v.back.Offset+(vpn-v.start))
@@ -156,25 +239,90 @@ func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
 	} else {
 		frame = as.alloc.Alloc(cpu)
 	}
-	if !as.mmu.PageTable().MapIfAbsent(cpu, vpn, frame.PFN) {
-		// Raced with another faulter on the same page.
+	if !as.mmu.PageTable().MapIfAbsent(cpu, vpn, frame.PFN, perm) {
+		// Raced with another faulter on the same page; adopt theirs,
+		// upgrading the PTE's rights if the region now grants more.
 		cpu.Stats().FillFaults++
 		cpu.Tick(vm.FillCost)
 		as.alloc.DecRef(cpu, frame)
 		if pte, ok := as.mmu.PageTable().Lookup(cpu, vpn); ok {
-			as.mmu.TLB(cpu.ID()).Insert(vpn, pte.PFN)
+			if pte.Perm&perm != perm {
+				// Rights upgrade wanted, but perm came from a region
+				// snapshot: a lock-free rewrite could resurrect rights
+				// a concurrent Mprotect revoked, or a PTE a concurrent
+				// Munmap cleared and shot down — and no local undo can
+				// repair a third core's TLB that walked the resurrected
+				// entry in between. Upgrades only happen right after an
+				// mprotect, so this rare path takes the address-space
+				// lock like a syscall and rewrites against the current
+				// truth; plain fills stay lock-free, which is all the
+				// Bonsai design promises.
+				cpu.Acquire(&as.lock)
+				cur := as.findRegion(cpu, vpn)
+				cur2, ok2 := as.mmu.PageTable().Peek(vpn)
+				switch {
+				case cur == nil:
+					cpu.Release(&as.lock)
+					return vm.ErrSegv
+				case !cur.prot.Allows(write):
+					cpu.Release(&as.lock)
+					if !trapped {
+						cpu.Stats().ProtFaults++
+					}
+					return vm.ErrProt
+				case !ok2:
+					// The mapping was replaced wholesale between our
+					// snapshot and the lock: retry as a fresh fault.
+					cpu.Release(&as.lock)
+					return as.pageFault(cpu, vpn, write, trapped)
+				}
+				perm = vm.PermBits(cur.prot)
+				if cur2.Perm&perm != perm {
+					as.mmu.PageTable().Map(cpu, vpn, cur2.PFN, perm)
+					cur2.Perm = perm
+				}
+				cpu.Release(&as.lock)
+				pte = cur2
+			}
+			as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntry(pte))
 		}
 		return nil
 	}
-	// Re-validate: a munmap may have cleared this range between our
-	// snapshot read and the PTE install.
-	if as.findRegion(cpu, vpn) == nil {
-		as.mmu.PageTable().Unmap(cpu, vpn)
-		as.mmu.TLB(cpu.ID()).FlushPage(vpn)
-		as.alloc.DecRef(cpu, frame)
-		return vm.ErrSegv
+	// Re-validate: a munmap may have cleared this range — or an mprotect
+	// changed its rights — between our snapshot read and the PTE install,
+	// and our stale install would outlive the syscall's shootdown. The
+	// repair path is rare (it requires losing that race), so it serializes
+	// on the address-space lock and broadcasts a flush for the page: any
+	// third core that walked the transient PTE rechecks it (rights-aware
+	// MMU.Revalidate) or is flushed outright.
+	cur := as.findRegion(cpu, vpn)
+	if cur == nil || cur.prot != v.prot {
+		cpu.Acquire(&as.lock)
+		cur = as.findRegion(cpu, vpn)
+		if cur == nil {
+			as.mmu.PageTable().Unmap(cpu, vpn)
+			as.mmu.ShootdownTLBOnly(cpu, vpn, vpn+1, as.activeSet())
+			as.alloc.DecRef(cpu, frame)
+			cpu.Release(&as.lock)
+			return vm.ErrSegv
+		}
+		if curPerm := vm.PermBits(cur.prot); curPerm != perm {
+			as.mmu.PageTable().Map(cpu, vpn, frame.PFN, curPerm)
+			as.mmu.ShootdownTLBOnly(cpu, vpn, vpn+1, as.activeSet())
+			perm = curPerm
+		}
+		allowed := cur.prot.Allows(write)
+		cpu.Release(&as.lock)
+		if !allowed {
+			if !trapped {
+				cpu.Stats().ProtFaults++
+			}
+			// The page stays mapped and resident with its current
+			// (narrower) rights; only this access is denied.
+			return vm.ErrProt
+		}
 	}
-	as.mmu.TLB(cpu.ID()).Insert(vpn, frame.PFN)
+	as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntryFor(frame.PFN, cur.prot))
 	return nil
 }
 
@@ -190,14 +338,27 @@ func (as *AddressSpace) findRegion(cpu *hw.CPU, vpn uint64) *region {
 func (as *AddressSpace) Access(cpu *hw.CPU, vpn uint64, write bool) error {
 	as.noteActive(cpu)
 	t := as.mmu.TLB(cpu.ID())
-	if _, ok := t.Lookup(vpn); ok {
-		cpu.Tick(vm.AccessCost)
-		return nil
+	if e, ok := t.Lookup(vpn); ok {
+		if (write && e.Writable) || (!write && e.Readable) {
+			cpu.Tick(vm.AccessCost)
+			return nil
+		}
+		cpu.Stats().ProtFaults++
+		return as.pageFault(cpu, vpn, write, true) // permission trap from the TLB
 	}
-	if pfn, ok := as.mmu.Lookup(cpu, vpn); ok {
+	if pte, ok := as.mmu.Lookup(cpu, vpn); ok {
+		if (write && !pte.Writable()) || (!write && !pte.Readable()) {
+			cpu.Stats().ProtFaults++
+			return as.pageFault(cpu, vpn, write, true) // permission trap from the walk
+		}
 		cpu.Tick(vm.WalkCost)
-		t.Insert(vpn, pfn)
-		return nil
+		t.Insert(vpn, vm.TLBEntry(pte))
+		// Walk+insert is not atomic against a concurrent shootdown;
+		// re-validate (see vm.MMU.Revalidate).
+		if as.mmu.Revalidate(cpu, vpn, pte.PFN, pte.Perm) {
+			return nil
+		}
+		t.FlushPage(vpn)
 	}
 	return as.PageFault(cpu, vpn, write)
 }

@@ -178,6 +178,23 @@ func Fig5(o Options) []*Table {
 	return tables
 }
 
+// FigMprotect runs the mprotect-cycling microbenchmark (not a figure in
+// the paper, which never exercises mprotect; the workload probes the same
+// §3.4 claim — VM operations on disjoint ranges scale perfectly — for the
+// write-protect path RadixVM's metadata makes targeted). Each series is a
+// VM system; the metric matches Figure 5's.
+func FigMprotect(o Options) *Table {
+	t := &Table{Title: "mprotect: write-protect cycling (M page writes/sec)"}
+	for _, f := range factories() {
+		for _, n := range o.Cores {
+			e, a := env(n)
+			r := workload.Protect(e, f.make(e, a), n, o.Iters, 4)
+			t.Rows = append(t.Rows, Row{Series: f.name, Cores: n, Value: r.PerSecond() / 1e6, Unit: "M pages/s"})
+		}
+	}
+	return t
+}
+
 // Fig6 reproduces the skip list lookup-vs-writers figure.
 func Fig6(o Options) *Table {
 	return structureBench("Figure 6: skip list lookups/sec (millions)", o, []int{0, 1, 5},

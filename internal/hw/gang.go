@@ -20,15 +20,35 @@ import "sync"
 // events, instead of scanning a map and broadcasting on every call — the
 // seed's per-Sync map scan plus thundering-herd broadcast was among the
 // largest real-CPU costs of every gang-driven benchmark.
+//
+// # Adaptive quantum batching
+//
+// The skew bound exists only to make simulated *contention* faithful: if
+// two cores never touch a common cache line, their virtual outcomes are
+// independent of how far their clocks drift, and forcing them to lock-step
+// every `quantum` cycles is pure real-time overhead — the gang's mutex and
+// condvar were the simulator's own scalability ceiling above ~40
+// goroutines. Sync therefore watches each member's contention signal (its
+// cache-line transfer and received-IPI counters): after a calm window with
+// no member observing any cross-core traffic the effective quantum doubles
+// (up to maxBatchFactor× the configured bound), and the moment any member
+// observes a transfer it snaps back to the configured quantum. Contended
+// benchmarks (the Figure 5 baselines, Figure 7's writers, Figure 8)
+// never leave the configured bound, so their interleaving — and their
+// virtual-time output — is exactly as before; embarrassingly parallel
+// phases stop paying for a tight lock-step they never needed.
 type Gang struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	quantum uint64
+	quantum uint64 // configured skew bound (the floor)
+	eff     uint64 // current effective bound: quantum..maxBatchFactor*quantum
 	clocks  [MaxCores]uint64
+	lastObs [MaxCores]uint64 // last contention counter sample per member
 	member  [MaxCores]bool
 	ids     []int // active member ids, unordered
 	minVal  uint64
 	minID   int
+	calmLo  uint64 // minVal when the current calm window started
 }
 
 // DefaultQuantum bounds virtual-clock skew to roughly one benchmark
@@ -36,13 +56,21 @@ type Gang struct {
 // the paper's real ones.
 const DefaultQuantum = 2000
 
+// maxBatchFactor caps how far the adaptive quantum may widen over the
+// configured bound during contention-free stretches.
+const maxBatchFactor = 32
+
+// calmWindowFactor is how many effective quanta of global progress must
+// pass without any member observing contention before the bound widens.
+const calmWindowFactor = 4
+
 // NewGang creates a gang with the given skew bound in cycles
 // (DefaultQuantum if <= 0).
 func NewGang(quantum uint64) *Gang {
 	if quantum == 0 {
 		quantum = DefaultQuantum
 	}
-	g := &Gang{quantum: quantum}
+	g := &Gang{quantum: quantum, eff: quantum}
 	g.cond = sync.NewCond(&g.mu)
 	g.recompute()
 	return g
@@ -52,6 +80,7 @@ func NewGang(quantum uint64) *Gang {
 // starts (and before any member can block on it).
 func (g *Gang) Join(cpu *CPU) {
 	now := cpu.Now()
+	obs := cpu.stats.Transfers + cpu.stats.IPIsReceived()
 	g.mu.Lock()
 	id := cpu.ID()
 	if !g.member[id] {
@@ -59,16 +88,20 @@ func (g *Gang) Join(cpu *CPU) {
 		g.ids = append(g.ids, id)
 	}
 	g.clocks[id] = now
-	g.recompute() // a joiner may lower the minimum
+	g.lastObs[id] = obs // traffic before joining is not gang contention
+	g.recompute()       // a joiner may lower the minimum
 	g.cond.Broadcast()
 	g.mu.Unlock()
 }
 
-// Sync reports cpu's clock and blocks while cpu is more than one quantum
-// ahead of the slowest active member.
+// Sync reports cpu's clock and blocks while cpu is more than the current
+// effective quantum ahead of the slowest active member.
 func (g *Gang) Sync(cpu *CPU) {
 	now := cpu.Now()
 	id := cpu.ID()
+	// Contention signal, sampled outside the lock: Transfers is owned by
+	// the calling goroutine, ipisRecv is atomic.
+	obs := cpu.stats.Transfers + cpu.stats.IPIsReceived()
 	g.mu.Lock()
 	g.clocks[id] = now
 	if id == g.minID {
@@ -77,10 +110,32 @@ func (g *Gang) Sync(cpu *CPU) {
 		g.recompute()
 		g.cond.Broadcast()
 	}
-	for now > g.minVal+g.quantum {
+	if obs != g.lastObs[id] {
+		// This member moved a cache line (or took an IPI) since its last
+		// report: contention is live, tighten back to the configured
+		// bound and restart the calm window.
+		g.lastObs[id] = obs
+		g.eff = g.quantum
+		g.calmLo = g.minVal
+	} else if g.eff < g.quantum*maxBatchFactor && g.minVal > g.calmLo+calmWindowFactor*g.eff {
+		// A full calm window of global progress with nobody observing
+		// contention: widen the batch.
+		g.eff *= 2
+		g.calmLo = g.minVal
+	}
+	for now > g.minVal+g.eff {
 		g.cond.Wait()
 	}
 	g.mu.Unlock()
+}
+
+// EffectiveQuantum returns the current adaptive skew bound (diagnostics
+// and tests): the configured quantum while contention is live, up to
+// maxBatchFactor times it after calm windows.
+func (g *Gang) EffectiveQuantum() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.eff
 }
 
 // Leave removes cpu from the gang so other members no longer wait for it.

@@ -158,8 +158,10 @@ type Stats struct {
 	Shootdowns     uint64 // munmap-triggered shootdown rounds
 	PageFaults     uint64
 	FillFaults     uint64 // faults that only filled a PTE (page existed)
+	ProtFaults     uint64 // permission traps: denied accesses + rights re-fills after mprotect
 	Mmaps          uint64
 	Munmaps        uint64
+	Mprotects      uint64
 	PagesZeroed    uint64
 	RefcacheEvicts uint64 // delta-cache evictions due to hash collisions
 }
@@ -177,8 +179,10 @@ func (t *Stats) add(s *Stats) {
 	t.Shootdowns += s.Shootdowns
 	t.PageFaults += s.PageFaults
 	t.FillFaults += s.FillFaults
+	t.ProtFaults += s.ProtFaults
 	t.Mmaps += s.Mmaps
 	t.Munmaps += s.Munmaps
+	t.Mprotects += s.Mprotects
 	t.PagesZeroed += s.PagesZeroed
 	t.RefcacheEvicts += s.RefcacheEvicts
 }

@@ -110,7 +110,9 @@ func (as *AddressSpace) Munmap(cpu *hw.CPU, vpn, npages uint64) error {
 // that backed it, broadcasts TLB shootdowns to every core using the
 // address space (the hardware gives no better information), and finally
 // releases the frames. Caller holds the write lock.
-func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
+// overlapsLocked gathers every VMA intersecting [lo, hi), in ascending
+// start order; the caller holds the lock in at least read mode.
+func (as *AddressSpace) overlapsLocked(cpu *hw.CPU, lo, hi uint64) []*vma {
 	var overlaps []*vma
 	if n := as.vmas.Floor(cpu, lo); n != nil && n.Key < lo && n.Val.end > lo {
 		overlaps = append(overlaps, n.Val)
@@ -122,6 +124,11 @@ func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
 		overlaps = append(overlaps, n.Val)
 		return true
 	})
+	return overlaps
+}
+
+func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
+	overlaps := as.overlapsLocked(cpu, lo, hi)
 	if len(overlaps) == 0 {
 		return
 	}
@@ -152,6 +159,75 @@ func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
 	}
 }
 
+// Mprotect implements vm.System the Linux way: write-lock the whole
+// address space (serializing against every other mmap/munmap/mprotect),
+// split boundary VMAs so the range is covered by regions carrying exactly
+// the new protection, rewrite the shared page table's permission bits, and
+// — because the hardware cannot say which TLBs cached the old rights —
+// broadcast a flush to every core using the address space whenever rights
+// were revoked. Granted rights propagate lazily through protection faults.
+func (as *AddressSpace) Mprotect(cpu *hw.CPU, vpn, npages uint64, prot vm.Prot) error {
+	if npages == 0 {
+		return vm.ErrRange
+	}
+	cpu.Stats().Mprotects++
+	cpu.Tick(vm.LinuxSyscallCost)
+	as.noteActive(cpu)
+	cpu.WLock(&as.lock)
+	defer cpu.WUnlock(&as.lock)
+	lo, hi := vpn, vpn+npages
+
+	overlaps := as.overlapsLocked(cpu, lo, hi)
+	covered := lo
+	revoked := false
+	for _, o := range overlaps {
+		clipLo, clipHi := max(lo, o.start), min(hi, o.end)
+		covered = clipHi
+		if o.prot&^prot != 0 {
+			revoked = true
+		}
+		if o.start >= lo && o.end <= hi {
+			o.prot = prot // wholly inside: rewrite in place
+			continue
+		}
+		// Boundary VMA: split into outside piece(s) with the old
+		// protection and an inside piece with the new one. File offsets
+		// shift with each piece's start, as in removeOverlapsLocked.
+		shifted := func(start uint64) vm.Backing {
+			nb := o.back
+			if nb.File != nil {
+				nb.Offset += start - o.start
+			}
+			return nb
+		}
+		as.vmas.Delete(cpu, o.start)
+		if o.start < lo {
+			as.vmas.Insert(cpu, o.start, &vma{start: o.start, end: lo, prot: o.prot, back: o.back})
+		}
+		as.vmas.Insert(cpu, clipLo, &vma{start: clipLo, end: clipHi, prot: prot, back: shifted(clipLo)})
+		if o.end > hi {
+			as.vmas.Insert(cpu, hi, &vma{start: hi, end: o.end, prot: o.prot, back: shifted(hi)})
+		}
+	}
+	if revoked {
+		as.mmu.Protect(cpu, lo, hi, vm.PermBits(prot), hw.CoreSet{}, as.activeSet())
+	}
+	if len(overlaps) == 0 || covered < hi || overlaps[0].start > lo || gapped(overlaps) {
+		return vm.ErrSegv
+	}
+	return nil
+}
+
+// gapped reports whether consecutive overlapping VMAs leave a hole.
+func gapped(overlaps []*vma) bool {
+	for i := 1; i < len(overlaps); i++ {
+		if overlaps[i].start > overlaps[i-1].end {
+			return true
+		}
+	}
+	return false
+}
+
 // findVMALocked returns the region containing vpn; the caller holds the
 // lock in at least read mode.
 func (as *AddressSpace) findVMALocked(cpu *hw.CPU, vpn uint64) *vma {
@@ -164,8 +240,16 @@ func (as *AddressSpace) findVMALocked(cpu *hw.CPU, vpn uint64) *vma {
 
 // PageFault takes the address space lock in read mode — cheap in real-time
 // terms, but the reader-count update transfers the lock's cache line, so
-// concurrent faults across cores serialize at that line (§5.2).
+// concurrent faults across cores serialize at that line (§5.2). The VMA's
+// protection gates the access; a present PTE with narrower rights than the
+// VMA (an mprotect upgrade not yet realized) is rewritten in place.
 func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
+	return as.pageFault(cpu, vpn, write, false)
+}
+
+// pageFault handles one fault; trapped means a TLB permission trap raised
+// it and the caller already counted the ProtFault.
+func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) error {
 	cpu.Stats().PageFaults++
 	cpu.Tick(vm.FaultCost)
 	as.noteActive(cpu)
@@ -176,6 +260,13 @@ func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
 	if v == nil {
 		return vm.ErrSegv
 	}
+	if !v.prot.Allows(write) {
+		if !trapped {
+			cpu.Stats().ProtFaults++
+		}
+		return vm.ErrProt
+	}
+	perm := vm.PermBits(v.prot)
 	var frame *mem.Frame
 	fileBacked := v.back.File != nil
 	if fileBacked {
@@ -185,16 +276,21 @@ func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
 	} else {
 		frame = as.alloc.Alloc(cpu)
 	}
-	if as.mmu.PageTable().MapIfAbsent(cpu, vpn, frame.PFN) {
-		as.mmu.TLB(cpu.ID()).Insert(vpn, frame.PFN)
+	if as.mmu.PageTable().MapIfAbsent(cpu, vpn, frame.PFN, perm) {
+		as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntryFor(frame.PFN, v.prot))
 		return nil
 	}
-	// Another core mapped the page first: drop ours, adopt theirs.
+	// Another core mapped the page first: drop ours, adopt theirs,
+	// upgrading the PTE's rights if the VMA now grants more.
 	cpu.Stats().FillFaults++
 	cpu.Tick(vm.FillCost)
 	as.alloc.DecRef(cpu, frame)
 	if pte, ok := as.mmu.PageTable().Lookup(cpu, vpn); ok {
-		as.mmu.TLB(cpu.ID()).Insert(vpn, pte.PFN)
+		if pte.Perm&perm != perm {
+			as.mmu.PageTable().Map(cpu, vpn, pte.PFN, perm)
+			pte.Perm = perm
+		}
+		as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntry(pte))
 	}
 	return nil
 }
@@ -203,14 +299,27 @@ func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
 func (as *AddressSpace) Access(cpu *hw.CPU, vpn uint64, write bool) error {
 	as.noteActive(cpu)
 	t := as.mmu.TLB(cpu.ID())
-	if _, ok := t.Lookup(vpn); ok {
-		cpu.Tick(vm.AccessCost)
-		return nil
+	if e, ok := t.Lookup(vpn); ok {
+		if (write && e.Writable) || (!write && e.Readable) {
+			cpu.Tick(vm.AccessCost)
+			return nil
+		}
+		cpu.Stats().ProtFaults++
+		return as.pageFault(cpu, vpn, write, true) // permission trap from the TLB
 	}
-	if pfn, ok := as.mmu.Lookup(cpu, vpn); ok {
+	if pte, ok := as.mmu.Lookup(cpu, vpn); ok {
+		if (write && !pte.Writable()) || (!write && !pte.Readable()) {
+			cpu.Stats().ProtFaults++
+			return as.pageFault(cpu, vpn, write, true) // permission trap from the walk
+		}
 		cpu.Tick(vm.WalkCost)
-		t.Insert(vpn, pfn)
-		return nil
+		t.Insert(vpn, vm.TLBEntry(pte))
+		// Walk+insert is not atomic against a concurrent shootdown;
+		// re-validate (see vm.MMU.Revalidate).
+		if as.mmu.Revalidate(cpu, vpn, pte.PFN, pte.Perm) {
+			return nil
+		}
+		t.FlushPage(vpn)
 	}
 	return as.PageFault(cpu, vpn, write)
 }

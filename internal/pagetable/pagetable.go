@@ -31,10 +31,71 @@ const (
 	slotsPerLine = 8
 )
 
-// PTE is a page table entry: the present bit plus the mapped PFN.
+// Perm is the permission half of a PTE: the readable/writable and
+// no-execute-style bits real page tables carry alongside the translation.
+// The zero value permits nothing (a PROT_NONE entry: present so mprotect
+// can restore it cheaply, but every access traps).
+type Perm uint8
+
+// Permission bits.
+const (
+	PermW Perm = 1 << iota // writable
+	PermX                  // executable
+	PermR                  // readable
+)
+
+// PTE is a page table entry: the present bit, the permission bits, and the
+// mapped PFN.
 type PTE struct {
 	PFN     uint64
+	Perm    Perm
 	Present bool
+}
+
+// Readable reports whether the entry permits loads.
+func (p PTE) Readable() bool { return p.Perm&PermR != 0 }
+
+// Writable reports whether the entry permits stores.
+func (p PTE) Writable() bool { return p.Perm&PermW != 0 }
+
+// Executable reports whether the entry permits instruction fetches.
+func (p PTE) Executable() bool { return p.Perm&PermX != 0 }
+
+// Raw PTE packing: pfn<<4 | readable<<3 | exec<<2 | writable<<1 | present.
+const (
+	rawPresent = 1 << 0
+	rawW       = 1 << 1
+	rawX       = 1 << 2
+	rawR       = 1 << 3
+	rawShift   = 4
+)
+
+func pack(pfn uint64, perm Perm) uint64 {
+	raw := pfn<<rawShift | rawPresent
+	if perm&PermW != 0 {
+		raw |= rawW
+	}
+	if perm&PermX != 0 {
+		raw |= rawX
+	}
+	if perm&PermR != 0 {
+		raw |= rawR
+	}
+	return raw
+}
+
+func unpack(raw uint64) PTE {
+	var perm Perm
+	if raw&rawW != 0 {
+		perm |= PermW
+	}
+	if raw&rawX != 0 {
+		perm |= PermX
+	}
+	if raw&rawR != 0 {
+		perm |= PermR
+	}
+	return PTE{PFN: raw >> rawShift, Perm: perm, Present: raw&rawPresent != 0}
 }
 
 // node holds only the array its level uses — child pointers at interior
@@ -125,23 +186,24 @@ func (pt *PageTable) walk(cpu *hw.CPU, vpn uint64, create bool) *node {
 	return n
 }
 
-// Map installs vpn→pfn, charged to cpu. Mapping an already-present entry
-// overwrites it.
-func (pt *PageTable) Map(cpu *hw.CPU, vpn, pfn uint64) {
+// Map installs vpn→pfn with the given permissions, charged to cpu. Mapping
+// an already-present entry overwrites it (how a protection fault upgrades a
+// read-only PTE after mprotect widened the mapping's rights).
+func (pt *PageTable) Map(cpu *hw.CPU, vpn, pfn uint64, perm Perm) {
 	n := pt.walk(cpu, vpn, true)
 	i := idxAt(vpn, 0)
 	cpu.Write(n.line(i))
-	n.ptes[i].Store(pfn<<1 | 1)
+	n.ptes[i].Store(pack(pfn, perm))
 }
 
 // MapIfAbsent installs vpn→pfn only if no translation is present, and
 // reports whether it installed. Concurrent faulters on a shared table race
 // here; exactly one wins (Linux's equivalent is the PTE lock + recheck).
-func (pt *PageTable) MapIfAbsent(cpu *hw.CPU, vpn, pfn uint64) bool {
+func (pt *PageTable) MapIfAbsent(cpu *hw.CPU, vpn, pfn uint64, perm Perm) bool {
 	n := pt.walk(cpu, vpn, true)
 	i := idxAt(vpn, 0)
 	cpu.Write(n.line(i))
-	return n.ptes[i].CompareAndSwap(0, pfn<<1|1)
+	return n.ptes[i].CompareAndSwap(0, pack(pfn, perm))
 }
 
 // Unmap clears vpn's entry and reports whether it was present.
@@ -152,7 +214,7 @@ func (pt *PageTable) Unmap(cpu *hw.CPU, vpn uint64) bool {
 	}
 	i := idxAt(vpn, 0)
 	cpu.Write(n.line(i))
-	return n.ptes[i].Swap(0)&1 != 0
+	return n.ptes[i].Swap(0)&rawPresent != 0
 }
 
 // UnmapRange clears [lo, hi) and returns how many entries were present.
@@ -174,14 +236,44 @@ func (pt *PageTable) UnmapRangeFunc(cpu *hw.CPU, lo, hi uint64, fn func(vpn, pfn
 		}
 		i := idxAt(vpn, 0)
 		cpu.Write(n.line(i))
-		if old := n.ptes[i].Swap(0); old&1 != 0 {
+		if old := n.ptes[i].Swap(0); old&rawPresent != 0 {
 			cleared++
 			if fn != nil {
-				fn(vpn, old>>1)
+				fn(vpn, old>>rawShift)
 			}
 		}
 	}
 	return cleared
+}
+
+// ProtectRange rewrites the permission bits of every present entry in
+// [lo, hi) — the PTE half of an mprotect: translations stay installed (no
+// re-fault needed for still-permitted accesses once TLBs are flushed), only
+// their rights change. Each visited entry's line is dirtied, like
+// UnmapRange. Returns how many present entries the sweep covered.
+func (pt *PageTable) ProtectRange(cpu *hw.CPU, lo, hi uint64, perm Perm) int {
+	changed := 0
+	for vpn := lo; vpn < hi; vpn++ {
+		n := pt.walk(cpu, vpn, false)
+		if n == nil {
+			vpn |= EntriesPerNode - 1 // jump to end of this leaf span
+			continue
+		}
+		i := idxAt(vpn, 0)
+		cpu.Write(n.line(i))
+		for {
+			old := n.ptes[i].Load()
+			if old&rawPresent == 0 {
+				break
+			}
+			newRaw := pack(old>>rawShift, perm)
+			if old == newRaw || n.ptes[i].CompareAndSwap(old, newRaw) {
+				changed++
+				break
+			}
+		}
+	}
+	return changed
 }
 
 // Lookup performs a hardware-style walk for vpn.
@@ -193,10 +285,40 @@ func (pt *PageTable) Lookup(cpu *hw.CPU, vpn uint64) (PTE, bool) {
 	i := idxAt(vpn, 0)
 	cpu.Read(n.line(i))
 	raw := n.ptes[i].Load()
-	if raw&1 == 0 {
+	if raw&rawPresent == 0 {
 		return PTE{}, false
 	}
-	return PTE{PFN: raw >> 1, Present: true}, true
+	return unpack(raw), true
+}
+
+// Present reports whether vpn has a translation, without charging any
+// simulated cost. It exists for the walk/shootdown atomicity recheck: real
+// hardware's page walk and TLB insert are atomic against the shootdown
+// protocol (the IPI ack round orders them), and the Go-level walk+insert is
+// not, so Access re-validates its insert against the table. The recheck is
+// an emulation artifact, not a modeled memory operation, so it is cost-free.
+func (pt *PageTable) Present(vpn uint64) bool {
+	_, ok := pt.Peek(vpn)
+	return ok
+}
+
+// Peek returns vpn's entry without charging simulated cost — for callers
+// that just touched (and paid for) the entry's line and need to re-read it,
+// and for the Present recheck above.
+func (pt *PageTable) Peek(vpn uint64) (PTE, bool) {
+	n := pt.root
+	for n.level > 0 {
+		child := n.children[idxAt(vpn, n.level)].Load()
+		if child == nil {
+			return PTE{}, false
+		}
+		n = child
+	}
+	raw := n.ptes[idxAt(vpn, 0)].Load()
+	if raw&rawPresent == 0 {
+		return PTE{}, false
+	}
+	return unpack(raw), true
 }
 
 // Bytes returns the memory consumed by table nodes, matching how the paper

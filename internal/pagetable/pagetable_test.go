@@ -20,7 +20,7 @@ func TestMapLookupUnmap(t *testing.T) {
 	if _, ok := pt.Lookup(c, 42); ok {
 		t.Fatal("lookup hit in empty table")
 	}
-	pt.Map(c, 42, 7)
+	pt.Map(c, 42, 7, PermW)
 	pte, ok := pt.Lookup(c, 42)
 	if !ok || pte.PFN != 7 || !pte.Present {
 		t.Fatalf("Lookup = %+v, %v", pte, ok)
@@ -39,11 +39,79 @@ func TestMapLookupUnmap(t *testing.T) {
 func TestMapOverwrite(t *testing.T) {
 	m, pt := newPT(1)
 	c := m.CPU(0)
-	pt.Map(c, 5, 1)
-	pt.Map(c, 5, 2)
+	pt.Map(c, 5, 1, 0)
+	pt.Map(c, 5, 2, PermW)
 	pte, _ := pt.Lookup(c, 5)
 	if pte.PFN != 2 {
 		t.Fatalf("overwrite lost: PFN = %d", pte.PFN)
+	}
+}
+
+func TestPermissionRoundTrip(t *testing.T) {
+	m, pt := newPT(1)
+	c := m.CPU(0)
+	pt.Map(c, 1, 11, 0)
+	pt.Map(c, 2, 12, PermR|PermW)
+	pt.Map(c, 3, 13, PermR|PermW|PermX)
+	for vpn, want := range map[uint64]Perm{1: 0, 2: PermR | PermW, 3: PermR | PermW | PermX} {
+		pte, ok := pt.Lookup(c, vpn)
+		if !ok || pte.Perm != want || pte.PFN != 10+vpn {
+			t.Fatalf("vpn %d: %+v ok=%v want perm %v", vpn, pte, ok, want)
+		}
+	}
+	if pte, _ := pt.Lookup(c, 3); !pte.Writable() || !pte.Executable() {
+		t.Fatal("perm accessors disagree with bits")
+	}
+	if pte, _ := pt.Lookup(c, 1); pte.Readable() || pte.Writable() || pte.Executable() {
+		t.Fatal("PROT_NONE entry reports rights")
+	}
+	if pte, _ := pt.Lookup(c, 2); !pte.Readable() {
+		t.Fatal("readable bit lost")
+	}
+}
+
+func TestProtectRange(t *testing.T) {
+	m, pt := newPT(1)
+	c := m.CPU(0)
+	for vpn := uint64(100); vpn < 110; vpn++ {
+		pt.Map(c, vpn, vpn, PermW)
+	}
+	if n := pt.ProtectRange(c, 103, 107, 0); n != 4 {
+		t.Fatalf("ProtectRange covered %d, want 4", n)
+	}
+	for vpn := uint64(100); vpn < 110; vpn++ {
+		pte, ok := pt.Lookup(c, vpn)
+		if !ok || pte.PFN != vpn {
+			t.Fatalf("vpn %d translation damaged: %+v ok=%v", vpn, pte, ok)
+		}
+		wantW := vpn < 103 || vpn >= 107
+		if pte.Writable() != wantW {
+			t.Errorf("vpn %d writable=%v want %v", vpn, pte.Writable(), wantW)
+		}
+	}
+	// Restoring rights touches the same entries; absent subtrees skip fast.
+	if n := pt.ProtectRange(c, 0, MaxVPN, PermW); n != 10 {
+		t.Fatalf("full-range ProtectRange covered %d, want 10", n)
+	}
+}
+
+func TestPresentPeek(t *testing.T) {
+	m, pt := newPT(1)
+	c := m.CPU(0)
+	if pt.Present(7) {
+		t.Fatal("Present on empty table")
+	}
+	pt.Map(c, 7, 70, PermX)
+	if !pt.Present(7) {
+		t.Fatal("Present missed mapped page")
+	}
+	pte, ok := pt.Peek(7)
+	if !ok || pte.PFN != 70 || pte.Perm != PermX {
+		t.Fatalf("Peek = %+v, %v", pte, ok)
+	}
+	pt.Unmap(c, 7)
+	if pt.Present(7) {
+		t.Fatal("Present after unmap")
 	}
 }
 
@@ -53,8 +121,8 @@ func TestSparseAddressesShareNothing(t *testing.T) {
 	// Far-apart VPNs must land in distinct subtrees.
 	a := uint64(0)
 	b := MaxVPN - 1
-	pt.Map(c, a, 10)
-	pt.Map(c, b, 20)
+	pt.Map(c, a, 10, 0)
+	pt.Map(c, b, 20, 0)
 	pa, _ := pt.Lookup(c, a)
 	pb, _ := pt.Lookup(c, b)
 	if pa.PFN != 10 || pb.PFN != 20 {
@@ -73,7 +141,7 @@ func TestUnmapRange(t *testing.T) {
 	m, pt := newPT(1)
 	c := m.CPU(0)
 	for vpn := uint64(100); vpn < 120; vpn++ {
-		pt.Map(c, vpn, vpn*2)
+		pt.Map(c, vpn, vpn*2, PermW)
 	}
 	if n := pt.UnmapRange(c, 105, 115); n != 10 {
 		t.Fatalf("UnmapRange cleared %d, want 10", n)
@@ -90,8 +158,8 @@ func TestUnmapRange(t *testing.T) {
 func TestUnmapRangeSkipsAbsentSubtrees(t *testing.T) {
 	m, pt := newPT(1)
 	c := m.CPU(0)
-	pt.Map(c, 0, 1)
-	pt.Map(c, 1<<20, 2)
+	pt.Map(c, 0, 1, 0)
+	pt.Map(c, 1<<20, 2, 0)
 	// A huge absent range between the two mappings must not be slow or
 	// wrong.
 	if n := pt.UnmapRange(c, 0, 1<<20+1); n != 2 {
@@ -109,7 +177,7 @@ func TestConcurrentDisjointMaps(t *testing.T) {
 			defer wg.Done()
 			base := uint64(c.ID()) << 30
 			for k := uint64(0); k < 500; k++ {
-				pt.Map(c, base+k, base+k+1)
+				pt.Map(c, base+k, base+k+1, PermW)
 			}
 			for k := uint64(0); k < 500; k++ {
 				pte, ok := pt.Lookup(c, base+k)
@@ -143,7 +211,7 @@ func TestQuickAgainstMapModel(t *testing.T) {
 				}
 				delete(model, vpn)
 			} else {
-				pt.Map(c, vpn, uint64(o.PFN))
+				pt.Map(c, vpn, uint64(o.PFN), PermW)
 				model[vpn] = uint64(o.PFN)
 			}
 		}

@@ -1,0 +1,90 @@
+package radix
+
+import (
+	"unsafe"
+
+	"radixvm/internal/hw"
+)
+
+// Value carriers make the mmap/munmap control plane's slot writes
+// allocation-free on cloneCopy trees, the way the Range carriers did for
+// the lock paths and the node pools for expansion.
+//
+// A carrier owns one slotState and the value it points to. Entry.SetClone
+// copies the caller's template into a carrier popped from the writing CPU's
+// pool and publishes the carrier's state; when a later Set (the munmap
+// clearing the slot, or a remap overwriting it) replaces a carrier-backed
+// state, the carrier returns to that CPU's pool. In the steady-state
+// mmap/munmap cycle every Mmap reuses the carriers the previous Munmap
+// retired, so the cycle performs no heap allocation at all.
+//
+// Safety: a retired carrier may be reused immediately because its
+// slotState words are written exactly once, at carrier construction
+// (st.val = &c.val, st.child = nil, st.carrier = c), and never again —
+// a lock-free reader that loaded the state just before the slot was
+// replaced reads only immutable words. Reuse rewrites the carrier's
+// *value*, which follows the tree's existing discipline for value
+// contents: they are mutated under the owning slot's lock bit (exactly as
+// the pagefault path updates mapping metadata in place), and a value
+// pointer obtained without the slot's lock is a point-in-time snapshot
+// whose contents may change. See the slotState comment in radix.go.
+//
+// Ownership discipline matches the node pools: pool i is touched only by
+// the goroutine driving CPU i, and a carrier is retired only by the Set
+// that replaces it, under the slot's lock bit, so no carrier can be retired
+// twice or from two sides.
+
+// carrierPoolCap bounds each CPU's carrier free list; beyond it retired
+// carriers fall back to the GC.
+const carrierPoolCap = 256
+
+type valCarrier[V any] struct {
+	st   slotState[V]
+	val  V
+	next *valCarrier[V] // pool free-list link
+}
+
+type carrierPoolData[V any] struct {
+	head *valCarrier[V]
+	n    int
+}
+
+// carrierPool pads the per-CPU free list so adjacent CPUs' pools never
+// false-share a host cache line.
+type carrierPool[V any] struct {
+	carrierPoolData[V]
+	_ [(cacheLine - unsafe.Sizeof(carrierPoolData[struct{}]{})%cacheLine) % cacheLine]byte
+}
+
+// getCarrier pops a carrier for cpu, or builds a fresh one.
+func (t *Tree[V]) getCarrier(cpu *hw.CPU) *valCarrier[V] {
+	p := &t.carriers[cpu.ID()].carrierPoolData
+	if c := p.head; c != nil {
+		p.head = c.next
+		p.n--
+		c.next = nil
+		return c
+	}
+	c := &valCarrier[V]{}
+	c.st = slotState[V]{val: &c.val, carrier: c}
+	return c
+}
+
+// retireCarrier returns a replaced carrier to cpu's pool. The caller holds
+// the lock bit of the slot that owned it and has already unpublished its
+// state.
+func (t *Tree[V]) retireCarrier(cpu *hw.CPU, c *valCarrier[V]) {
+	p := &t.carriers[cpu.ID()].carrierPoolData
+	if p.n >= carrierPoolCap {
+		return // let the GC take it
+	}
+	c.next = p.head
+	p.head = c
+	p.n++
+}
+
+// CarrierPoolSize returns the number of retired carriers cached for cpu
+// (diagnostics and tests).
+func (t *Tree[V]) CarrierPoolSize(cpu *hw.CPU) int {
+	return t.carriers[cpu.ID()].n
+}

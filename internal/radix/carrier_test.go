@@ -1,0 +1,175 @@
+package radix
+
+import (
+	"testing"
+
+	"radixvm/internal/hw"
+	"radixvm/internal/refcache"
+)
+
+func newCopyTree(ncores int) (*hw.Machine, *refcache.Refcache, *Tree[val]) {
+	m := hw.NewMachine(hw.TestConfig(ncores))
+	rc := refcache.New(m)
+	return m, rc, NewCopy[val](m, rc)
+}
+
+// TestSetCloneStoresPrivateCopies: each slot written by SetClone must hold
+// its own copy, not the caller's template — mutating the template after the
+// call, or one slot's value through another, must not leak.
+func TestSetCloneStoresPrivateCopies(t *testing.T) {
+	m, _, tr := newCopyTree(1)
+	c := m.CPU(0)
+	tmpl := &val{x: 7}
+	r := tr.LockRange(c, 100, 104)
+	for i := range r.Entries() {
+		r.Entry(i).SetClone(tmpl)
+	}
+	r.Unlock()
+	tmpl.x = 99 // template reuse (the mmap path rewrites it per call)
+	for vpn := uint64(100); vpn < 104; vpn++ {
+		if got := tr.Lookup(c, vpn); got == nil || got.x != 7 {
+			t.Fatalf("vpn %d = %+v, want private copy with x=7", vpn, got)
+		}
+	}
+	// Mutating one page's value must not touch its neighbors.
+	r = tr.LockPage(c, 101)
+	r.Entry(0).Value().x = 8
+	r.Unlock()
+	if tr.Lookup(c, 100).x != 7 || tr.Lookup(c, 102).x != 7 {
+		t.Fatal("mutation through one slot leaked to a sibling")
+	}
+}
+
+// TestSetCloneFoldedAdoptsTemplate: a folded interior entry (one slot
+// covering a whole subtree) adopts the template through one carrier, and a
+// later single-page expansion clones per page from it.
+func TestSetCloneFoldedAdoptsTemplate(t *testing.T) {
+	m, _, tr := newCopyTree(1)
+	c := m.CPU(0)
+	lo := span(1) * 4 // slot-aligned: folds into one level-1 slot
+	tmpl := &val{x: 3}
+	r := tr.LockRange(c, lo, lo+span(1))
+	if len(r.Entries()) != 1 {
+		t.Fatalf("aligned range locked %d entries, want 1 folded", len(r.Entries()))
+	}
+	r.Entry(0).SetClone(tmpl)
+	r.Unlock()
+	tmpl.x = 99
+	if got := tr.Lookup(c, lo+17); got == nil || got.x != 3 {
+		t.Fatalf("folded lookup = %+v, want x=3", got)
+	}
+	// Expanding one page out of the fold clones the carrier's value.
+	r = tr.LockPage(c, lo+17)
+	r.Entry(0).Value().x = 5
+	r.Unlock()
+	if tr.Lookup(c, lo+17).x != 5 || tr.Lookup(c, lo+18).x != 3 {
+		t.Fatal("expansion after folded SetClone did not clone per page")
+	}
+}
+
+// TestCarrierRecycling: the clear/set cycle (munmap then mmap) must reuse
+// retired carriers from the per-CPU pool instead of allocating.
+func TestCarrierRecycling(t *testing.T) {
+	m, _, tr := newCopyTree(1)
+	c := m.CPU(0)
+	tmpl := &val{x: 1}
+	cycle := func() {
+		r := tr.LockRange(c, 200, 204)
+		for i := range r.Entries() {
+			r.Entry(i).SetClone(tmpl)
+		}
+		r.Unlock()
+		r = tr.LockRange(c, 200, 204)
+		for i := range r.Entries() {
+			r.Entry(i).Set(nil)
+		}
+		r.Unlock()
+	}
+	cycle()
+	if n := tr.CarrierPoolSize(c); n != 4 {
+		t.Fatalf("carrier pool holds %d after clear, want 4", n)
+	}
+	got := testing.AllocsPerRun(300, cycle)
+	if got != 0 {
+		t.Errorf("SetClone/clear cycle = %v allocs/op, want 0", got)
+	}
+	if n := tr.CarrierPoolSize(c); n != 4 {
+		t.Errorf("carrier pool holds %d after cycles, want 4 (leak or over-retire)", n)
+	}
+}
+
+// TestCarrierReplaceRetires: overwriting a carrier-backed slot with a
+// caller-owned pointer retires the carrier.
+func TestCarrierReplaceRetires(t *testing.T) {
+	m, _, tr := newCopyTree(1)
+	c := m.CPU(0)
+	// A multi-slot range forces expansion down to the leaf, so the
+	// carrier lands in a leaf slot (a single-page lock on an empty tree
+	// would park the value in an interior slot instead).
+	r := tr.LockRange(c, 300, 304)
+	for i := range r.Entries() {
+		r.Entry(i).SetClone(&val{x: 1})
+	}
+	r.Unlock()
+	if n := tr.CarrierPoolSize(c); n != 0 {
+		t.Fatalf("pool %d before replace, want 0", n)
+	}
+	mine := &val{x: 2}
+	r = tr.LockPage(c, 300)
+	r.Entry(0).Set(mine)
+	r.Unlock()
+	if n := tr.CarrierPoolSize(c); n != 1 {
+		t.Fatalf("pool %d after replace, want 1 (carrier not retired)", n)
+	}
+	if got := tr.Lookup(c, 300); got != mine {
+		t.Fatal("replacement value lost")
+	}
+}
+
+// TestSetCloneOnSharedTreeFallsBack: SetClone on a non-copy tree behaves
+// exactly like Set(Clone(v)).
+func TestSetCloneOnSharedTreeFallsBack(t *testing.T) {
+	m, _, tr := newTree(1) // cloneFunc tree
+	c := m.CPU(0)
+	tmpl := &val{x: 4}
+	r := tr.LockPage(c, 50)
+	r.Entry(0).SetClone(tmpl)
+	r.Unlock()
+	tmpl.x = 9
+	if got := tr.Lookup(c, 50); got == nil || got.x != 4 {
+		t.Fatalf("fallback SetClone = %+v, want cloned x=4", got)
+	}
+}
+
+// TestPlateauOverflowCounterZero: no path in the tree's bulk-release
+// protocol should ever exceed the plateau table — exercise the heaviest
+// shapes (deep expansion, boundary-splitting range locks, fault-style
+// expandToward) and assert the debug counter stays zero.
+func TestPlateauOverflowCounterZero(t *testing.T) {
+	m, rc, tr := newCopyTree(1)
+	c := m.CPU(0)
+	tmpl := &val{x: 1}
+	// Fault-style: expand a root-level fold down to one leaf.
+	r := tr.LockRange(c, 0, span(2))
+	for i := range r.Entries() {
+		r.Entry(i).SetClone(tmpl)
+	}
+	r.Unlock()
+	for _, vpn := range []uint64{1, span(1) + 3, span(2) - 1} {
+		r = tr.LockPage(c, vpn)
+		r.Entry(0).Value().x = 2
+		r.Unlock()
+	}
+	// Range-style: lock windows that split boundaries at several levels.
+	for _, w := range [][2]uint64{{5, 600}, {span(1) - 3, span(1)*2 + 9}, {span(2) - 700, span(2) + 700}} {
+		r = tr.LockRange(c, w[0], w[1])
+		for i := range r.Entries() {
+			r.Entry(i).SetClone(tmpl)
+		}
+		r.Unlock()
+	}
+	quiesce(rc)
+	if n := tr.PlateauOverflows(); n != 0 {
+		t.Errorf("plateau overflows = %d, want 0", n)
+	}
+}

@@ -291,8 +291,9 @@ func (e *Entry[V]) Value() *V {
 // Set stores v (nil clears the slot), maintaining the node's used-slot
 // count. The caller owns the entry's lock bit. Storing the value the slot
 // already holds — the pagefault path reads Value, updates the metadata in
-// place, and stores it back — reuses the existing immutable slot state, so
-// steady-state faults allocate nothing.
+// place, and stores it back — reuses the existing slot state, so
+// steady-state faults allocate nothing. A replaced carrier-backed state
+// (see SetClone) returns its carrier to the writing CPU's pool.
 func (e *Entry[V]) Set(v *V) {
 	t := e.r.t
 	cpu := e.r.cpu
@@ -303,15 +304,47 @@ func (e *Entry[V]) Set(v *V) {
 		s.Store(nil)
 		if old != nil {
 			t.rc.Dec(cpu, e.n.obj)
+			if old.carrier != nil {
+				t.retireCarrier(cpu, old.carrier)
+			}
 		}
 		return
 	}
 	if old != nil && old.child == nil && old.val == v {
-		return // identical immutable state: nothing to swap in
+		return // identical state: nothing to swap in
 	}
 	s.Store(&slotState[V]{val: v})
 	if old == nil {
 		t.rc.Inc(cpu, e.n.obj)
+	} else if old.carrier != nil {
+		t.retireCarrier(cpu, old.carrier)
+	}
+}
+
+// SetClone stores a private copy of template v into the slot — what Mmap
+// does for every entry of a fresh mapping, including folded interior slots
+// that adopt the template for a whole subtree. On cloneCopy trees the copy
+// lands in a recycled value carrier from the writing CPU's pool, so the
+// steady-state mmap path allocates nothing; other tree kinds fall back to
+// the tree's clone function plus a fresh slot state. The caller owns the
+// entry's lock bit. v must not be nil (use Set(nil) to clear).
+func (e *Entry[V]) SetClone(v *V) {
+	t := e.r.t
+	if t.kind != cloneCopy {
+		e.Set(t.clone(v))
+		return
+	}
+	cpu := e.r.cpu
+	s := e.n.slot(e.idx)
+	old := s.Load()
+	cpu.Write(e.n.line(e.idx))
+	c := t.getCarrier(cpu)
+	c.val = *v
+	s.Store(&c.st)
+	if old == nil {
+		t.rc.Inc(cpu, e.n.obj)
+	} else if old.carrier != nil {
+		t.retireCarrier(cpu, old.carrier)
 	}
 }
 

@@ -112,16 +112,20 @@ type Tree[V any] struct {
 	pageZero uint64 // m.Config().PageZero, hoisted out of newNode
 	root     *node[V]
 
-	// pools and ranges are per-CPU scratch state (owner-goroutine only,
-	// like Refcache's delta caches): recycled nodes and reusable Range
-	// carriers, which make the steady-state lock paths allocation-free.
-	pools  []nodePool[V]
-	ranges []*Range[V]
+	// pools, ranges, and carriers are per-CPU scratch state
+	// (owner-goroutine only, like Refcache's delta caches): recycled
+	// nodes, reusable Range carriers, and recycled value carriers, which
+	// together make the steady-state lock, fault, and mmap/munmap paths
+	// allocation-free.
+	pools    []nodePool[V]
+	ranges   []*Range[V]
+	carriers []carrierPool[V]
 
-	nodesLive  atomic.Int64
-	nodesEver  atomic.Int64
-	groupsEver atomic.Int64 // slot groups materialized (fresh allocations)
-	groupsLive atomic.Int64 // slot groups currently attached to live or pooled nodes
+	nodesLive        atomic.Int64
+	nodesEver        atomic.Int64
+	groupsEver       atomic.Int64 // slot groups materialized (fresh allocations)
+	groupsLive       atomic.Int64 // slot groups currently attached to live or pooled nodes
+	plateauOverflows atomic.Int64 // bulk releases that exceeded maxPlateaus (see PlateauOverflows)
 }
 
 // uniformGates is the compact virtual-time gate state shared by every slot
@@ -357,6 +361,7 @@ func (n *node[V]) bulkRelease(cpu *hw.CPU, idx int) {
 	if !n.uni.release(idx, now) {
 		// Plateau overflow (an unforeseen release pattern): materialize
 		// this slot's group so its gate records its own history.
+		n.tree.plateauOverflows.Add(1)
 		g := n.materializeLocked(idx / slotsPerLine)
 		n.matMu.Unlock()
 		cpu.ReleaseBitIn(&n.bits[idx>>6], mask, &g.gates[idx%slotsPerLine])
@@ -381,6 +386,7 @@ func (n *node[V]) releaseAllExcept(cpu *hw.CPU, keep int) {
 	// materializing everything so each gate records its own history (the
 	// loop below then restores the release into every group).
 	if !n.uni.release(0, now) {
+		n.tree.plateauOverflows.Add(1)
 		for gi := range n.groups {
 			n.materializeLocked(gi)
 		}
@@ -424,12 +430,23 @@ func storePlain[V any](p *atomic.Pointer[slotState[V]], st *slotState[V]) {
 	*(**slotState[V])(unsafe.Pointer(p)) = st
 }
 
-// slotState is the immutable content of a slot: either a child link (an
-// interior slot that has been expanded) or a value (a per-page value at a
-// leaf, or a folded value at an interior slot). nil slotState = empty.
+// slotState is the content of a slot: either a child link (an interior
+// slot that has been expanded) or a value (a per-page value at a leaf, or a
+// folded value at an interior slot). nil slotState = empty.
+//
+// The three pointer words are written once, before the state is first
+// published through a slot, and never after — lock-free readers (Lookup,
+// the lock paths' descend loads) may hold a slotState across a concurrent
+// replacement, and immutability of the words is what keeps those reads
+// race-free. The *contents* of val follow a weaker rule: they may be
+// mutated under the owning slot's lock bit (the pagefault path updates
+// mapping metadata in place; a recycled carrier's value is rewritten under
+// its new slot's bit), so dereferencing a value obtained without the slot's
+// lock yields a point-in-time snapshot only.
 type slotState[V any] struct {
-	child *refcache.Obj // Data holds the *node[V]
-	val   *V
+	child   *refcache.Obj // Data holds the *node[V]
+	val     *V
+	carrier *valCarrier[V] // non-nil when this state is carrier-backed
 }
 
 // New creates an empty tree on machine m, using rc for node lifetimes.
@@ -464,6 +481,7 @@ func buildTree[V any](m *hw.Machine, rc *refcache.Refcache, clone func(*V) *V, k
 		pageZero: m.Config().PageZero,
 		pools:    make([]nodePool[V], m.NCores()),
 		ranges:   make([]*Range[V], m.NCores()),
+		carriers: make([]carrierPool[V], m.NCores()),
 	}
 	t.root = t.newNode(nil, Levels-1, 0, nil, 0, false)
 	// The root is permanent: its object holds one immortal reference.
@@ -581,6 +599,14 @@ func (t *Tree[V]) NodesEver() int64 { return t.nodesEver.Load() }
 // divergence counter: a tree whose operations stay uniform materializes
 // almost nothing.
 func (t *Tree[V]) GroupsEver() int64 { return t.groupsEver.Load() }
+
+// PlateauOverflows returns how many bulk lock-bit releases exceeded the
+// uniform gate table's plateau capacity and fell back to materializing the
+// slot's group. The fallback is correct but abandons the compact encoding;
+// no known release pattern triggers it, so a non-zero count is a debug
+// signal that some path silently started materializing nodes (the ROADMAP's
+// plateau-overflow regression tripwire). Benchmarks assert it stays zero.
+func (t *Tree[V]) PlateauOverflows() int64 { return t.plateauOverflows.Load() }
 
 // Bytes returns the tree's simulated structural memory footprint, the
 // paper's Table 2 accounting (every node is an 8 KB page there, however

@@ -296,6 +296,9 @@ func TestConcurrentDisjointStress(t *testing.T) {
 	if tr.NodesLive() != 1 {
 		t.Errorf("NodesLive = %d after full clear", tr.NodesLive())
 	}
+	if n := tr.PlateauOverflows(); n != 0 {
+		t.Errorf("plateau overflows = %d, want 0 (bulk releases silently materializing)", n)
+	}
 }
 
 func TestConcurrentOverlappingStress(t *testing.T) {
@@ -325,6 +328,9 @@ func TestConcurrentOverlappingStress(t *testing.T) {
 	quiesce(rc)
 	if tr.NodesLive() != 1 {
 		t.Errorf("NodesLive = %d after clearing all", tr.NodesLive())
+	}
+	if n := tr.PlateauOverflows(); n != 0 {
+		t.Errorf("plateau overflows = %d, want 0 (bulk releases silently materializing)", n)
 	}
 }
 

@@ -10,10 +10,41 @@ import "sync"
 // DefaultCapacity approximates a real x86 second-level TLB.
 const DefaultCapacity = 1536
 
+// Entry is one cached translation: the physical frame plus the permission
+// bits the PTE carried when the entry was filled. A TLB hit that lacks the
+// needed permission (a store through a read-only entry, any access through
+// a PROT_NONE entry) traps exactly as a missing translation would — real
+// TLBs cache rights, not just frames.
+type Entry struct {
+	PFN      uint64
+	Readable bool
+	Writable bool
+	Exec     bool
+}
+
+// packed entry layout: pfn<<3 | readable<<2 | exec<<1 | writable.
+func (e Entry) pack() uint64 {
+	raw := e.PFN << 3
+	if e.Readable {
+		raw |= 4
+	}
+	if e.Exec {
+		raw |= 2
+	}
+	if e.Writable {
+		raw |= 1
+	}
+	return raw
+}
+
+func unpack(raw uint64) Entry {
+	return Entry{PFN: raw >> 3, Readable: raw&4 != 0, Exec: raw&2 != 0, Writable: raw&1 != 0}
+}
+
 // TLB is one core's translation cache.
 type TLB struct {
 	mu       sync.Mutex
-	entries  map[uint64]uint64 // vpn -> pfn
+	entries  map[uint64]uint64 // vpn -> packed Entry
 	order    []uint64          // FIFO eviction order
 	capacity int
 
@@ -34,8 +65,10 @@ func New(capacity int) *TLB {
 	return &TLB{entries: make(map[uint64]uint64), capacity: capacity}
 }
 
-// Insert caches vpn→pfn, evicting the oldest entry at capacity.
-func (t *TLB) Insert(vpn, pfn uint64) {
+// Insert caches vpn→e, evicting the oldest entry at capacity. Re-inserting
+// a present VPN overwrites its entry (how a protection-fault fill upgrades
+// a read-only translation in place).
+func (t *TLB) Insert(vpn uint64, e Entry) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.entries[vpn]; !ok {
@@ -48,15 +81,18 @@ func (t *TLB) Insert(vpn, pfn uint64) {
 		}
 		t.order = append(t.order, vpn)
 	}
-	t.entries[vpn] = pfn
+	t.entries[vpn] = e.pack()
 }
 
 // Lookup reports the cached translation for vpn.
-func (t *TLB) Lookup(vpn uint64) (uint64, bool) {
+func (t *TLB) Lookup(vpn uint64) (Entry, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	pfn, ok := t.entries[vpn]
-	return pfn, ok
+	raw, ok := t.entries[vpn]
+	if !ok {
+		return Entry{}, false
+	}
+	return unpack(raw), true
 }
 
 // FlushPage invalidates vpn (INVLPG) and reports whether it was present.

@@ -2,29 +2,60 @@ package tlb
 
 import "testing"
 
+func ro(pfn uint64) Entry { return Entry{PFN: pfn} }
+
 func TestInsertLookup(t *testing.T) {
 	tl := New(4)
-	tl.Insert(1, 100)
-	if pfn, ok := tl.Lookup(1); !ok || pfn != 100 {
-		t.Fatalf("Lookup = %d, %v", pfn, ok)
+	tl.Insert(1, ro(100))
+	if e, ok := tl.Lookup(1); !ok || e.PFN != 100 {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
 	}
 	if _, ok := tl.Lookup(2); ok {
 		t.Fatal("hit on absent vpn")
 	}
-	tl.Insert(1, 200) // update in place
-	if pfn, _ := tl.Lookup(1); pfn != 200 {
-		t.Fatalf("update lost: %d", pfn)
+	tl.Insert(1, ro(200)) // update in place
+	if e, _ := tl.Lookup(1); e.PFN != 200 {
+		t.Fatalf("update lost: %d", e.PFN)
 	}
 	if tl.Len() != 1 {
 		t.Fatalf("Len = %d", tl.Len())
 	}
 }
 
+func TestPermissionBits(t *testing.T) {
+	tl := New(0)
+	tl.Insert(1, Entry{PFN: 7, Readable: true, Writable: true})
+	tl.Insert(2, Entry{PFN: 8, Readable: true, Exec: true})
+	tl.Insert(3, Entry{PFN: 9, Readable: true, Writable: true, Exec: true})
+	tl.Insert(4, Entry{PFN: 10}) // PROT_NONE: present, no rights
+	e, _ := tl.Lookup(1)
+	if e.PFN != 7 || !e.Readable || !e.Writable || e.Exec {
+		t.Fatalf("entry 1 = %+v", e)
+	}
+	e, _ = tl.Lookup(2)
+	if e.PFN != 8 || !e.Readable || e.Writable || !e.Exec {
+		t.Fatalf("entry 2 = %+v", e)
+	}
+	e, _ = tl.Lookup(3)
+	if e.PFN != 9 || !e.Readable || !e.Writable || !e.Exec {
+		t.Fatalf("entry 3 = %+v", e)
+	}
+	e, _ = tl.Lookup(4)
+	if e.PFN != 10 || e.Readable || e.Writable || e.Exec {
+		t.Fatalf("entry 4 = %+v", e)
+	}
+	// A prot-fault fill downgrades/upgrades in place.
+	tl.Insert(3, Entry{PFN: 9, Readable: true})
+	if e, _ := tl.Lookup(3); e.Writable || e.Exec || !e.Readable {
+		t.Fatalf("in-place permission update lost: %+v", e)
+	}
+}
+
 func TestFIFOEviction(t *testing.T) {
 	tl := New(2)
-	tl.Insert(1, 1)
-	tl.Insert(2, 2)
-	tl.Insert(3, 3) // evicts vpn 1
+	tl.Insert(1, ro(1))
+	tl.Insert(2, ro(2))
+	tl.Insert(3, ro(3)) // evicts vpn 1
 	if _, ok := tl.Lookup(1); ok {
 		t.Fatal("oldest entry not evicted")
 	}
@@ -35,7 +66,7 @@ func TestFIFOEviction(t *testing.T) {
 
 func TestFlushPage(t *testing.T) {
 	tl := New(0)
-	tl.Insert(9, 90)
+	tl.Insert(9, ro(90))
 	if !tl.FlushPage(9) {
 		t.Fatal("flush of present entry returned false")
 	}
@@ -50,7 +81,7 @@ func TestFlushPage(t *testing.T) {
 func TestFlushRange(t *testing.T) {
 	tl := New(0)
 	for vpn := uint64(10); vpn < 20; vpn++ {
-		tl.Insert(vpn, vpn)
+		tl.Insert(vpn, ro(vpn))
 	}
 	if n := tl.FlushRange(12, 15); n != 3 {
 		t.Fatalf("FlushRange = %d, want 3", n)
@@ -65,14 +96,14 @@ func TestFlushRange(t *testing.T) {
 
 func TestFlushAll(t *testing.T) {
 	tl := New(0)
-	tl.Insert(1, 1)
-	tl.Insert(2, 2)
+	tl.Insert(1, ro(1))
+	tl.Insert(2, ro(2))
 	tl.FlushAll()
 	if tl.Len() != 0 || tl.FullFlushes != 1 {
 		t.Fatalf("Len=%d FullFlushes=%d", tl.Len(), tl.FullFlushes)
 	}
 	// Reuse after a full flush.
-	tl.Insert(3, 3)
+	tl.Insert(3, ro(3))
 	if _, ok := tl.Lookup(3); !ok {
 		t.Fatal("insert after FlushAll lost")
 	}
@@ -80,11 +111,11 @@ func TestFlushAll(t *testing.T) {
 
 func TestStaleOrderAfterFlushDoesNotCorrupt(t *testing.T) {
 	tl := New(2)
-	tl.Insert(1, 1)
-	tl.Insert(2, 2)
+	tl.Insert(1, ro(1))
+	tl.Insert(2, ro(2))
 	tl.FlushPage(1) // order still remembers vpn 1
-	tl.Insert(3, 3)
-	tl.Insert(4, 4)
+	tl.Insert(3, ro(3))
+	tl.Insert(4, ro(4))
 	if tl.Len() > 2 {
 		t.Fatalf("capacity exceeded: %d", tl.Len())
 	}

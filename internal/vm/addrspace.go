@@ -36,6 +36,14 @@ type AddressSpace struct {
 	tree  *radix.Tree[Mapping]
 	mmu   MMU
 
+	// tmpls is the per-CPU Mmap metadata template cache (owner-goroutine
+	// only, like the radix Range carriers): each core's template is a
+	// separate heap Mapping, rewritten in place per Mmap and copied into
+	// the radix slots by Entry.SetClone, which removes the last per-call
+	// allocation from the mmap path. The pointer slots themselves are
+	// written once and read-only afterwards, so no padding is needed.
+	tmpls []*Mapping
+
 	active ActiveSet
 }
 
@@ -51,9 +59,11 @@ func New(m *hw.Machine, rc *refcache.Refcache, alloc *mem.Allocator, mmu MMU) *A
 		rc:    rc,
 		alloc: alloc,
 		// A Mapping needs no deep clone, so NewCopy lets folded-slot
-		// expansion slab-allocate the 512 per-page copies.
-		tree: radix.NewCopy[Mapping](m, rc),
+		// expansion slab-allocate the 512 per-page copies and Mmap write
+		// its metadata through recycled value carriers.
+		tree:  radix.NewCopy[Mapping](m, rc),
 		mmu:   mmu,
+		tmpls: make([]*Mapping, m.NCores()),
 	}
 }
 
@@ -94,16 +104,26 @@ func (as *AddressSpace) Mmap(cpu *hw.CPU, vpn, npages uint64, opts MapOpts) erro
 
 	r := as.tree.LockRange(cpu, vpn, vpn+npages)
 	as.unmapLocked(cpu, r)
-	tmpl := &Mapping{
+	tmpl := as.tmpl(cpu)
+	*tmpl = Mapping{
 		Prot:  opts.Prot,
 		Back:  Backing{File: opts.File, Offset: opts.Offset},
 		Start: vpn,
 	}
 	for i := range r.Entries() {
-		r.Entry(i).Set(as.tree.Clone(tmpl))
+		r.Entry(i).SetClone(tmpl)
 	}
 	r.Unlock()
 	return nil
+}
+
+// tmpl returns cpu's cached metadata template, allocating it on the core's
+// first Mmap.
+func (as *AddressSpace) tmpl(cpu *hw.CPU) *Mapping {
+	if as.tmpls[cpu.ID()] == nil {
+		as.tmpls[cpu.ID()] = new(Mapping)
+	}
+	return as.tmpls[cpu.ID()]
 }
 
 // Munmap implements System (§3.4): lock the range, gather physical page
@@ -122,6 +142,54 @@ func (as *AddressSpace) Munmap(cpu *hw.CPU, vpn, npages uint64) error {
 	r := as.tree.LockRange(cpu, vpn, vpn+npages)
 	as.unmapLocked(cpu, r)
 	r.Unlock()
+	return nil
+}
+
+// Mprotect implements System with §3.4 lock-range semantics: lock the
+// range left-to-right, rewrite each entry's protection in place (folded
+// interior entries update a whole subtree through one slot), and — only if
+// rights were revoked on pages some core may have cached — downgrade the
+// installed translations and flush exactly those cores' TLBs before
+// unlocking. Like munmap, the shootdown set comes from the mapping
+// metadata, so write-protecting a region only one core ever touched sends
+// no IPIs at all. Granted rights are not pushed anywhere: stale read-only
+// translations upgrade lazily through protection faults.
+func (as *AddressSpace) Mprotect(cpu *hw.CPU, vpn, npages uint64, prot Prot) error {
+	if err := checkVMRange(vpn, npages); err != nil {
+		return err
+	}
+	cpu.Stats().Mprotects++
+	cpu.Tick(RadixSyscallCost)
+	as.noteActive(cpu)
+
+	r := as.tree.LockRange(cpu, vpn, vpn+npages)
+	var targets hw.CoreSet
+	revoked := false
+	hole := false
+	for i := range r.Entries() {
+		e := r.Entry(i)
+		v := e.Value()
+		if v == nil {
+			hole = true // POSIX mprotect on an unmapped page: ENOMEM
+			continue
+		}
+		old := v.Prot
+		v.Prot = prot
+		e.Set(v) // same pointer: updates in place, no allocation
+		if old&^prot != 0 && v.Frame != nil {
+			// Rights revoked on a faulted page: every core in the
+			// shootdown set may cache the old rights.
+			revoked = true
+			targets.Union(v.TLBCores)
+		}
+	}
+	if revoked {
+		as.mmu.Protect(cpu, r.Lo, r.Hi, PermBits(prot), targets, as.activeSet())
+	}
+	r.Unlock()
+	if hole {
+		return ErrSegv
+	}
 	return nil
 }
 
@@ -164,10 +232,18 @@ func (as *AddressSpace) unmapLocked(cpu *hw.CPU, r *radix.Range[Mapping]) {
 }
 
 // PageFault implements the §3.4 fault path: lock the page's metadata,
-// allocate (or look up, for file mappings) the physical page if this is
-// the first fault, install the translation in the local core's page table,
-// and record this core in the page's shootdown set.
+// check the access against the mapping's protection, allocate (or look up,
+// for file mappings) the physical page if this is the first fault, install
+// the translation — carrying the mapping's current rights — in the local
+// core's page table, and record this core in the page's shootdown set.
 func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
+	return as.fault(cpu, vpn, kindOf(write), false)
+}
+
+// fault handles one page fault. trapped reports that a TLB permission
+// trap raised it (the caller already counted the ProtFault), so a denial
+// here must not count the same trap twice.
+func (as *AddressSpace) fault(cpu *hw.CPU, vpn uint64, k accessKind, trapped bool) error {
 	cpu.Stats().PageFaults++
 	cpu.Tick(FaultCost)
 	as.noteActive(cpu)
@@ -178,6 +254,12 @@ func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
 	v := e.Value()
 	if v == nil {
 		return ErrSegv // unmapped, or munmap got the lock first (§3.4)
+	}
+	if !v.Prot.allows(k) {
+		if !trapped {
+			cpu.Stats().ProtFaults++
+		}
+		return ErrProt // mapped, but the mapping forbids this access
 	}
 	if v.Frame == nil {
 		if v.Back.File != nil {
@@ -194,27 +276,71 @@ func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
 		cpu.Stats().FillFaults++
 		cpu.Tick(FillCost)
 	}
-	as.mmu.Fill(cpu, vpn, v.Frame.PFN)
+	as.mmu.Fill(cpu, vpn, v.Frame.PFN, PermBits(v.Prot))
 	v.TLBCores.Add(cpu.ID())
 	e.Set(v)
 	return nil
 }
 
 // Access implements System: a user-level memory access. TLB hit, then
-// hardware walk of this core's page table, then page fault.
+// hardware walk of this core's page table, then page fault. A TLB or walk
+// hit whose cached rights forbid the access traps like a miss: the fault
+// handler consults the metadata and either re-fills with wider rights (an
+// mprotect upgrade being realized lazily) or reports ErrProt.
 func (as *AddressSpace) Access(cpu *hw.CPU, vpn uint64, write bool) error {
+	return as.access(cpu, vpn, kindOf(write))
+}
+
+// Fetch models an instruction fetch at vpn: like Access, but the
+// permission checked is ProtExec.
+func (as *AddressSpace) Fetch(cpu *hw.CPU, vpn uint64) error {
+	return as.access(cpu, vpn, accessExec)
+}
+
+func permits(k accessKind, r, w, x bool) bool {
+	switch k {
+	case accessWrite:
+		return w
+	case accessExec:
+		return x
+	default:
+		return r
+	}
+}
+
+func (as *AddressSpace) access(cpu *hw.CPU, vpn uint64, k accessKind) error {
 	as.noteActive(cpu)
 	t := as.mmu.TLB(cpu.ID())
-	if _, ok := t.Lookup(vpn); ok {
-		cpu.Tick(AccessCost)
-		return nil
+	if e, ok := t.Lookup(vpn); ok {
+		if permits(k, e.Readable, e.Writable, e.Exec) {
+			cpu.Tick(AccessCost)
+			return nil
+		}
+		// Hardware raises the permission trap straight from the TLB
+		// entry; no page walk happens first. The fault handler either
+		// re-fills with the mapping's (wider) current rights or denies.
+		cpu.Stats().ProtFaults++
+		return as.fault(cpu, vpn, k, true)
 	}
-	if pfn, ok := as.mmu.Lookup(cpu, vpn); ok {
+	if pte, ok := as.mmu.Lookup(cpu, vpn); ok {
+		if !permits(k, pte.Readable(), pte.Writable(), pte.Executable()) {
+			// The walk found a translation lacking the needed right —
+			// the same permission trap the TLB branch raises.
+			cpu.Stats().ProtFaults++
+			return as.fault(cpu, vpn, k, true)
+		}
 		cpu.Tick(WalkCost)
-		t.Insert(vpn, pfn)
-		return nil
+		t.Insert(vpn, TLBEntry(pte))
+		// The Go-level walk+insert is not atomic against a concurrent
+		// shootdown the way hardware's is; re-validate the insert
+		// against the table and retry as a fault if the translation
+		// vanished or lost rights in between (see MMU.Revalidate).
+		if as.mmu.Revalidate(cpu, vpn, pte.PFN, pte.Perm) {
+			return nil
+		}
+		t.FlushPage(vpn)
 	}
-	return as.PageFault(cpu, vpn, write)
+	return as.fault(cpu, vpn, k, false)
 }
 
 // Lookup returns the mapping metadata covering vpn (diagnostics/tests).

@@ -6,6 +6,42 @@ import (
 	"radixvm/internal/tlb"
 )
 
+// PermBits converts a mapping protection into hardware PTE permission
+// bits. Exported so the baseline VM systems share one encoding of the
+// protection model instead of re-deriving it. Any non-empty protection is
+// readable (x86: writable and executable pages can be loaded from); only
+// PROT_NONE yields an entry with no rights at all.
+func PermBits(p Prot) pagetable.Perm {
+	var perm pagetable.Perm
+	if p != 0 {
+		perm |= pagetable.PermR
+	}
+	if p&ProtWrite != 0 {
+		perm |= pagetable.PermW
+	}
+	if p&ProtExec != 0 {
+		perm |= pagetable.PermX
+	}
+	return perm
+}
+
+func tlbEntry(pfn uint64, perm pagetable.Perm) tlb.Entry {
+	return tlb.Entry{
+		PFN:      pfn,
+		Readable: perm&pagetable.PermR != 0,
+		Writable: perm&pagetable.PermW != 0,
+		Exec:     perm&pagetable.PermX != 0,
+	}
+}
+
+// TLBEntry converts a walked PTE into the TLB entry caching it — one
+// encoding shared by all three systems' walk paths.
+func TLBEntry(pte pagetable.PTE) tlb.Entry { return tlbEntry(pte.PFN, pte.Perm) }
+
+// TLBEntryFor builds the TLB entry a fault installs for pfn under a
+// mapping with protection p — the fill-path counterpart of TLBEntry.
+func TLBEntryFor(pfn uint64, p Prot) tlb.Entry { return tlbEntry(pfn, PermBits(p)) }
+
 // MMU abstracts the hardware mapping layer under an address space, the
 // paper's "MMU abstraction" component (Table 1): it is "implemented both
 // for per-core page tables, which provide targeted TLB shootdowns, and for
@@ -13,12 +49,24 @@ import (
 type MMU interface {
 	// Name identifies the mode ("percore" or "shared").
 	Name() string
-	// Fill installs vpn→pfn for the faulting core and caches it in that
-	// core's TLB.
-	Fill(cpu *hw.CPU, vpn, pfn uint64)
+	// Fill installs vpn→pfn with the given permissions for the faulting
+	// core and caches it in that core's TLB. Filling a present entry
+	// overwrites it (a protection fault after mprotect re-fills with the
+	// mapping's current rights).
+	Fill(cpu *hw.CPU, vpn, pfn uint64, perm pagetable.Perm)
 	// Lookup performs the hardware walk a TLB miss would: it consults
 	// the faulting core's view of the page tables.
-	Lookup(cpu *hw.CPU, vpn uint64) (uint64, bool)
+	Lookup(cpu *hw.CPU, vpn uint64) (pagetable.PTE, bool)
+	// Revalidate reports whether a translation the caller's walk read —
+	// vpn→pfn with rights perm — is still what the table holds, without
+	// charging simulated cost. Access calls it after inserting a walked
+	// translation into its TLB: real hardware's walk+insert is atomic
+	// against the shootdown IPI protocol, the Go-level pair is not, so a
+	// racing munmap could clear the table (presence check) or a racing
+	// mprotect could downgrade it (rights check) between the walk's read
+	// and the insert. A false return means the insert must be undone and
+	// the access retried as a fault.
+	Revalidate(cpu *hw.CPU, vpn, pfn uint64, perm pagetable.Perm) bool
 	// TLB returns core id's translation cache.
 	TLB(id int) *tlb.TLB
 	// Shootdown removes [lo, hi) translations. precise is the set of
@@ -27,6 +75,13 @@ type MMU interface {
 	// precise; shared tables must broadcast to active. The caller's own
 	// core is handled synchronously, not by IPI.
 	Shootdown(cpu *hw.CPU, lo, hi uint64, precise, active hw.CoreSet)
+	// Protect rewrites [lo, hi)'s installed translations to perm and
+	// flushes the affected TLBs — the hardware half of an mprotect that
+	// revokes rights (§3.4's write-protect shootdown). Translations stay
+	// present, so still-permitted accesses re-fill from a hardware walk
+	// instead of a fault. Targeting mirrors Shootdown: per-core tables
+	// interrupt precise, shared tables broadcast to active.
+	Protect(cpu *hw.CPU, lo, hi uint64, perm pagetable.Perm, precise, active hw.CoreSet)
 	// Bytes reports page-table memory (Table 2 / §5.4 accounting).
 	Bytes() uint64
 }
@@ -65,21 +120,30 @@ func (mmu *PerCoreMMU) pt(id int) *pagetable.PageTable {
 
 // Fill implements MMU: only the faulting core's table is written, so
 // faults on different cores share nothing.
-func (mmu *PerCoreMMU) Fill(cpu *hw.CPU, vpn, pfn uint64) {
-	mmu.pt(cpu.ID()).Map(cpu, vpn, pfn)
-	mmu.tlbs[cpu.ID()].Insert(vpn, pfn)
+func (mmu *PerCoreMMU) Fill(cpu *hw.CPU, vpn, pfn uint64, perm pagetable.Perm) {
+	mmu.pt(cpu.ID()).Map(cpu, vpn, pfn, perm)
+	mmu.tlbs[cpu.ID()].Insert(vpn, tlbEntry(pfn, perm))
 }
 
 // Lookup implements MMU.
-func (mmu *PerCoreMMU) Lookup(cpu *hw.CPU, vpn uint64) (uint64, bool) {
+func (mmu *PerCoreMMU) Lookup(cpu *hw.CPU, vpn uint64) (pagetable.PTE, bool) {
 	if mmu.pts[cpu.ID()] == nil {
-		return 0, false
+		return pagetable.PTE{}, false
 	}
-	pte, ok := mmu.pt(cpu.ID()).Lookup(cpu, vpn)
-	if !ok {
-		return 0, false
-	}
-	return pte.PFN, true
+	return mmu.pt(cpu.ID()).Lookup(cpu, vpn)
+}
+
+// Revalidate implements MMU.
+func (mmu *PerCoreMMU) Revalidate(cpu *hw.CPU, vpn, pfn uint64, perm pagetable.Perm) bool {
+	pt := mmu.pts[cpu.ID()]
+	return pt != nil && revalidate(pt, vpn, pfn, perm)
+}
+
+// revalidate checks that the table still holds vpn→pfn with at least the
+// rights the caller cached.
+func revalidate(pt *pagetable.PageTable, vpn, pfn uint64, perm pagetable.Perm) bool {
+	pte, ok := pt.Peek(vpn)
+	return ok && pte.PFN == pfn && pte.Perm&perm == perm
 }
 
 // TLB implements MMU.
@@ -101,6 +165,26 @@ func (mmu *PerCoreMMU) Shootdown(cpu *hw.CPU, lo, hi uint64, precise, _ hw.CoreS
 	cpu.SendIPIs(precise, func(t *hw.CPU) {
 		// Executed by proxy; cost charged to the target by SendIPIs.
 		mmu.pt(t.ID()).UnmapRange(cpu, lo, hi)
+		mmu.tlbs[t.ID()].FlushRange(lo, hi)
+	})
+}
+
+// Protect implements MMU: targeted, like Shootdown, but PTEs are rewritten
+// in place instead of cleared, so a core that re-touches a still-permitted
+// page pays a hardware walk, not a fault.
+func (mmu *PerCoreMMU) Protect(cpu *hw.CPU, lo, hi uint64, perm pagetable.Perm, precise, _ hw.CoreSet) {
+	self := cpu.ID()
+	if precise.Has(self) {
+		mmu.pt(self).ProtectRange(cpu, lo, hi, perm)
+		mmu.tlbs[self].FlushRange(lo, hi)
+		precise.Remove(self)
+	}
+	if precise.Empty() {
+		return // rights revoked on a core-local region: no IPIs (§3.3)
+	}
+	cpu.Stats().Shootdowns++
+	cpu.SendIPIs(precise, func(t *hw.CPU) {
+		mmu.pt(t.ID()).ProtectRange(cpu, lo, hi, perm)
 		mmu.tlbs[t.ID()].FlushRange(lo, hi)
 	})
 }
@@ -141,18 +225,28 @@ func NewSharedMMU(m *hw.Machine) *SharedMMU {
 func (mmu *SharedMMU) Name() string { return "shared" }
 
 // Fill implements MMU. Writing the shared table contends on its PTE lines.
-func (mmu *SharedMMU) Fill(cpu *hw.CPU, vpn, pfn uint64) {
-	mmu.pt.MapIfAbsent(cpu, vpn, pfn)
-	mmu.tlbs[cpu.ID()].Insert(vpn, pfn)
+// If another core's fault already installed the PTE, the entry is adopted
+// as-is unless its rights are narrower than the mapping's (a fill after an
+// mprotect upgrade), in which case it is rewritten.
+func (mmu *SharedMMU) Fill(cpu *hw.CPU, vpn, pfn uint64, perm pagetable.Perm) {
+	if !mmu.pt.MapIfAbsent(cpu, vpn, pfn, perm) {
+		// The losing CAS already charged the PTE line; Peek re-reads it
+		// cost-free.
+		if pte, ok := mmu.pt.Peek(vpn); ok && pte.Perm&perm != perm {
+			mmu.pt.Map(cpu, vpn, pfn, perm)
+		}
+	}
+	mmu.tlbs[cpu.ID()].Insert(vpn, tlbEntry(pfn, perm))
 }
 
 // Lookup implements MMU.
-func (mmu *SharedMMU) Lookup(cpu *hw.CPU, vpn uint64) (uint64, bool) {
-	pte, ok := mmu.pt.Lookup(cpu, vpn)
-	if !ok {
-		return 0, false
-	}
-	return pte.PFN, true
+func (mmu *SharedMMU) Lookup(cpu *hw.CPU, vpn uint64) (pagetable.PTE, bool) {
+	return mmu.pt.Lookup(cpu, vpn)
+}
+
+// Revalidate implements MMU.
+func (mmu *SharedMMU) Revalidate(_ *hw.CPU, vpn, pfn uint64, perm pagetable.Perm) bool {
+	return revalidate(mmu.pt, vpn, pfn, perm)
 }
 
 // TLB implements MMU.
@@ -166,16 +260,15 @@ func (mmu *SharedMMU) PageTable() *pagetable.PageTable { return mmu.pt }
 // (by the caller or here), but every active core's TLB must be flushed.
 func (mmu *SharedMMU) Shootdown(cpu *hw.CPU, lo, hi uint64, _, active hw.CoreSet) {
 	mmu.pt.UnmapRange(cpu, lo, hi)
-	self := cpu.ID()
-	mmu.tlbs[self].FlushRange(lo, hi)
-	active.Remove(self)
-	if active.Empty() {
-		return
-	}
-	cpu.Stats().Shootdowns++
-	cpu.SendIPIs(active, func(t *hw.CPU) {
-		mmu.tlbs[t.ID()].FlushRange(lo, hi)
-	})
+	mmu.ShootdownTLBOnly(cpu, lo, hi, active)
+}
+
+// Protect implements MMU: the shared table is rewritten once, then every
+// active core's TLB is flushed — the hardware cannot say which cores cached
+// the old rights, so the flush is a broadcast, exactly like the unmap path.
+func (mmu *SharedMMU) Protect(cpu *hw.CPU, lo, hi uint64, perm pagetable.Perm, _, active hw.CoreSet) {
+	mmu.pt.ProtectRange(cpu, lo, hi, perm)
+	mmu.ShootdownTLBOnly(cpu, lo, hi, active)
 }
 
 // ShootdownTLBOnly broadcasts TLB invalidations for [lo, hi) without

@@ -20,6 +20,10 @@ var (
 	// ErrSegv reports an access to an unmapped page (the fault handler
 	// would deliver SIGSEGV).
 	ErrSegv = errors.New("vm: segmentation violation")
+	// ErrProt reports an access a mapping exists for but forbids — a
+	// write to a read-only page, an instruction fetch from a no-exec
+	// page (the fault handler would deliver SIGSEGV with SEGV_ACCERR).
+	ErrProt = errors.New("vm: protection violation")
 	// ErrRange reports an mmap/munmap outside the addressable region.
 	ErrRange = errors.New("vm: address range out of bounds")
 )
@@ -33,6 +37,43 @@ const (
 	ProtWrite
 	ProtExec
 )
+
+// accessKind distinguishes the three hardware access flavors a fault must
+// check against the mapping's protection.
+type accessKind uint8
+
+const (
+	accessRead accessKind = iota
+	accessWrite
+	accessExec
+)
+
+func kindOf(write bool) accessKind {
+	if write {
+		return accessWrite
+	}
+	return accessRead
+}
+
+// Allows reports whether protection p permits a plain load or store —
+// the rule the baseline systems share (they model no exec accesses).
+func (p Prot) Allows(write bool) bool { return p.allows(kindOf(write)) }
+
+// allows reports whether a mapping with protection p permits the access.
+// The rules are x86-shaped: a store needs ProtWrite, an instruction fetch
+// needs ProtExec, and a load succeeds under any non-empty protection
+// (writable and executable pages are readable; only PROT_NONE blocks
+// reads).
+func (p Prot) allows(k accessKind) bool {
+	switch k {
+	case accessWrite:
+		return p&ProtWrite != 0
+	case accessExec:
+		return p&ProtExec != 0
+	default:
+		return p != 0
+	}
+}
 
 // MapOpts describes an mmap request.
 type MapOpts struct {
@@ -56,8 +97,17 @@ type System interface {
 	// Munmap removes [vpn, vpn+npages): after it returns, no core can
 	// access any page of the range.
 	Munmap(cpu *hw.CPU, vpn, npages uint64) error
+	// Mprotect changes [vpn, vpn+npages)'s protection. Rights that are
+	// revoked take effect globally before the call returns (installed
+	// translations are downgraded and stale TLB entries flushed); rights
+	// that are granted may be realized lazily, by protection faults that
+	// re-fill translations on next use. ErrSegv if any page of the range
+	// is unmapped (the new protection is still applied to the mapped
+	// pages, as POSIX permits for partial failure).
+	Mprotect(cpu *hw.CPU, vpn, npages uint64, prot Prot) error
 	// Access models a user-level load/store at vpn: TLB hit, hardware
-	// page walk, or page fault as appropriate. ErrSegv if unmapped.
+	// page walk, or page fault as appropriate. ErrSegv if unmapped,
+	// ErrProt if the mapping forbids the access.
 	Access(cpu *hw.CPU, vpn uint64, write bool) error
 	// PageTableBytes reports current hardware page table memory.
 	PageTableBytes() uint64

@@ -381,6 +381,413 @@ func must(t *testing.T, err error) {
 	}
 }
 
+// TestProtectionEnforced is the satellite regression for the seed bug
+// where PageFault and Access ignored the write flag entirely: a write to a
+// read-only mapping must fault with ErrProt while reads proceed — on every
+// system, and regardless of whether a read already cached a (read-only)
+// translation.
+func TestProtectionEnforced(t *testing.T) {
+	for i := range systems(newWorld(1)) {
+		w := newWorld(1)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			c := m0(w)
+			must(t, sys.Mmap(c, 100, 4, vm.MapOpts{Prot: vm.ProtRead}))
+			// Write to a read-only mapping: ErrProt (not ErrSegv — the
+			// page is mapped).
+			if err := sys.Access(c, 100, true); !errors.Is(err, vm.ErrProt) {
+				t.Fatalf("write to read-only mapping: %v, want ErrProt", err)
+			}
+			// Reads must not fault.
+			if err := sys.Access(c, 100, false); err != nil {
+				t.Fatalf("read of read-only mapping: %v", err)
+			}
+			// The read cached a translation; a write must STILL trap on
+			// its permission bits, not sail through the TLB.
+			if err := sys.Access(c, 100, true); !errors.Is(err, vm.ErrProt) {
+				t.Fatalf("write after read-only fill: %v, want ErrProt", err)
+			}
+			// PROT_NONE blocks both.
+			must(t, sys.Mmap(c, 200, 1, vm.MapOpts{}))
+			if err := sys.Access(c, 200, false); !errors.Is(err, vm.ErrProt) {
+				t.Fatalf("read of PROT_NONE mapping: %v, want ErrProt", err)
+			}
+			if err := sys.Access(c, 200, true); !errors.Is(err, vm.ErrProt) {
+				t.Fatalf("write to PROT_NONE mapping: %v, want ErrProt", err)
+			}
+			// Write-implies-read, as on x86.
+			must(t, sys.Mmap(c, 300, 1, vm.MapOpts{Prot: vm.ProtWrite}))
+			must(t, sys.Access(c, 300, true))
+			must(t, sys.Access(c, 300, false))
+		})
+	}
+}
+
+// TestProtNoneRevokesCachedReads: downgrading to PROT_NONE must block
+// reads even when translations were cached (PTEs stay present with no
+// rights, so the walk traps instead of re-filling the TLB).
+func TestProtNoneRevokesCachedReads(t *testing.T) {
+	for i := range systems(newWorld(1)) {
+		w := newWorld(1)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			c := m0(w)
+			must(t, sys.Mmap(c, 100, 2, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+			must(t, sys.Access(c, 100, true)) // fault in, cache translation
+			must(t, sys.Mprotect(c, 100, 2, 0))
+			if err := sys.Access(c, 100, false); !errors.Is(err, vm.ErrProt) {
+				t.Fatalf("read through cached translation after PROT_NONE: %v, want ErrProt", err)
+			}
+			if err := sys.Access(c, 100, true); !errors.Is(err, vm.ErrProt) {
+				t.Fatalf("write after PROT_NONE: %v, want ErrProt", err)
+			}
+			// Restoring rights revives the page without re-allocating it.
+			must(t, sys.Mprotect(c, 100, 2, vm.ProtRead|vm.ProtWrite))
+			must(t, sys.Access(c, 100, true))
+		})
+	}
+}
+
+func TestExecProtection(t *testing.T) {
+	w := newWorld(1)
+	as := vm.New(w.m, w.rc, w.alloc, nil)
+	c := m0(w)
+	must(t, as.Mmap(c, 100, 1, vm.MapOpts{Prot: vm.ProtRead}))
+	if err := as.Fetch(c, 100); !errors.Is(err, vm.ErrProt) {
+		t.Fatalf("fetch from non-exec mapping: %v, want ErrProt", err)
+	}
+	must(t, as.Mmap(c, 200, 1, vm.MapOpts{Prot: vm.ProtRead | vm.ProtExec}))
+	must(t, as.Fetch(c, 200))
+	// The cached translation carries the exec bit; repeat fetches hit.
+	faults := c.Stats().PageFaults
+	must(t, as.Fetch(c, 200))
+	if c.Stats().PageFaults != faults {
+		t.Fatal("second fetch faulted despite cached exec translation")
+	}
+	if err := as.Fetch(c, 999); !errors.Is(err, vm.ErrSegv) {
+		t.Fatalf("fetch from unmapped page: %v, want ErrSegv", err)
+	}
+}
+
+// TestMprotectSemantics covers the new syscall on all three systems:
+// revoked rights take effect immediately (including on other cores, via
+// shootdown), granted rights come back lazily, and holes report ErrSegv.
+func TestMprotectSemantics(t *testing.T) {
+	for i := range systems(newWorld(2)) {
+		w := newWorld(2)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			c0, c1 := w.m.CPU(0), w.m.CPU(1)
+			must(t, sys.Mmap(c0, 100, 4, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+			for vpn := uint64(100); vpn < 104; vpn++ {
+				must(t, sys.Access(c0, vpn, true))
+				must(t, sys.Access(c1, vpn, true))
+			}
+			// Revoke write on c0; c1's cached writable translations must
+			// be gone before Mprotect returns.
+			must(t, sys.Mprotect(c0, 100, 4, vm.ProtRead))
+			if err := sys.Access(c1, 102, true); !errors.Is(err, vm.ErrProt) {
+				t.Fatalf("write through stale translation after mprotect: %v, want ErrProt", err)
+			}
+			if err := sys.Access(c1, 102, false); err != nil {
+				t.Fatalf("read after write-revoke: %v", err)
+			}
+			// Restore write: both cores recover lazily via prot faults.
+			must(t, sys.Mprotect(c0, 100, 4, vm.ProtRead|vm.ProtWrite))
+			must(t, sys.Access(c0, 101, true))
+			must(t, sys.Access(c1, 101, true))
+			// Partial ranges split metadata correctly.
+			must(t, sys.Mprotect(c0, 101, 2, vm.ProtRead))
+			must(t, sys.Access(c0, 100, true))
+			if err := sys.Access(c0, 102, true); !errors.Is(err, vm.ErrProt) {
+				t.Fatalf("write inside downgraded split: %v, want ErrProt", err)
+			}
+			must(t, sys.Access(c0, 103, true))
+			// A hole in the range reports ErrSegv.
+			if err := sys.Mprotect(c0, 100, 50, vm.ProtRead); !errors.Is(err, vm.ErrSegv) {
+				t.Fatalf("mprotect across a hole: %v, want ErrSegv", err)
+			}
+			// Zero-length is a range error.
+			if err := sys.Mprotect(c0, 100, 0, vm.ProtRead); !errors.Is(err, vm.ErrRange) {
+				t.Fatalf("zero-length mprotect: %v, want ErrRange", err)
+			}
+		})
+	}
+}
+
+// TestMprotectTargetedShootdown mirrors the munmap IPI accounting test for
+// the write-protect path: revoking rights on a region only the caller
+// touched sends no IPIs; with a second core holding translations, exactly
+// one.
+func TestMprotectTargetedShootdown(t *testing.T) {
+	w := newWorld(4)
+	as := vm.New(w.m, w.rc, w.alloc, nil)
+	c0, c1 := w.m.CPU(0), w.m.CPU(1)
+	must(t, as.Mmap(c0, 100, 4, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+	for vpn := uint64(100); vpn < 104; vpn++ {
+		must(t, as.Access(c0, vpn, true))
+	}
+	must(t, as.Mprotect(c0, 100, 4, vm.ProtRead))
+	if got := c0.Stats().IPIsSent; got != 0 {
+		t.Fatalf("local-only mprotect sent %d IPIs, want 0", got)
+	}
+	must(t, as.Mprotect(c0, 100, 4, vm.ProtRead|vm.ProtWrite))
+	must(t, as.Access(c1, 100, true))
+	must(t, as.Mprotect(c0, 100, 4, vm.ProtRead))
+	if got := c0.Stats().IPIsSent; got != 1 {
+		t.Fatalf("two-core mprotect sent %d IPIs, want exactly 1", got)
+	}
+	// Upgrades are lazy: no shootdown at all.
+	before := c0.Stats().IPIsSent
+	must(t, as.Mprotect(c0, 100, 4, vm.ProtRead|vm.ProtWrite))
+	if got := c0.Stats().IPIsSent - before; got != 0 {
+		t.Fatalf("rights-granting mprotect sent %d IPIs, want 0", got)
+	}
+}
+
+// TestSharedMMUWalkStaleTLB is the satellite regression for the Figure 9
+// ablation path: a core whose access was satisfied by a hardware walk of
+// the shared page table caches a TLB entry without appearing in the
+// mapping's TLBCores set. A later munmap must still invalidate that
+// translation (the shared MMU broadcasts to the active set, and the
+// walk+insert revalidates against the table), or the core reads freed
+// memory through a stale TLB entry.
+func TestSharedMMUWalkStaleTLB(t *testing.T) {
+	w := newWorld(2)
+	as := vm.New(w.m, w.rc, w.alloc, vm.NewSharedMMU(w.m))
+	c0, c1 := w.m.CPU(0), w.m.CPU(1)
+	must(t, as.Mmap(c0, 100, 2, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+	must(t, as.Access(c0, 100, true)) // c0 faults the page in
+	// c1's access walks the shared table: TLB entry, no fault, and no
+	// entry in the mapping's TLBCores.
+	faults := c1.Stats().PageFaults
+	must(t, as.Access(c1, 100, false))
+	if c1.Stats().PageFaults != faults {
+		t.Fatal("setup broken: c1's access faulted instead of walking")
+	}
+	if _, ok := as.MMU().TLB(1).Lookup(100); !ok {
+		t.Fatal("setup broken: walk did not insert into c1's TLB")
+	}
+	must(t, as.Munmap(c0, 100, 2))
+	// The walk-filled translation must be gone from c1's TLB...
+	if _, ok := as.MMU().TLB(1).Lookup(100); ok {
+		t.Fatal("stale TLB entry survived munmap on the shared-MMU walk path")
+	}
+	// ...and the access must fault cleanly.
+	if err := as.Access(c1, 100, false); !errors.Is(err, vm.ErrSegv) {
+		t.Fatalf("access after munmap: %v, want ErrSegv", err)
+	}
+}
+
+// TestGangMunmapVsPageFaultRace drives the §3.4 munmap-vs-pagefault race
+// with a gang of 4 cores: one core cycles mmap/munmap over a region while
+// three others hammer accesses into it. An access may succeed or report
+// ErrSegv/ErrProt ("the munmap got the lock first") but must never wedge,
+// corrupt metadata, or leak frames. Run under -race this also exercises
+// the carrier-recycling and walk-revalidation orderings.
+func TestGangMunmapVsPageFaultRace(t *testing.T) {
+	const ncores = 4
+	const lo, npages = uint64(5000), uint64(8)
+	for i := range systems(newWorld(ncores)) {
+		w := newWorld(ncores)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			hw.RunGang(w.m, ncores, 2000, func(c *hw.CPU, g *hw.Gang) {
+				if c.ID() == 0 {
+					for k := 0; k < 60; k++ {
+						mustT(t, sys.Mmap(c, lo, npages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+						for v := lo; v < lo+npages; v += 2 {
+							mustT(t, sys.Access(c, v, true))
+						}
+						mustT(t, sys.Munmap(c, lo, npages))
+						w.rc.Maintain(c)
+						g.Sync(c)
+					}
+					return
+				}
+				for k := 0; k < 120; k++ {
+					v := lo + uint64(k)%npages
+					if err := sys.Access(c, v, k%2 == 0); err != nil &&
+						!errors.Is(err, vm.ErrSegv) && !errors.Is(err, vm.ErrProt) {
+						t.Errorf("core %d: unexpected access error: %v", c.ID(), err)
+						return
+					}
+					w.rc.Maintain(c)
+					g.Sync(c)
+				}
+			})
+			if t.Failed() {
+				return
+			}
+			// Post-conditions: the range is unmapped everywhere and no
+			// frame leaked.
+			for id := 0; id < ncores; id++ {
+				if err := sys.Access(w.m.CPU(id), lo+3, false); !errors.Is(err, vm.ErrSegv) {
+					t.Fatalf("core %d: post-race access = %v, want ErrSegv", id, err)
+				}
+			}
+			w.quiesce()
+			if live := w.alloc.Live(); live != 0 {
+				t.Fatalf("%d frames leaked in the race", live)
+			}
+		})
+	}
+}
+
+func mustT(t *testing.T, err error) {
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGangMprotectVsFaultRace races mprotect cycling against concurrent
+// accesses on a region that stays mapped throughout: a read may race a
+// revoke (ErrProt if the fault handler sees PROT_NONE-ward transitions —
+// here rights never drop below read, so reads must always succeed) and a
+// write may legitimately see either outcome, but NEITHER may ever report
+// ErrSegv — the region is never unmapped, so a segv means the metadata
+// publication transiently uncovered a mapped page (the Bonsai
+// delete-then-insert window) or an upgrade resurrected dead state.
+func TestGangMprotectVsFaultRace(t *testing.T) {
+	const ncores = 4
+	const lo, npages = uint64(7000), uint64(8)
+	for i := range systems(newWorld(ncores)) {
+		w := newWorld(ncores)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			must(t, sys.Mmap(w.m.CPU(0), lo, npages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+			hw.RunGang(w.m, ncores, 2000, func(c *hw.CPU, g *hw.Gang) {
+				if c.ID() == 0 {
+					for k := 0; k < 80; k++ {
+						mustT(t, sys.Mprotect(c, lo, npages, vm.ProtRead))
+						mustT(t, sys.Mprotect(c, lo, npages, vm.ProtRead|vm.ProtWrite))
+						w.rc.Maintain(c)
+						g.Sync(c)
+					}
+					return
+				}
+				for k := 0; k < 160; k++ {
+					v := lo + uint64(k)%npages
+					write := k%2 == 0
+					err := sys.Access(c, v, write)
+					if errors.Is(err, vm.ErrSegv) {
+						t.Errorf("core %d: spurious ErrSegv on a mapped page (write=%v)", c.ID(), write)
+						return
+					}
+					if err != nil && (!write || !errors.Is(err, vm.ErrProt)) {
+						t.Errorf("core %d: unexpected error: %v (write=%v)", c.ID(), err, write)
+						return
+					}
+					w.rc.Maintain(c)
+					g.Sync(c)
+				}
+			})
+			if t.Failed() {
+				return
+			}
+			// Post-race: rights ended read-write; everyone can write.
+			for id := 0; id < ncores; id++ {
+				must(t, sys.Access(w.m.CPU(id), lo+1, true))
+			}
+		})
+	}
+}
+
+// TestMmapMunmapCycleZeroAlloc locks down the tentpole acceptance
+// criterion: with the per-CPU Mapping template cache and the radix value
+// carriers, the steady-state Mmap+Munmap cycle performs zero heap
+// allocations — metadata templates, per-entry clones, and slot states all
+// come from per-CPU recycled storage.
+func TestMmapMunmapCycleZeroAlloc(t *testing.T) {
+	w := newWorld(1)
+	as := vm.New(w.m, w.rc, w.alloc, nil)
+	c := w.m.CPU(0)
+	const lo, npages = uint64(1 << 22), uint64(4)
+	// Warm: build the leaf, prime the range carrier and carrier pool.
+	for k := 0; k < 3; k++ {
+		if err := as.Mmap(c, lo, npages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Munmap(c, lo, npages); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := testing.AllocsPerRun(400, func() {
+		if err := as.Mmap(c, lo, npages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Munmap(c, lo, npages); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Errorf("mmap/munmap cycle = %v allocs/op, want 0", got)
+	}
+	// A cycle that faults pages in between stays allocation-free too
+	// (the fault path was already 0 allocs/op; the halves must compose).
+	// Quiescing per iteration lets the freed frames recycle through the
+	// allocator's pools; an anchor mapping in the same leaf keeps the
+	// node alive across the quiesce so no node churn is measured either.
+	if err := as.Mmap(c, lo+npages, 1, vm.MapOpts{Prot: vm.ProtRead}); err != nil {
+		t.Fatal(err)
+	}
+	faultCycle := func() {
+		if err := as.Mmap(c, lo, npages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}); err != nil {
+			t.Fatal(err)
+		}
+		for v := lo; v < lo+npages; v++ {
+			if err := as.PageFault(c, v, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := as.Munmap(c, lo, npages); err != nil {
+			t.Fatal(err)
+		}
+		w.quiesce()
+	}
+	faultCycle() // warm: prime the frame free lists
+	got = testing.AllocsPerRun(100, faultCycle)
+	if got != 0 {
+		t.Errorf("mmap/fault/munmap cycle = %v allocs/op, want 0", got)
+	}
+	if n := as.Tree().PlateauOverflows(); n != 0 {
+		t.Errorf("plateau overflows = %d, want 0", n)
+	}
+}
+
+// TestMprotectCycleZeroAlloc extends the criterion to the new syscall: the
+// steady-state mprotect cycle (revoke, then restore) allocates nothing
+// either — its metadata updates happen in place under the range locks.
+func TestMprotectCycleZeroAlloc(t *testing.T) {
+	w := newWorld(1)
+	as := vm.New(w.m, w.rc, w.alloc, nil)
+	c := w.m.CPU(0)
+	const lo, npages = uint64(1 << 23), uint64(4)
+	if err := as.Mmap(c, lo, npages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}); err != nil {
+		t.Fatal(err)
+	}
+	for v := lo; v < lo+npages; v++ {
+		if err := as.PageFault(c, v, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 3; k++ { // warm the lock carriers
+		must(t, as.Mprotect(c, lo, npages, vm.ProtRead))
+		must(t, as.Mprotect(c, lo, npages, vm.ProtRead|vm.ProtWrite))
+	}
+	got := testing.AllocsPerRun(300, func() {
+		if err := as.Mprotect(c, lo, npages, vm.ProtRead); err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Mprotect(c, lo, npages, vm.ProtRead|vm.ProtWrite); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Errorf("mprotect cycle = %v allocs/op, want 0", got)
+	}
+}
+
 // TestPageFaultPathZeroAlloc locks down the full fill-fault path — trap,
 // metadata lock, frame handling, per-core page table fill, TLB insert,
 // shootdown-set update — at zero heap allocations. With the frame's

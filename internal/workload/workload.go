@@ -203,6 +203,54 @@ func Global(env *Env, sys vm.System, cores int, iters int, piecePages uint64) Re
 	return run(env, "global", sys, cores, nil, body)
 }
 
+// Protect runs the mprotect microbenchmark, the write-protect analogue of
+// the local benchmark (the pattern of generational GCs, soft-dirty page
+// tracking, and copy-on-write snapshotting): each core maps and faults in a
+// private region once, then repeatedly write-protects it, reads every page
+// (re-filling downgraded translations through hardware walks), re-enables
+// writes, and writes every page (each first write is a protection fault
+// that lazily upgrades the translation). On RadixVM the revoke shootdown is
+// targeted — a region only its own core touched interrupts nobody — while
+// the baselines broadcast TLB flushes to every active core per mprotect.
+func Protect(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Result {
+	cycle := func(c *hw.CPU) uint64 {
+		lo := spread(c.ID())
+		var writes uint64
+		mustNil(sys.Mprotect(c, lo, regionPages, vm.ProtRead))
+		for v := lo; v < lo+regionPages; v++ {
+			mustNil(sys.Access(c, v, false))
+		}
+		mustNil(sys.Mprotect(c, lo, regionPages, vm.ProtRead|vm.ProtWrite))
+		for v := lo; v < lo+regionPages; v++ {
+			mustNil(sys.Access(c, v, true))
+			writes++
+		}
+		return writes
+	}
+	warm := func(c *hw.CPU, g *hw.Gang) uint64 {
+		// Map and fault the region once (the structures it expands are
+		// shared setup, not the steady state being measured), then run
+		// one cycle so every line the loop touches has settled.
+		lo := spread(c.ID())
+		mustNil(sys.Mmap(c, lo, regionPages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+		for v := lo; v < lo+regionPages; v++ {
+			mustNil(sys.Access(c, v, true))
+		}
+		cycle(c)
+		return 0
+	}
+	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+		var writes uint64
+		for k := 0; k < iters; k++ {
+			writes += cycle(c)
+			env.RC.Maintain(c)
+			g.Sync(c)
+		}
+		return writes
+	}
+	return run(env, "protect", sys, cores, warm, body)
+}
+
 func mustNil(err error) {
 	if err != nil {
 		panic(err)

@@ -79,6 +79,56 @@ func TestGlobalAllPagesWritten(t *testing.T) {
 	}
 }
 
+func TestProtectRunsOnAllSystems(t *testing.T) {
+	for _, mk := range []func(*Env, *mem.Allocator) vm.System{
+		func(e *Env, a *mem.Allocator) vm.System { return vm.New(e.M, e.RC, a, nil) },
+		func(e *Env, a *mem.Allocator) vm.System { return linuxvm.New(e.M, e.RC, a) },
+		func(e *Env, a *mem.Allocator) vm.System { return bonsaivm.New(e.M, e.RC, a) },
+	} {
+		env, alloc := newEnv(2)
+		sys := mk(env, alloc)
+		r := Protect(env, sys, 2, 10, 4)
+		if want := uint64(2 * 10 * 4); r.PageWrites != want {
+			t.Fatalf("%s: PageWrites = %d, want %d", sys.Name(), r.PageWrites, want)
+		}
+		if r.Stats.Mprotects != 2*10*2 {
+			t.Fatalf("%s: Mprotects = %d, want %d", sys.Name(), r.Stats.Mprotects, 2*10*2)
+		}
+		// Every post-revoke write is a protection fault that lazily
+		// upgrades the translation.
+		if r.Stats.ProtFaults == 0 {
+			t.Fatalf("%s: no protection faults recorded", sys.Name())
+		}
+	}
+}
+
+func TestProtectRadixVMSendsNoIPIs(t *testing.T) {
+	// §3.4's targeted write-protect shootdown: regions only their own core
+	// ever touched revoke rights without interrupting anyone.
+	m := hw.NewMachine(hw.DefaultConfig(4))
+	rc := refcache.New(m)
+	env := &Env{M: m, RC: rc}
+	sys := vm.New(env.M, env.RC, mem.NewAllocator(m, rc), nil)
+	r := Protect(env, sys, 4, 30, 4)
+	if r.Stats.IPIsSent != 0 {
+		t.Errorf("protect benchmark sent %d IPIs on radixvm, want 0", r.Stats.IPIsSent)
+	}
+	if r.Stats.Transfers != 0 {
+		t.Errorf("protect benchmark moved %d lines, want 0", r.Stats.Transfers)
+	}
+}
+
+func TestProtectBaselinesBroadcast(t *testing.T) {
+	// The contrast: the shared-page-table baselines must interrupt every
+	// active core on each revoking mprotect.
+	env, alloc := newEnv(4)
+	sys := linuxvm.New(env.M, env.RC, alloc)
+	r := Protect(env, sys, 4, 10, 4)
+	if r.Stats.IPIsSent == 0 {
+		t.Error("linux protect benchmark sent no IPIs; broadcast expected")
+	}
+}
+
 func TestLocalScalesLinearlyOnRadixVM(t *testing.T) {
 	// The Figure 5 headline in miniature: per-op virtual cost must stay
 	// ~flat from 1 to 8 cores on RadixVM.

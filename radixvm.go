@@ -71,8 +71,13 @@ const (
 	ProtExec  = vm.ProtExec
 )
 
-// ErrSegv is returned for accesses to unmapped pages.
-var ErrSegv = vm.ErrSegv
+// ErrSegv is returned for accesses to unmapped pages; ErrProt for
+// accesses a mapping exists for but forbids (write to read-only, fetch
+// from no-exec).
+var (
+	ErrSegv = vm.ErrSegv
+	ErrProt = vm.ErrProt
+)
 
 // Machine bundles the simulated hardware with the kernel-side substrate
 // every address space shares: the Refcache domain and the physical page

@@ -37,6 +37,42 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 }
 
+// TestFacadeProtection exercises the protection semantics through the
+// public API: read-only mappings reject writes with ErrProt, Mprotect
+// revokes and restores rights, and Fetch enforces ProtExec.
+func TestFacadeProtection(t *testing.T) {
+	m := radixvm.New(2)
+	as := m.NewAddressSpace()
+	cpu := m.CPU(0)
+	if err := as.Mmap(cpu, 0x2000, 4, radixvm.MapOpts{Prot: radixvm.ProtRead}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Access(cpu, 0x2000, true); !errors.Is(err, radixvm.ErrProt) {
+		t.Fatalf("write to read-only mapping: %v, want ErrProt", err)
+	}
+	if err := as.Access(cpu, 0x2000, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Fetch(cpu, 0x2000); !errors.Is(err, radixvm.ErrProt) {
+		t.Fatalf("fetch from no-exec mapping: %v, want ErrProt", err)
+	}
+	if err := as.Mprotect(cpu, 0x2000, 4, radixvm.ProtRead|radixvm.ProtWrite|radixvm.ProtExec); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Access(cpu, 0x2000, true); err != nil {
+		t.Fatalf("write after mprotect upgrade: %v", err)
+	}
+	if err := as.Fetch(cpu, 0x2000); err != nil {
+		t.Fatalf("fetch after mprotect upgrade: %v", err)
+	}
+	if err := as.Mprotect(cpu, 0x2000, 4, radixvm.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Access(cpu, 0x2000, true); !errors.Is(err, radixvm.ErrProt) {
+		t.Fatalf("write after mprotect downgrade: %v, want ErrProt", err)
+	}
+}
+
 // TestFacadeBaselines checks the baseline constructors satisfy System.
 func TestFacadeBaselines(t *testing.T) {
 	m := radixvm.New(2)
