@@ -178,6 +178,24 @@ func BenchmarkMprotect(b *testing.B) {
 	}
 }
 
+// BenchmarkFork runs the fork+COW cycling microbenchmark on the three VM
+// systems (the fork experiment; the paper's evaluation forks only at Metis
+// job start, so this is not a paper figure).
+func BenchmarkFork(b *testing.B) {
+	for _, sys := range []string{"radixvm", "bonsai", "linux"} {
+		b.Run(sys, func(b *testing.B) {
+			e, a := benchEnv(benchCores)
+			s := makeSystem(sys, e, a)
+			var pagesPerSec float64
+			for i := 0; i < b.N; i++ {
+				r := workload.Fork(e, s, benchCores, 40, 16)
+				pagesPerSec = r.PerSecond()
+			}
+			b.ReportMetric(pagesPerSec/1e6, "Mpages/s")
+		})
+	}
+}
+
 // BenchmarkMmapMunmapCycle tracks the allocation-free control plane: the
 // steady-state map/unmap cycle on RadixVM. Run with -benchmem; the
 // allocation columns must read 0 (enforced by AllocsPerRun tests in

@@ -1,14 +1,24 @@
-// Command benchdiff compares two `radixbench -json` outputs and renders a
-// per-figure delta table (GitHub-flavored markdown, suitable for a job
+// Command benchdiff compares `radixbench -json` outputs and renders
+// per-figure tables (GitHub-flavored markdown, suitable for a job
 // summary). Rows are matched by (experiment, table title, series, cores);
 // every value in the schema is a throughput, so a drop is a regression.
 //
 // Usage:
 //
 //	benchdiff -old BENCH_prev.json -new BENCH_head.json [-warn 10]
+//	benchdiff -trend dir/ -new BENCH_head.json [-last 10] [-warn 10]
 //
-// With -warn N (percent), regressions beyond N% additionally emit GitHub
-// Actions `::warning::` annotations on stderr. The exit code is always 0:
+// The two-file mode prints a previous/current/delta table. The -trend mode
+// walks dir for the retained BENCH_<sha>.json artifacts of earlier runs
+// (as downloaded by CI, one subdirectory per run), orders them oldest
+// first by modification time, keeps the last N (default 10), appends -new,
+// and renders one column per run — the multi-run perf trajectory of every
+// figure, including the fork experiment. The final column is the delta
+// from the oldest shown run to the current one.
+//
+// With -warn N (percent), regressions beyond N% (vs the immediately
+// previous run in either mode) additionally emit GitHub Actions
+// `::warning::` annotations on stderr. The exit code is always 0:
 // virtual-time throughput on shared CI runners is noisy, so the table and
 // annotations inform rather than gate.
 package main
@@ -17,8 +27,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io/fs"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"radixvm/internal/harness"
 )
@@ -67,11 +81,150 @@ func index(f *benchFile) (map[key]harness.Row, []key) {
 	return vals, order
 }
 
+// run is one dated bench file in a trend.
+type run struct {
+	label string // short sha from the BENCH_<sha>.json name
+	file  *benchFile
+}
+
+// collectTrend walks dir for BENCH_*.json files (CI downloads one artifact
+// subdirectory per previous run), oldest first by modification time.
+func collectTrend(dir string) ([]run, error) {
+	type dated struct {
+		path string
+		mod  int64
+	}
+	var files []dated
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		files = append(files, dated{path: path, mod: info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	var runs []run
+	for _, f := range files {
+		bf, err := load(f.path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: skipping %s: %v\n", f.path, err)
+			continue
+		}
+		runs = append(runs, run{label: runLabel(f.path), file: bf})
+	}
+	return runs, nil
+}
+
+func runLabel(path string) string {
+	name := strings.TrimSuffix(filepath.Base(path), ".json")
+	return strings.TrimPrefix(name, "BENCH_")
+}
+
+// printTrend renders one column per run, newest last, plus the delta from
+// the oldest shown run to the current one. Returns the regression count
+// (current vs immediately previous run) for the -warn annotations.
+func printTrend(runs []run, warnPct float64) int {
+	fmt.Printf("### Perf trend (last %d runs)\n\n", len(runs))
+	fmt.Print("| figure | series | cores |")
+	for _, r := range runs {
+		fmt.Printf(" %s |", r.label)
+	}
+	fmt.Println(" trend |")
+	fmt.Print("|---|---|---:|")
+	for range runs {
+		fmt.Print("---:|")
+	}
+	fmt.Println("---:|")
+
+	vals := make([]map[key]harness.Row, len(runs))
+	for i, r := range runs {
+		vals[i], _ = index(r.file)
+	}
+	_, order := index(runs[len(runs)-1].file)
+	regressions := 0
+	for _, k := range order {
+		fmt.Printf("| %s | %s | %d |", k.title, k.series, k.cores)
+		var first, prev, cur float64
+		haveEarlier := false // seen in any run before the current one
+		for i := range runs {
+			r, ok := vals[i][k]
+			if !ok {
+				fmt.Print(" — |")
+				continue
+			}
+			if !haveEarlier && i < len(runs)-1 {
+				first, haveEarlier = r.Value, true
+			}
+			if i == len(runs)-2 {
+				prev = r.Value
+			}
+			cur = r.Value
+			fmt.Printf(" %.2f |", r.Value)
+		}
+		trend := "new" // present only in the current run
+		switch {
+		case haveEarlier && first != 0 && first != cur:
+			trend = fmt.Sprintf("%+.1f%%", (cur-first)/first*100)
+		case haveEarlier:
+			trend = "—"
+		}
+		fmt.Printf(" %s |\n", trend)
+		if len(runs) >= 2 && prev != 0 && warnPct > 0 {
+			if pct := (cur - prev) / prev * 100; pct < -warnPct && !math.IsInf(pct, 0) {
+				regressions++
+				fmt.Fprintf(os.Stderr, "::warning title=perf regression::%s / %s @%d cores: %.2f -> %.2f (%+.1f%% vs previous run)\n",
+					k.title, k.series, k.cores, prev, cur, pct)
+			}
+		}
+	}
+	fmt.Println()
+	return regressions
+}
+
 func main() {
 	oldPath := flag.String("old", "", "previous run's radixbench -json output")
 	newPath := flag.String("new", "", "this run's radixbench -json output")
+	trendDir := flag.String("trend", "", "directory of retained BENCH_<sha>.json artifacts; renders a multi-run trend table instead of a two-file diff")
+	lastN := flag.Int("last", 10, "with -trend, show at most this many previous runs")
 	warnPct := flag.Float64("warn", 10, "emit ::warning:: annotations for regressions beyond this percent (0 disables)")
 	flag.Parse()
+	if *trendDir != "" {
+		if *newPath == "" {
+			fmt.Fprintln(os.Stderr, "benchdiff: -trend requires -new")
+			os.Exit(2)
+		}
+		newF, err := load(*newPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		runs, err := collectTrend(*trendDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		if len(runs) > *lastN {
+			runs = runs[len(runs)-*lastN:]
+		}
+		runs = append(runs, run{label: runLabel(*newPath) + " (this)", file: newF})
+		if n := printTrend(runs, *warnPct); n > 0 {
+			fmt.Printf("⚠️ %d series regressed by more than %.0f%% vs the previous run.\n", n, *warnPct)
+		} else {
+			fmt.Println("No regressions beyond the threshold.")
+		}
+		return
+	}
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: both -old and -new are required")
 		os.Exit(2)

@@ -30,7 +30,7 @@ type jsonExp struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|table2|memory")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|fork|table2|memory")
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,20,40,80)")
 	iters := flag.Int("iters", 0, "per-core iterations (default per experiment)")
 	quick := flag.Bool("quick", false, "fast smoke sweep (1,4,8 cores, few iters)")
@@ -77,6 +77,8 @@ func main() {
 			return jsonExp{Name: name, Tables: harness.Fig9(o)}
 		case "mprotect":
 			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigMprotect(o)}}
+		case "fork":
+			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigFork(o)}}
 		case "table2":
 			return jsonExp{Name: name, Text: harness.Table2()}
 		case "memory":
@@ -90,7 +92,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "table2", "memory"}
+		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "fork", "table2", "memory"}
 	}
 
 	var results []jsonExp

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	sysName := flag.String("sys", "radixvm", "vm system: radixvm|radixvm-shared|linux|bonsai")
-	wl := flag.String("workload", "local", "workload: local|pipeline|global|protect")
+	wl := flag.String("workload", "local", "workload: local|pipeline|global|protect|fork")
 	cores := flag.Int("cores", 8, "simulated cores")
 	iters := flag.Int("iters", 200, "iterations per core")
 	pages := flag.Uint64("pages", 1, "region pages (local/pipeline) or piece pages (global)")
@@ -64,6 +64,8 @@ func main() {
 		r = workload.Global(env, sys, *cores, maxInt(2, *iters/40), maxU(*pages, 4))
 	case "protect":
 		r = workload.Protect(env, sys, *cores, *iters, maxU(*pages, 4))
+	case "fork":
+		r = workload.Fork(env, sys, *cores, *iters, maxU(*pages, 4))
 	default:
 		fmt.Fprintf(os.Stderr, "vmtrace: unknown -workload %q\n", *wl)
 		os.Exit(2)
@@ -82,9 +84,9 @@ func main() {
 			s.Transfers, s.ColdMisses, s.IPIsSent, s.IPIsReceived())
 	}
 	t := r.Stats
-	fmt.Printf("\ntotals: %d mmaps, %d munmaps, %d mprotects, %d faults (%d fills, %d prot), %d transfers (%d cross-socket), %d shootdown rounds, %d IPIs, %d pages zeroed\n",
-		t.Mmaps, t.Munmaps, t.Mprotects, t.PageFaults, t.FillFaults, t.ProtFaults,
-		t.Transfers, t.CrossSocket, t.Shootdowns, t.IPIsSent, t.PagesZeroed)
+	fmt.Printf("\ntotals: %d mmaps, %d munmaps, %d mprotects, %d forks, %d faults (%d fills, %d prot, %d cow), %d transfers (%d cross-socket), %d shootdown rounds, %d IPIs, %d pages zeroed\n",
+		t.Mmaps, t.Munmaps, t.Mprotects, t.Forks, t.PageFaults, t.FillFaults, t.ProtFaults,
+		t.COWBreaks, t.Transfers, t.CrossSocket, t.Shootdowns, t.IPIsSent, t.PagesZeroed)
 	fmt.Printf("page tables: %d KB\n", sys.PageTableBytes()/1024)
 }
 

@@ -12,6 +12,7 @@ import (
 	"radixvm/internal/bonsai"
 	"radixvm/internal/hw"
 	"radixvm/internal/mem"
+	"radixvm/internal/pagetable"
 	"radixvm/internal/refcache"
 	"radixvm/internal/vm"
 )
@@ -20,6 +21,22 @@ type region struct {
 	start, end uint64
 	prot       vm.Prot
 	back       vm.Backing
+	// cow marks an anonymous region whose already-faulted frames are (or
+	// were) shared with a forked address space; see the linuxvm vma for
+	// the region-granular semantics. Lock-free faulters read it from
+	// their snapshot, so like prot it is never mutated in place — fork
+	// republishes fresh region structs.
+	cow bool
+}
+
+// permBits returns the rights a translation for r may carry: the region's
+// protection, minus write while the region is copy-on-write.
+func (r *region) permBits() pagetable.Perm {
+	perm := vm.PermBits(r.prot)
+	if r.cow {
+		perm &^= pagetable.PermW
+	}
+	return perm
 }
 
 // AddressSpace is a Bonsai-like address space.
@@ -119,7 +136,7 @@ func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
 		as.regions.Delete(cpu, o.start)
 		if o.start < lo {
 			as.regions.Insert(cpu, o.start, &region{
-				start: o.start, end: lo, prot: o.prot, back: o.back,
+				start: o.start, end: lo, prot: o.prot, back: o.back, cow: o.cow,
 			})
 		}
 		if o.end > hi {
@@ -127,7 +144,7 @@ func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
 			if nb.File != nil {
 				nb.Offset += hi - o.start
 			}
-			as.regions.Insert(cpu, hi, &region{start: hi, end: o.end, prot: o.prot, back: nb})
+			as.regions.Insert(cpu, hi, &region{start: hi, end: o.end, prot: o.prot, back: nb, cow: o.cow})
 		}
 	}
 	var frames []*mem.Frame
@@ -186,17 +203,27 @@ func (as *AddressSpace) Mprotect(cpu *hw.CPU, vpn, npages uint64, prot vm.Prot) 
 		// below) and finish by atomically replacing o's own key with
 		// its leftmost piece — never Delete.
 		if o.end > hi {
-			as.regions.Insert(cpu, hi, &region{start: hi, end: o.end, prot: o.prot, back: shifted(hi)})
+			as.regions.Insert(cpu, hi, &region{start: hi, end: o.end, prot: o.prot, back: shifted(hi), cow: o.cow})
 		}
 		if o.start < lo {
-			as.regions.Insert(cpu, clipLo, &region{start: clipLo, end: clipHi, prot: prot, back: shifted(clipLo)})
-			as.regions.Insert(cpu, o.start, &region{start: o.start, end: lo, prot: o.prot, back: o.back})
+			as.regions.Insert(cpu, clipLo, &region{start: clipLo, end: clipHi, prot: prot, back: shifted(clipLo), cow: o.cow})
+			as.regions.Insert(cpu, o.start, &region{start: o.start, end: lo, prot: o.prot, back: o.back, cow: o.cow})
 		} else {
-			as.regions.Insert(cpu, o.start, &region{start: clipLo, end: clipHi, prot: prot, back: shifted(clipLo)})
+			as.regions.Insert(cpu, o.start, &region{start: clipLo, end: clipHi, prot: prot, back: shifted(clipLo), cow: o.cow})
 		}
 	}
 	if revoked {
-		as.mmu.Protect(cpu, lo, hi, vm.PermBits(prot), hw.CoreSet{}, as.activeSet())
+		perm := vm.PermBits(prot)
+		for _, o := range overlaps {
+			if o.cow {
+				// Never hand write rights back to a COW region through
+				// the bulk PTE rewrite (safe for non-COW neighbors: their
+				// writes re-trap and lazily re-fill).
+				perm &^= pagetable.PermW
+				break
+			}
+		}
+		as.mmu.Protect(cpu, lo, hi, perm, hw.CoreSet{}, as.activeSet())
 	}
 	if hole || covered < hi {
 		return vm.ErrSegv
@@ -204,18 +231,21 @@ func (as *AddressSpace) Mprotect(cpu *hw.CPU, vpn, npages uint64, prot vm.Prot) 
 	return nil
 }
 
-// PageFault is lock-free: it reads an atomic snapshot of the region tree,
-// installs the translation, and re-validates against the current tree. If
-// a concurrent munmap removed the region in between, the fault undoes its
-// installation — a simplified version of the Bonsai system's RCU
-// validation protocol.
+// PageFault is lock-free for plain fills: it reads an atomic snapshot of
+// the region tree, installs the translation, and re-validates against the
+// current tree. If a concurrent munmap removed the region in between, the
+// fault undoes its installation — a simplified version of the Bonsai
+// system's RCU validation protocol. Copy-on-write breaks are not fills —
+// they rewrite a live translation — so like the rights-upgrade repair path
+// they serialize on the address-space lock; the Bonsai design only makes
+// plain faults lock-free.
 func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
-	return as.pageFault(cpu, vpn, write, false)
+	return as.pageFault(cpu, vpn, vm.KindOf(write), false)
 }
 
 // pageFault handles one fault; trapped means a TLB permission trap raised
 // it and the caller already counted the ProtFault.
-func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) error {
+func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, k vm.Kind, trapped bool) error {
 	cpu.Stats().PageFaults++
 	cpu.Tick(vm.FaultCost)
 	as.noteActive(cpu)
@@ -224,13 +254,16 @@ func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) 
 	if v == nil {
 		return vm.ErrSegv
 	}
-	if !v.prot.Allows(write) {
+	if !v.prot.Permits(k) {
 		if !trapped {
 			cpu.Stats().ProtFaults++
 		}
 		return vm.ErrProt
 	}
-	perm := vm.PermBits(v.prot)
+	if v.cow && k == vm.KindWrite {
+		return as.breakCOW(cpu, vpn, k, trapped)
+	}
+	perm := v.permBits()
 	var frame *mem.Frame
 	if v.back.File != nil {
 		fr, _ := v.back.File.Page(cpu, v.back.Offset+(vpn-v.start))
@@ -264,7 +297,7 @@ func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) 
 				case cur == nil:
 					cpu.Release(&as.lock)
 					return vm.ErrSegv
-				case !cur.prot.Allows(write):
+				case !cur.prot.Permits(k):
 					cpu.Release(&as.lock)
 					if !trapped {
 						cpu.Stats().ProtFaults++
@@ -274,9 +307,9 @@ func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) 
 					// The mapping was replaced wholesale between our
 					// snapshot and the lock: retry as a fresh fault.
 					cpu.Release(&as.lock)
-					return as.pageFault(cpu, vpn, write, trapped)
+					return as.pageFault(cpu, vpn, k, trapped)
 				}
-				perm = vm.PermBits(cur.prot)
+				perm = cur.permBits()
 				if cur2.Perm&perm != perm {
 					as.mmu.PageTable().Map(cpu, vpn, cur2.PFN, perm)
 					cur2.Perm = perm
@@ -289,14 +322,15 @@ func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) 
 		return nil
 	}
 	// Re-validate: a munmap may have cleared this range — or an mprotect
-	// changed its rights — between our snapshot read and the PTE install,
-	// and our stale install would outlive the syscall's shootdown. The
-	// repair path is rare (it requires losing that race), so it serializes
-	// on the address-space lock and broadcasts a flush for the page: any
-	// third core that walked the transient PTE rechecks it (rights-aware
-	// MMU.Revalidate) or is flushed outright.
+	// changed its rights, or a fork COW'd it — between our snapshot read
+	// and the PTE install, and our stale install would outlive the
+	// syscall's shootdown. The repair path is rare (it requires losing
+	// that race), so it serializes on the address-space lock and
+	// broadcasts a flush for the page: any third core that walked the
+	// transient PTE rechecks it (rights-aware MMU.Revalidate) or is
+	// flushed outright.
 	cur := as.findRegion(cpu, vpn)
-	if cur == nil || cur.prot != v.prot {
+	if cur == nil || cur.prot != v.prot || cur.cow != v.cow {
 		cpu.Acquire(&as.lock)
 		cur = as.findRegion(cpu, vpn)
 		if cur == nil {
@@ -306,12 +340,12 @@ func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) 
 			cpu.Release(&as.lock)
 			return vm.ErrSegv
 		}
-		if curPerm := vm.PermBits(cur.prot); curPerm != perm {
+		if curPerm := cur.permBits(); curPerm != perm {
 			as.mmu.PageTable().Map(cpu, vpn, frame.PFN, curPerm)
 			as.mmu.ShootdownTLBOnly(cpu, vpn, vpn+1, as.activeSet())
 			perm = curPerm
 		}
-		allowed := cur.prot.Allows(write)
+		allowed := cur.prot.Permits(k)
 		cpu.Release(&as.lock)
 		if !allowed {
 			if !trapped {
@@ -322,8 +356,65 @@ func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) 
 			return vm.ErrProt
 		}
 	}
-	as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntryFor(frame.PFN, cur.prot))
+	as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntry(pagetable.PTE{PFN: frame.PFN, Perm: perm, Present: true}))
 	return nil
+}
+
+// breakCOW resolves a write fault in a COW region under the address-space
+// lock. With the lock held no munmap, mprotect, fork, or other break can
+// interleave; only lock-free read fills race, which MapIfAbsent absorbs.
+func (as *AddressSpace) breakCOW(cpu *hw.CPU, vpn uint64, k vm.Kind, trapped bool) error {
+	cpu.Acquire(&as.lock)
+	cur := as.findRegion(cpu, vpn)
+	switch {
+	case cur == nil:
+		cpu.Release(&as.lock)
+		return vm.ErrSegv
+	case !cur.prot.Permits(k):
+		cpu.Release(&as.lock)
+		if !trapped {
+			cpu.Stats().ProtFaults++
+		}
+		return vm.ErrProt
+	case !cur.cow:
+		// The region was replaced (e.g. remapped) since our snapshot;
+		// retry as a plain fault.
+		cpu.Release(&as.lock)
+		return as.pageFault(cpu, vpn, k, trapped)
+	}
+	wperm := vm.PermBits(cur.prot)
+	for {
+		pte, ok := as.mmu.PageTable().Lookup(cpu, vpn)
+		if !ok {
+			// Never faulted in this space: no frame is shared, so fill
+			// privately with full rights. A lock-free reader may race the
+			// install; on failure, loop and resolve against its PTE.
+			frame := as.alloc.Alloc(cpu)
+			if as.mmu.PageTable().MapIfAbsent(cpu, vpn, frame.PFN, wperm) {
+				cpu.Release(&as.lock)
+				as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntryFor(frame.PFN, cur.prot))
+				return nil
+			}
+			as.alloc.DecRef(cpu, frame)
+			continue
+		}
+		if pte.Perm&pagetable.PermW != 0 {
+			// Already privatized by an earlier break.
+			cpu.Release(&as.lock)
+			as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntry(pte))
+			return nil
+		}
+		orig := as.alloc.ByPFN(pte.PFN)
+		nf := vm.CopyCOWFrame(cpu, as.alloc, orig)
+		as.mmu.PageTable().Map(cpu, vpn, nf.PFN, wperm)
+		as.alloc.DecRef(cpu, orig) // the page table's ref moved to the copy
+		// Stale read-only translations of the old frame may be cached
+		// anywhere; the shared MMU can only broadcast.
+		as.mmu.ShootdownTLBOnly(cpu, vpn, vpn+1, as.activeSet())
+		cpu.Release(&as.lock)
+		as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntryFor(nf.PFN, cur.prot))
+		return nil
+	}
 }
 
 func (as *AddressSpace) findRegion(cpu *hw.CPU, vpn uint64) *region {
@@ -336,20 +427,30 @@ func (as *AddressSpace) findRegion(cpu *hw.CPU, vpn uint64) *region {
 
 // Access implements vm.System.
 func (as *AddressSpace) Access(cpu *hw.CPU, vpn uint64, write bool) error {
+	return as.access(cpu, vpn, vm.KindOf(write))
+}
+
+// Fetch implements vm.System: an exec-checked access, sharing the same
+// TLB/walk/fault pipeline as Access.
+func (as *AddressSpace) Fetch(cpu *hw.CPU, vpn uint64) error {
+	return as.access(cpu, vpn, vm.KindExec)
+}
+
+func (as *AddressSpace) access(cpu *hw.CPU, vpn uint64, k vm.Kind) error {
 	as.noteActive(cpu)
 	t := as.mmu.TLB(cpu.ID())
 	if e, ok := t.Lookup(vpn); ok {
-		if (write && e.Writable) || (!write && e.Readable) {
+		if vm.TLBAllows(e, k) {
 			cpu.Tick(vm.AccessCost)
 			return nil
 		}
 		cpu.Stats().ProtFaults++
-		return as.pageFault(cpu, vpn, write, true) // permission trap from the TLB
+		return as.pageFault(cpu, vpn, k, true) // permission trap from the TLB
 	}
 	if pte, ok := as.mmu.Lookup(cpu, vpn); ok {
-		if (write && !pte.Writable()) || (!write && !pte.Readable()) {
+		if !vm.PTEAllows(pte, k) {
 			cpu.Stats().ProtFaults++
-			return as.pageFault(cpu, vpn, write, true) // permission trap from the walk
+			return as.pageFault(cpu, vpn, k, true) // permission trap from the walk
 		}
 		cpu.Tick(vm.WalkCost)
 		t.Insert(vpn, vm.TLBEntry(pte))
@@ -360,5 +461,48 @@ func (as *AddressSpace) Access(cpu *hw.CPU, vpn uint64, write bool) error {
 		}
 		t.FlushPage(vpn)
 	}
-	return as.PageFault(cpu, vpn, write)
+	return as.pageFault(cpu, vpn, k, false)
+}
+
+// Fork implements vm.System: like mmap and munmap it serializes on the
+// address-space lock (the Bonsai design only makes faults lock-free).
+// Every region is republished RCU-style with cow set — never mutated in
+// place, so concurrent lock-free faulters either see the pre-fork region
+// (and their stale writable install is caught by their own revalidation
+// against the post-fork tree) or the COW one. The PTE copy and broadcast
+// write-protect shootdown mirror the Linux baseline: the shared table
+// records no sharer sets, so every core using the parent is interrupted.
+func (as *AddressSpace) Fork(cpu *hw.CPU) (vm.System, error) {
+	cpu.Stats().Forks++
+	cpu.Tick(vm.LinuxSyscallCost)
+	as.noteActive(cpu)
+	child := New(as.m, as.rc, as.alloc)
+	cpu.Acquire(&as.lock)
+	defer cpu.Release(&as.lock)
+
+	var anon []vm.Span
+	snap := as.regions.Snapshot()
+	snap.Ascend(cpu, 0, func(key uint64, o *region) bool {
+		cow := o.cow
+		if o.back.File == nil {
+			cow = true
+			anon = append(anon, vm.Span{Lo: o.start, Hi: o.end})
+			if !o.cow {
+				// Republish the parent's region as COW (fresh struct,
+				// never in-place: lock-free faulters hold snapshots).
+				as.regions.Insert(cpu, key, &region{
+					start: o.start, end: o.end, prot: o.prot, back: o.back, cow: true,
+				})
+			}
+		}
+		child.regions.Insert(cpu, key, &region{
+			start: o.start, end: o.end, prot: o.prot, back: o.back, cow: cow,
+		})
+		return true
+	})
+	if revoked, lo, hi := vm.ForkCopyTranslations(cpu, as.alloc, as.mmu.PageTable(), child.mmu.PageTable(), anon); revoked {
+		// One conservative broadcast covers every downgraded page.
+		as.mmu.ShootdownTLBOnly(cpu, lo, hi, as.activeSet())
+	}
+	return child, nil
 }

@@ -195,6 +195,26 @@ func FigMprotect(o Options) *Table {
 	return t
 }
 
+// FigFork runs the fork+COW microbenchmark (the Metis/posix-spawn pattern;
+// not a figure in the paper, whose evaluation forks only at job start): a
+// multithreaded parent is forked once per round and the child's threads
+// COW-touch disjoint regions. RadixVM's per-page sharer sets make both the
+// fork's write-protect pass and every COW break targeted, so the cycle
+// scales with cores; the baselines broadcast a TLB flush per break and per
+// child munmap and stay near-flat. Each series is a VM system; the metric
+// matches Figure 5's.
+func FigFork(o Options) *Table {
+	t := &Table{Title: "fork: fork+COW-touch cycling (M page writes/sec)"}
+	for _, f := range factories() {
+		for _, n := range o.Cores {
+			e, a := env(n)
+			r := workload.Fork(e, f.make(e, a), n, o.Iters, 16)
+			t.Rows = append(t.Rows, Row{Series: f.name, Cores: n, Value: r.PerSecond() / 1e6, Unit: "M pages/s"})
+		}
+	}
+	return t
+}
+
 // Fig6 reproduces the skip list lookup-vs-writers figure.
 func Fig6(o Options) *Table {
 	return structureBench("Figure 6: skip list lookups/sec (millions)", o, []int{0, 1, 5},

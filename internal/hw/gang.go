@@ -37,6 +37,18 @@ import "sync"
 // never leave the configured bound, so their interleaving — and their
 // virtual-time output — is exactly as before; embarrassingly parallel
 // phases stop paying for a tight lock-step they never needed.
+//
+// Widening carries hysteresis, because the contention signal arrives one
+// Sync late (a member reports the transfers of its *previous* iteration):
+// on a workload that alternates calm and contended phases every few
+// iterations, an instant-rewiden policy would widen during each short calm
+// phase, enter the next contended phase with skewed clocks, and oscillate
+// forever. Each snap-back therefore doubles the number of consecutive calm
+// windows the next widening step requires (calmNeed, capped), so an
+// alternating workload settles at the tight bound within a few cycles; a
+// ramp that makes it all the way back to the cap proves the calm is real
+// and resets calmNeed to one. A gang that never observes contention
+// behaves exactly as before (calmNeed stays at one).
 type Gang struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -49,6 +61,12 @@ type Gang struct {
 	minVal  uint64
 	minID   int
 	calmLo  uint64 // minVal when the current calm window started
+	// Hysteresis state: widening requires calmNeed consecutive calm
+	// windows (calmStreak counts them). Snap-backs from a widened bound
+	// double calmNeed up to maxCalmNeed; a ramp all the way back to the
+	// cap proves the calm is real and resets calmNeed to one.
+	calmStreak uint64
+	calmNeed   uint64
 }
 
 // DefaultQuantum bounds virtual-clock skew to roughly one benchmark
@@ -64,13 +82,17 @@ const maxBatchFactor = 32
 // pass without any member observing contention before the bound widens.
 const calmWindowFactor = 4
 
+// maxCalmNeed caps the widening hysteresis: however noisy the workload, a
+// long enough genuinely-calm stretch can always re-widen eventually.
+const maxCalmNeed = 64
+
 // NewGang creates a gang with the given skew bound in cycles
 // (DefaultQuantum if <= 0).
 func NewGang(quantum uint64) *Gang {
 	if quantum == 0 {
 		quantum = DefaultQuantum
 	}
-	g := &Gang{quantum: quantum, eff: quantum}
+	g := &Gang{quantum: quantum, eff: quantum, calmNeed: 1}
 	g.cond = sync.NewCond(&g.mu)
 	g.recompute()
 	return g
@@ -113,15 +135,30 @@ func (g *Gang) Sync(cpu *CPU) {
 	if obs != g.lastObs[id] {
 		// This member moved a cache line (or took an IPI) since its last
 		// report: contention is live, tighten back to the configured
-		// bound and restart the calm window.
+		// bound and restart the calm window. A snap-back from a widened
+		// bound means the last widening was premature (the signal lags a
+		// Sync), so the next one must earn more consecutive calm windows.
 		g.lastObs[id] = obs
+		if g.eff > g.quantum && g.calmNeed < maxCalmNeed {
+			g.calmNeed *= 2
+		}
 		g.eff = g.quantum
 		g.calmLo = g.minVal
+		g.calmStreak = 0
 	} else if g.eff < g.quantum*maxBatchFactor && g.minVal > g.calmLo+calmWindowFactor*g.eff {
 		// A full calm window of global progress with nobody observing
-		// contention: widen the batch.
-		g.eff *= 2
+		// contention: count it, and widen once enough have accumulated.
 		g.calmLo = g.minVal
+		g.calmStreak++
+		if g.calmStreak >= g.calmNeed {
+			g.eff *= 2
+			g.calmStreak = 0
+			if g.eff >= g.quantum*maxBatchFactor {
+				// A full ramp back to the cap is proof of real calm:
+				// restore the fast ramp for the next tightening.
+				g.calmNeed = 1
+			}
+		}
 	}
 	for now > g.minVal+g.eff {
 		g.cond.Wait()

@@ -91,6 +91,87 @@ func TestGangAdaptiveQuantumNarrowsOnConflict(t *testing.T) {
 	}
 }
 
+// TestGangAdaptiveQuantumHysteresis is the regression for the one-Sync-late
+// oscillation: a workload alternating short calm and contended phases used
+// to widen during every calm phase, enter each contended phase with clocks
+// skewed beyond the configured bound, and snap back — forever. With
+// hysteresis, each premature widening doubles the calm requirement, so the
+// gang settles at the tight bound after a handful of cycles: in the second
+// half of the run the effective quantum must never leave the configured
+// quantum, while contended interleaving stays as tight as ever.
+func TestGangAdaptiveQuantumHysteresis(t *testing.T) {
+	const ncores = 4
+	const quantum = 200
+	const cycles = 40
+	const calmIters = 30  // long enough that a calm phase can widen pre-fix
+	const hotIters = 6
+	m := NewMachine(TestConfig(ncores))
+	var l Line
+	var lateWidenings [MaxCores]int
+	RunGang(m, ncores, quantum, func(c *CPU, g *Gang) {
+		for cyc := 0; cyc < cycles; cyc++ {
+			for k := 0; k < calmIters; k++ {
+				c.Tick(100)
+				g.Sync(c)
+				if cyc >= cycles/2 && g.EffectiveQuantum() != quantum {
+					lateWidenings[c.ID()]++
+				}
+			}
+			for k := 0; k < hotIters; k++ {
+				c.Write(&l)
+				c.Tick(100)
+				g.Sync(c)
+				if cyc >= cycles/2 && g.EffectiveQuantum() != quantum {
+					lateWidenings[c.ID()]++
+				}
+			}
+		}
+	})
+	for id, n := range lateWidenings {
+		if n != 0 {
+			t.Errorf("core %d: effective quantum left the configured bound %d times in the settled half of an alternating workload", id, n)
+		}
+	}
+}
+
+// TestGangHysteresisRecovers: after a noisy stretch raised the calm
+// requirement, a genuinely calm stretch must still be able to widen (the
+// hysteresis dampens, it does not disable).
+func TestGangHysteresisRecovers(t *testing.T) {
+	const ncores = 2
+	const quantum = 100
+	m := NewMachine(TestConfig(ncores))
+	var l Line
+	var widest uint64
+	RunGang(m, ncores, quantum, func(c *CPU, g *Gang) {
+		// Noisy prologue: several widen/snap-back cycles raise calmNeed.
+		for cyc := 0; cyc < 6; cyc++ {
+			for k := 0; k < 40; k++ {
+				c.Tick(100)
+				g.Sync(c)
+			}
+			for k := 0; k < 4; k++ {
+				c.Write(&l)
+				c.Tick(100)
+				g.Sync(c)
+			}
+		}
+		// Long genuinely calm epilogue.
+		for k := 0; k < 30000; k++ {
+			c.Tick(100)
+			g.Sync(c)
+			if c.ID() == 0 {
+				if e := g.EffectiveQuantum(); e > widest {
+					widest = e
+				}
+			}
+		}
+	})
+	if widest <= quantum {
+		t.Errorf("effective quantum %d never re-widened after a long calm stretch", widest)
+	}
+}
+
 func TestGangForcesInterleaving(t *testing.T) {
 	// Two cores alternately writing one line must both observe transfers
 	// when gang-scheduled (without a gang the scheduler may serialize

@@ -159,9 +159,11 @@ type Stats struct {
 	PageFaults     uint64
 	FillFaults     uint64 // faults that only filled a PTE (page existed)
 	ProtFaults     uint64 // permission traps: denied accesses + rights re-fills after mprotect
+	COWBreaks      uint64 // write faults that resolved a copy-on-write page
 	Mmaps          uint64
 	Munmaps        uint64
 	Mprotects      uint64
+	Forks          uint64 // address-space forks initiated by this core
 	PagesZeroed    uint64
 	RefcacheEvicts uint64 // delta-cache evictions due to hash collisions
 }
@@ -180,9 +182,11 @@ func (t *Stats) add(s *Stats) {
 	t.PageFaults += s.PageFaults
 	t.FillFaults += s.FillFaults
 	t.ProtFaults += s.ProtFaults
+	t.COWBreaks += s.COWBreaks
 	t.Mmaps += s.Mmaps
 	t.Munmaps += s.Munmaps
 	t.Mprotects += s.Mprotects
+	t.Forks += s.Forks
 	t.PagesZeroed += s.PagesZeroed
 	t.RefcacheEvicts += s.RefcacheEvicts
 }

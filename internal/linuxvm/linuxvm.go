@@ -12,6 +12,7 @@ package linuxvm
 import (
 	"radixvm/internal/hw"
 	"radixvm/internal/mem"
+	"radixvm/internal/pagetable"
 	"radixvm/internal/rbtree"
 	"radixvm/internal/refcache"
 	"radixvm/internal/vm"
@@ -23,6 +24,24 @@ type vma struct {
 	start, end uint64
 	prot       vm.Prot
 	back       vm.Backing // Offset is the file page at start
+	// cow marks an anonymous region whose already-faulted frames are (or
+	// were) shared with a forked address space: translations install
+	// read-only and the first write to each page copies its frame. The
+	// flag is region-granular — Linux's VMA carries exactly this — so it
+	// persists after every page has been privatized; a stale flag only
+	// costs a touched page one extra copy, never correctness.
+	cow bool
+}
+
+// permBits returns the rights a translation for v may carry: the region's
+// protection, minus write while the region is copy-on-write (per-page
+// write-back happens only through a resolved COW break).
+func (v *vma) permBits() pagetable.Perm {
+	perm := vm.PermBits(v.prot)
+	if v.cow {
+		perm &^= pagetable.PermW
+	}
+	return perm
 }
 
 // VMABytes approximates sizeof(struct vm_area_struct) for Table 2's
@@ -136,7 +155,7 @@ func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
 		as.vmas.Delete(cpu, o.start)
 		if o.start < lo { // keep the left piece
 			as.vmas.Insert(cpu, o.start, &vma{
-				start: o.start, end: lo, prot: o.prot, back: o.back,
+				start: o.start, end: lo, prot: o.prot, back: o.back, cow: o.cow,
 			})
 		}
 		if o.end > hi { // keep the right piece, with shifted file offset
@@ -144,7 +163,7 @@ func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
 			if nb.File != nil {
 				nb.Offset += hi - o.start
 			}
-			as.vmas.Insert(cpu, hi, &vma{start: hi, end: o.end, prot: o.prot, back: nb})
+			as.vmas.Insert(cpu, hi, &vma{start: hi, end: o.end, prot: o.prot, back: nb, cow: o.cow})
 		}
 	}
 	var frames []*mem.Frame
@@ -157,6 +176,47 @@ func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
 	for _, f := range frames {
 		as.alloc.DecRef(cpu, f)
 	}
+}
+
+// Fork implements vm.System the Linux way (dup_mmap): write-lock the
+// parent's whole address space — serializing against every fault, map, and
+// unmap — copy the VMA tree, and for each anonymous region copy the
+// parent's installed translations into the child's shared page table with
+// write permission stripped on both sides, marking both regions COW. The
+// hardware gives no record of which TLBs cache the old writable rights, so
+// the write-protect shootdown is a broadcast to every core using the
+// parent — the non-scalable flush RadixVM's per-page sharer sets avoid.
+// File-backed regions copy metadata only; the child re-faults their pages
+// from the page cache lazily.
+func (as *AddressSpace) Fork(cpu *hw.CPU) (vm.System, error) {
+	cpu.Stats().Forks++
+	cpu.Tick(vm.LinuxSyscallCost)
+	as.noteActive(cpu)
+	child := New(as.m, as.rc, as.alloc)
+	cpu.WLock(&as.lock)
+	defer cpu.WUnlock(&as.lock)
+
+	var anon []vm.Span
+	as.vmas.Ascend(cpu, 0, func(n *rbtree.Node[*vma]) bool {
+		o := n.Val
+		cow := o.cow
+		if o.back.File == nil {
+			cow = true
+			o.cow = true
+			anon = append(anon, vm.Span{Lo: o.start, Hi: o.end})
+		}
+		child.vmas.Insert(cpu, o.start, &vma{
+			start: o.start, end: o.end, prot: o.prot, back: o.back, cow: cow,
+		})
+		return true
+	})
+	// Copy the parent's anonymous translations read-only into the child
+	// and downgrade them in place in the parent.
+	if revoked, lo, hi := vm.ForkCopyTranslations(cpu, as.alloc, as.mmu.PageTable(), child.mmu.PageTable(), anon); revoked {
+		// One conservative broadcast covers every downgraded page.
+		as.mmu.ShootdownTLBOnly(cpu, lo, hi, as.activeSet())
+	}
+	return child, nil
 }
 
 // Mprotect implements vm.System the Linux way: write-lock the whole
@@ -202,15 +262,22 @@ func (as *AddressSpace) Mprotect(cpu *hw.CPU, vpn, npages uint64, prot vm.Prot) 
 		}
 		as.vmas.Delete(cpu, o.start)
 		if o.start < lo {
-			as.vmas.Insert(cpu, o.start, &vma{start: o.start, end: lo, prot: o.prot, back: o.back})
+			as.vmas.Insert(cpu, o.start, &vma{start: o.start, end: lo, prot: o.prot, back: o.back, cow: o.cow})
 		}
-		as.vmas.Insert(cpu, clipLo, &vma{start: clipLo, end: clipHi, prot: prot, back: shifted(clipLo)})
+		as.vmas.Insert(cpu, clipLo, &vma{start: clipLo, end: clipHi, prot: prot, back: shifted(clipLo), cow: o.cow})
 		if o.end > hi {
-			as.vmas.Insert(cpu, hi, &vma{start: hi, end: o.end, prot: o.prot, back: shifted(hi)})
+			as.vmas.Insert(cpu, hi, &vma{start: hi, end: o.end, prot: o.prot, back: shifted(hi), cow: o.cow})
 		}
 	}
 	if revoked {
-		as.mmu.Protect(cpu, lo, hi, vm.PermBits(prot), hw.CoreSet{}, as.activeSet())
+		perm := vm.PermBits(prot)
+		if anyCow(overlaps) {
+			// Never hand write rights back to a COW region through the
+			// bulk PTE rewrite; stripping W from the whole range is safe
+			// (non-COW writes re-trap and lazily re-fill).
+			perm &^= pagetable.PermW
+		}
+		as.mmu.Protect(cpu, lo, hi, perm, hw.CoreSet{}, as.activeSet())
 	}
 	if len(overlaps) == 0 || covered < hi || overlaps[0].start > lo || gapped(overlaps) {
 		return vm.ErrSegv
@@ -222,6 +289,16 @@ func (as *AddressSpace) Mprotect(cpu *hw.CPU, vpn, npages uint64, prot vm.Prot) 
 func gapped(overlaps []*vma) bool {
 	for i := 1; i < len(overlaps); i++ {
 		if overlaps[i].start > overlaps[i-1].end {
+			return true
+		}
+	}
+	return false
+}
+
+// anyCow reports whether any of the regions is copy-on-write.
+func anyCow(overlaps []*vma) bool {
+	for _, o := range overlaps {
+		if o.cow {
 			return true
 		}
 	}
@@ -242,14 +319,15 @@ func (as *AddressSpace) findVMALocked(cpu *hw.CPU, vpn uint64) *vma {
 // terms, but the reader-count update transfers the lock's cache line, so
 // concurrent faults across cores serialize at that line (§5.2). The VMA's
 // protection gates the access; a present PTE with narrower rights than the
-// VMA (an mprotect upgrade not yet realized) is rewritten in place.
+// VMA (an mprotect upgrade not yet realized) is rewritten in place, and a
+// write into a COW region resolves the copy-on-write first.
 func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
-	return as.pageFault(cpu, vpn, write, false)
+	return as.pageFault(cpu, vpn, vm.KindOf(write), false)
 }
 
 // pageFault handles one fault; trapped means a TLB permission trap raised
 // it and the caller already counted the ProtFault.
-func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) error {
+func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, k vm.Kind, trapped bool) error {
 	cpu.Stats().PageFaults++
 	cpu.Tick(vm.FaultCost)
 	as.noteActive(cpu)
@@ -260,13 +338,24 @@ func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) 
 	if v == nil {
 		return vm.ErrSegv
 	}
-	if !v.prot.Allows(write) {
+	if !v.prot.Permits(k) {
 		if !trapped {
 			cpu.Stats().ProtFaults++
 		}
 		return vm.ErrProt
 	}
-	perm := vm.PermBits(v.prot)
+	if v.cow && k == vm.KindWrite {
+		if as.breakCOWLocked(cpu, vpn, v) {
+			return nil
+		}
+		// No translation yet: the page was never faulted in this space, so
+		// no frame is shared — fall through to a plain private fill, which
+		// may carry full rights.
+	}
+	perm := v.permBits()
+	if k == vm.KindWrite {
+		perm |= pagetable.PermW // a resolved COW (or non-COW) write install
+	}
 	var frame *mem.Frame
 	fileBacked := v.back.File != nil
 	if fileBacked {
@@ -277,14 +366,23 @@ func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) 
 		frame = as.alloc.Alloc(cpu)
 	}
 	if as.mmu.PageTable().MapIfAbsent(cpu, vpn, frame.PFN, perm) {
-		as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntryFor(frame.PFN, v.prot))
+		as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntry(pagetable.PTE{PFN: frame.PFN, Perm: perm, Present: true}))
 		return nil
 	}
 	// Another core mapped the page first: drop ours, adopt theirs,
-	// upgrading the PTE's rights if the VMA now grants more.
+	// upgrading the PTE's rights if the VMA now grants more. COW regions
+	// never upgrade to writable here — that is the break path's job.
 	cpu.Stats().FillFaults++
 	cpu.Tick(vm.FillCost)
 	as.alloc.DecRef(cpu, frame)
+	if v.cow && k == vm.KindWrite {
+		// We lost the install race, so the page now has a (shared,
+		// read-only) translation after all: resolve the COW against it.
+		if as.breakCOWLocked(cpu, vpn, v) {
+			return nil
+		}
+	}
+	perm = v.permBits()
 	if pte, ok := as.mmu.PageTable().Lookup(cpu, vpn); ok {
 		if pte.Perm&perm != perm {
 			as.mmu.PageTable().Map(cpu, vpn, pte.PFN, perm)
@@ -295,22 +393,73 @@ func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, write, trapped bool) 
 	return nil
 }
 
+// breakCOWLocked resolves a write fault in a COW region when the page has
+// an installed (necessarily read-only) translation: copy the frame, swap
+// the PTE to the private writable copy, and broadcast a flush — the shared
+// page table records no sharer set, so like every Linux shootdown it must
+// interrupt every core using the address space. Reports whether a
+// translation existed (false means the caller should fill privately).
+// Caller holds the address-space lock in at least read mode; concurrent
+// breakers of one page race on the PTE swap, and the loser adopts the
+// winner's copy.
+func (as *AddressSpace) breakCOWLocked(cpu *hw.CPU, vpn uint64, v *vma) bool {
+	pte, ok := as.mmu.PageTable().Lookup(cpu, vpn)
+	if !ok {
+		return false
+	}
+	orig := as.alloc.ByPFN(pte.PFN)
+	wperm := vm.PermBits(v.prot)
+	if pte.Perm&pagetable.PermW != 0 {
+		// Another core already privatized this page; just adopt.
+		as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntry(pte))
+		return true
+	}
+	nf := vm.CopyCOWFrame(cpu, as.alloc, orig)
+	if !as.mmu.PageTable().Replace(cpu, vpn, pte, nf.PFN, wperm) {
+		// Lost the race to a concurrent breaker: discard our copy and
+		// adopt whatever is installed now (the winner's ref on orig was
+		// moved by the winner; ours never moved).
+		as.alloc.DecRef(cpu, nf)
+		if cur, ok2 := as.mmu.PageTable().Lookup(cpu, vpn); ok2 {
+			as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntry(cur))
+		}
+		return true
+	}
+	// The page table's reference moved from the shared frame to the copy.
+	as.alloc.DecRef(cpu, orig)
+	// Stale read-only translations of the old frame may be cached
+	// anywhere; Linux can only broadcast.
+	as.mmu.ShootdownTLBOnly(cpu, vpn, vpn+1, as.activeSet())
+	as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntryFor(nf.PFN, v.prot))
+	return true
+}
+
 // Access implements vm.System.
 func (as *AddressSpace) Access(cpu *hw.CPU, vpn uint64, write bool) error {
+	return as.access(cpu, vpn, vm.KindOf(write))
+}
+
+// Fetch implements vm.System: an exec-checked access, sharing the same
+// TLB/walk/fault pipeline as Access.
+func (as *AddressSpace) Fetch(cpu *hw.CPU, vpn uint64) error {
+	return as.access(cpu, vpn, vm.KindExec)
+}
+
+func (as *AddressSpace) access(cpu *hw.CPU, vpn uint64, k vm.Kind) error {
 	as.noteActive(cpu)
 	t := as.mmu.TLB(cpu.ID())
 	if e, ok := t.Lookup(vpn); ok {
-		if (write && e.Writable) || (!write && e.Readable) {
+		if vm.TLBAllows(e, k) {
 			cpu.Tick(vm.AccessCost)
 			return nil
 		}
 		cpu.Stats().ProtFaults++
-		return as.pageFault(cpu, vpn, write, true) // permission trap from the TLB
+		return as.pageFault(cpu, vpn, k, true) // permission trap from the TLB
 	}
 	if pte, ok := as.mmu.Lookup(cpu, vpn); ok {
-		if (write && !pte.Writable()) || (!write && !pte.Readable()) {
+		if !vm.PTEAllows(pte, k) {
 			cpu.Stats().ProtFaults++
-			return as.pageFault(cpu, vpn, write, true) // permission trap from the walk
+			return as.pageFault(cpu, vpn, k, true) // permission trap from the walk
 		}
 		cpu.Tick(vm.WalkCost)
 		t.Insert(vpn, vm.TLBEntry(pte))
@@ -321,5 +470,5 @@ func (as *AddressSpace) Access(cpu *hw.CPU, vpn uint64, write bool) error {
 		}
 		t.FlushPage(vpn)
 	}
-	return as.PageFault(cpu, vpn, write)
+	return as.pageFault(cpu, vpn, k, false)
 }

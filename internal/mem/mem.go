@@ -35,6 +35,13 @@ type Frame struct {
 	obj  refcache.Obj  // embedded count, reinitialized per lifetime
 	data []byte        // lazily materialized contents
 	line hw.Line       // the frame's first data line (write tracking)
+
+	// cowShares counts the copy-on-write mappings currently referencing
+	// this frame — the role struct page's mapcount plays in a real COW
+	// break. Unlike the reference count it is an eagerly shared atomic,
+	// which is fine because it is touched only by fork, COW breaks, and
+	// unmaps of still-COW pages, never by the per-access hot path.
+	cowShares atomic.Int32
 }
 
 // Data returns the frame's backing bytes, materializing them on first use.
@@ -44,6 +51,38 @@ func (f *Frame) Data() []byte {
 		f.data = make([]byte, PageSize)
 	}
 	return f.data
+}
+
+// CopyFrom copies src's materialized contents into f — the data half of a
+// COW break. Frames without materialized bytes (most simulated workloads)
+// copy nothing; the cycle cost is the caller's to charge. Safe to call
+// while other cores also read src (concurrent breakers of one frame), but
+// not while anyone writes it — which the COW protocol guarantees, since a
+// writer must first finish its own break.
+func (f *Frame) CopyFrom(src *Frame) {
+	if src.data == nil {
+		return
+	}
+	copy(f.Data(), src.data)
+}
+
+// AddCOWShares records n more copy-on-write mappings of f (fork: parent and
+// child, or just the new child when the parent's mapping was already COW).
+// Charged as a write to the frame's line: fork touches every shared frame's
+// bookkeeping, exactly as a real fork touches every struct page.
+func (f *Frame) AddCOWShares(cpu *hw.CPU, n int32) {
+	cpu.Write(&f.line)
+	f.cowShares.Add(n)
+}
+
+// COWShares returns the number of COW mappings currently referencing f.
+func (f *Frame) COWShares() int32 { return f.cowShares.Load() }
+
+// DropCOWShare removes one COW mapping of f (a break that copied the frame
+// or took ownership, or an unmap of a still-COW page).
+func (f *Frame) DropCOWShare(cpu *hw.CPU) {
+	cpu.Write(&f.line)
+	f.cowShares.Add(-1)
 }
 
 // Allocator hands out reference-counted frames with per-core free lists.
@@ -108,6 +147,13 @@ func (a *Allocator) Alloc(cpu *hw.CPU) *Frame {
 	a.rc.InitObj(&f.obj, 1, a.freeFn)
 	f.obj.Data = f
 	f.Obj = &f.obj
+	f.cowShares.Store(0)
+	if f.data != nil {
+		// The zeroing this call charges below must be real for recycled
+		// frames with materialized contents, or a new lifetime would read
+		// the previous one's bytes.
+		clear(f.data)
+	}
 	cpu.Tick(a.pageZero)
 	cpu.Stats().PagesZeroed++
 	a.allocated.Add(1)

@@ -246,6 +246,40 @@ func (pt *PageTable) UnmapRangeFunc(cpu *hw.CPU, lo, hi uint64, fn func(vpn, pfn
 	return cleared
 }
 
+// ForEachRange invokes fn for every present entry in [lo, hi) without
+// modifying the table — how fork walks the parent's translations to copy
+// them into the child and downgrade them in place. Each visited leaf line
+// is charged as a read.
+func (pt *PageTable) ForEachRange(cpu *hw.CPU, lo, hi uint64, fn func(vpn uint64, pte PTE)) {
+	for vpn := lo; vpn < hi; vpn++ {
+		n := pt.walk(cpu, vpn, false)
+		if n == nil {
+			vpn |= EntriesPerNode - 1 // jump to end of this leaf span
+			continue
+		}
+		i := idxAt(vpn, 0)
+		cpu.Read(n.line(i))
+		if raw := n.ptes[i].Load(); raw&rawPresent != 0 {
+			fn(vpn, unpack(raw))
+		}
+	}
+}
+
+// Replace atomically swaps vpn's entry from old to (pfn, perm), reporting
+// whether it installed. COW breaks on a shared table race here: two cores
+// resolving the same page each prepare a private copy, and exactly one
+// wins — the loser discards its copy and adopts the winner's (the role the
+// per-PTE lock plays in Linux).
+func (pt *PageTable) Replace(cpu *hw.CPU, vpn uint64, old PTE, pfn uint64, perm Perm) bool {
+	n := pt.walk(cpu, vpn, false)
+	if n == nil {
+		return false
+	}
+	i := idxAt(vpn, 0)
+	cpu.Write(n.line(i))
+	return n.ptes[i].CompareAndSwap(pack(old.PFN, old.Perm), pack(pfn, perm))
+}
+
 // ProtectRange rewrites the permission bits of every present entry in
 // [lo, hi) — the PTE half of an mprotect: translations stay installed (no
 // re-fault needed for still-permitted accesses once TLBs are flushed), only

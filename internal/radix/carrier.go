@@ -65,6 +65,7 @@ func (t *Tree[V]) getCarrier(cpu *hw.CPU) *valCarrier[V] {
 		c.next = nil
 		return c
 	}
+	t.carriersEver.Add(1)
 	c := &valCarrier[V]{}
 	c.st = slotState[V]{val: &c.val, carrier: c}
 	return c
@@ -88,3 +89,9 @@ func (t *Tree[V]) retireCarrier(cpu *hw.CPU, c *valCarrier[V]) {
 func (t *Tree[V]) CarrierPoolSize(cpu *hw.CPU) int {
 	return t.carriers[cpu.ID()].n
 }
+
+// CarriersEver returns the number of value carriers ever heap-allocated —
+// the carrier-leak tripwire: a steady-state remap cycle (including the
+// fold-heavy kind whose expansions used to orphan carriers) must stop
+// growing this counter once its pools are warm.
+func (t *Tree[V]) CarriersEver() int64 { return t.carriersEver.Load() }

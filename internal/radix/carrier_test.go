@@ -126,6 +126,53 @@ func TestCarrierReplaceRetires(t *testing.T) {
 	}
 }
 
+// TestFoldedExpansionRetiresCarrier is the regression for the ROADMAP
+// carrier-leak item: a fold-heavy remap cycle — mmap a slot-aligned range
+// (its template rides in one carrier adopted by the folded interior slot),
+// fault one page (expanding the fold; the carrier's value becomes the
+// child's uniform fill), then munmap — used to orphan the carrier to the
+// GC on every cycle. The expansion must instead retire it to the
+// expanding CPU's pool: steady-state cycles allocate no new carriers and
+// the pool's population is stable.
+func TestFoldedExpansionRetiresCarrier(t *testing.T) {
+	m, rc, tr := newCopyTree(1)
+	c := m.CPU(0)
+	lo := span(1) * 12 // slot-aligned: folds into one level-1 slot
+	tmpl := &val{x: 6}
+	cycle := func() {
+		r := tr.LockRange(c, lo, lo+span(1))
+		if len(r.Entries()) != 1 {
+			t.Fatalf("aligned range locked %d entries, want 1 folded", len(r.Entries()))
+		}
+		r.Entry(0).SetClone(tmpl) // one carrier adopted by the folded slot
+		r.Unlock()
+		r = tr.LockPage(c, lo+5) // expandToward: the folded slot expands
+		r.Entry(0).Value().x = 7
+		r.Unlock()
+		r = tr.LockRange(c, lo, lo+span(1)) // munmap: clear everything
+		for i := range r.Entries() {
+			r.Entry(i).Set(nil)
+		}
+		r.Unlock()
+		quiesce(rc) // let the emptied nodes recycle
+	}
+	cycle() // warm: pools primed
+	pool := tr.CarrierPoolSize(c)
+	ever := tr.CarriersEver()
+	for k := 0; k < 50; k++ {
+		cycle()
+		if n := tr.CarrierPoolSize(c); n != pool {
+			t.Fatalf("cycle %d: carrier pool %d, want stable %d", k, n, pool)
+		}
+	}
+	if grew := tr.CarriersEver() - ever; grew != 0 {
+		t.Errorf("fold-heavy remap cycles allocated %d fresh carriers, want 0 (orphaned by expansion)", grew)
+	}
+	if n := tr.PlateauOverflows(); n != 0 {
+		t.Errorf("plateau overflows = %d, want 0", n)
+	}
+}
+
 // TestSetCloneOnSharedTreeFallsBack: SetClone on a non-copy tree behaves
 // exactly like Set(Clone(v)).
 func TestSetCloneOnSharedTreeFallsBack(t *testing.T) {

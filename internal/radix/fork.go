@@ -1,0 +1,282 @@
+package radix
+
+import (
+	"runtime"
+
+	"radixvm/internal/hw"
+)
+
+// Tree.Fork structurally clones a tree — the radix half of an address-space
+// fork. The paper's protocol applies: fork is a whole-address-space
+// operation, so it acquires every slot lock bit in the tree, strictly
+// left-to-right in the same global order every Range operation uses
+// (ascending VPN, parent slot before the child node covering the same
+// VPNs), holds them all while copying, and releases right-to-left. Any
+// concurrent mmap/munmap/pagefault therefore serializes with the fork at
+// the leftmost slot both touch, exactly as two overlapping Ranges would.
+//
+// The child preserves the parent's uniform/diverged representation without
+// materializing anything on either side: a parent node's unmaterialized
+// slots are covered by acquiring their packed bit words directly (their
+// virtual-time wait comes from the node's uniform gate table, consulted
+// once per node), and the child mirrors exactly the slot groups the parent
+// has materialized — uniform parent nodes yield uniform children, so
+// forking a large, mostly-folded address space copies compact headers, not
+// 8 KB pages of slots.
+
+// forkLocked records one locked source node and the forker's arrival time
+// at it (the start of the node's fork busy period).
+type forkLocked[V any] struct {
+	n      *node[V]
+	arrive uint64
+}
+
+type forkCtx[V any] struct {
+	nt     *Tree[V]
+	visit  func(lo, hi uint64, src, dst *V)
+	locked []forkLocked[V]
+	pins   []*node[V]
+}
+
+// Fork clones t's mapped structure into a fresh tree of the same kind on
+// the same machine and Refcache domain. visit is invoked once per distinct
+// stored value with the VPN range it covers: leaf slots get one page,
+// folded interior slots their whole span, and a uniform node's shared fill
+// is visited once for the node's entire range (its logical per-slot copies
+// are identical by construction, so one visit covers them all). src is the
+// parent's value — mutable in place, since fork holds every lock bit — and
+// dst the child's fresh copy. On cloneShared trees src and dst are the
+// same pointer (values are shared by construction).
+func (t *Tree[V]) Fork(cpu *hw.CPU, visit func(lo, hi uint64, src, dst *V)) *Tree[V] {
+	nt := treeShell(t.m, t.rc, t.clone, t.kind)
+	ctx := &forkCtx[V]{nt: nt, visit: visit}
+	nt.root = t.forkNode(cpu, ctx, t.root, 1) // +1: the root's immortal ref
+	for i := len(ctx.locked) - 1; i >= 0; i-- {
+		ctx.locked[i].n.forkUnlock(cpu, ctx.locked[i].arrive)
+	}
+	for i := len(ctx.pins) - 1; i >= 0; i-- {
+		t.unpin(cpu, ctx.pins[i])
+	}
+	return nt
+}
+
+// forkNode locks src's slots left-to-right (descending into child nodes in
+// slot order, which keeps the global acquisition order consistent with
+// lockIn's and so deadlock-free) and builds the child tree's counterpart.
+// The locks stay held — Fork releases them all at the end, right-to-left —
+// so the copy is an atomic snapshot. extra is added to the new node's
+// reference count (the root's immortal reference).
+func (t *Tree[V]) forkNode(cpu *hw.CPU, ctx *forkCtx[V], src *node[V], extra int64) *node[V] {
+	arrive := cpu.Now()
+	// Unmaterialized slots' bits carry no per-slot gates; their pending
+	// virtual-time state lives in the node's uniform plateau table. Wait
+	// out its latest busy period once, under the usual overlap rule.
+	src.matMu.Lock()
+	if u := &src.uni; u.n > 0 {
+		if f := u.free[u.n-1]; f > arrive && arrive >= u.busyStart {
+			cpu.AdvanceTo(f)
+		}
+	}
+	src.matMu.Unlock()
+	ctx.locked = append(ctx.locked, forkLocked[V]{n: src, arrive: arrive})
+
+	nt := ctx.nt
+	dst := nt.cloneShell(cpu, src)
+	var used int64
+	if dst.uniSt != nil {
+		used = SlotsPerNode
+		hi := src.base + uint64(SlotsPerNode)*span(src.level)
+		ctx.visit(src.base, hi, src.uniSt.val, dst.uniSt.val)
+	}
+	sp := span(src.level)
+	for idx := 0; idx < SlotsPerNode; idx++ {
+		gi := idx / slotsPerLine
+		j := idx % slotsPerLine
+		mask := uint64(1) << (uint(idx) & 63)
+		w := &src.bits[idx>>6]
+		g := src.groups[gi].Load()
+		if g != nil {
+			cpu.Write(&g.line)
+			cpu.AcquireBitIn(w, mask, &g.gates[j])
+		} else {
+			// No group: the bit is normally free (held groupless bits
+			// exist only transiently, mid-expansion); spin out any such
+			// holder. The uniform gate wait above covered the virtual
+			// cost; no line exists to charge, in keeping with the
+			// copy-on-diverge rule that untouched slots cost nothing.
+			for {
+				old := w.Load()
+				if old&mask == 0 {
+					if w.CompareAndSwap(old, old|mask) {
+						break
+					}
+					continue
+				}
+				runtime.Gosched()
+			}
+			// A concurrent locker may have materialized the group while
+			// we raced for the bit; re-read so the state load sees it.
+			g = src.groups[gi].Load()
+		}
+
+		var st *slotState[V]
+		if g != nil {
+			st = g.sts[j].Load()
+		} else {
+			st = src.uniSt
+		}
+		switch {
+		case st == nil:
+			if dst.uniSt != nil {
+				// src diverged this slot to empty; dst must too.
+				dg := dst.forkGroup(nt, gi)
+				storePlain(&dg.sts[j], nil)
+				used--
+			}
+		case st.child != nil:
+			child := t.loadChild(cpu, src, idx, st)
+			if child == nil {
+				// The child died mid-reclaim; the slot is now empty.
+				if dst.uniSt != nil {
+					dg := dst.forkGroup(nt, gi)
+					storePlain(&dg.sts[j], nil)
+					used--
+				}
+				continue
+			}
+			ctx.pins = append(ctx.pins, child)
+			dchild := t.forkNode(cpu, ctx, child, 0)
+			dchild.parent = dst
+			dchild.parentIdx = idx
+			dg := dst.forkGroup(nt, gi)
+			dg.slab[j] = slotState[V]{child: dchild.obj}
+			storePlain(&dg.sts[j], &dg.slab[j])
+			if dst.uniSt == nil {
+				used++
+			}
+		case g == nil:
+			// Uniform fill: already represented (and visited) by dst's
+			// header; nothing diverges.
+		default:
+			// A materialized value slot: give dst its own copy in the
+			// mirrored group.
+			dg := dst.forkGroup(nt, gi)
+			var dv *V
+			switch t.kind {
+			case cloneShared:
+				dv = st.val
+				dg.slab[j] = slotState[V]{val: dv}
+			case cloneCopy:
+				dg.vals[j] = *st.val
+				dv = &dg.vals[j]
+				dg.slab[j] = slotState[V]{val: dv}
+			default:
+				dv = t.clone(st.val)
+				dg.slab[j] = slotState[V]{val: dv}
+			}
+			storePlain(&dg.sts[j], &dg.slab[j])
+			lo := src.slotBase(idx)
+			ctx.visit(lo, lo+sp, st.val, dv)
+			if dst.uniSt == nil {
+				used++
+			}
+		}
+	}
+	dst.obj = nt.rc.NewObj(used+extra, freeNode[V])
+	dst.obj.Data = dst
+	return dst
+}
+
+// cloneShell builds the child-tree counterpart of src: same level and
+// base, a kind-appropriate copy of the uniform fill, no groups beyond the
+// ones the caller mirrors slot by slot. t is the child tree. The pageZero
+// tick is the fork's per-node metadata copy cost (the paper's fork copies
+// the radix page itself).
+func (t *Tree[V]) cloneShell(cpu *hw.CPU, src *node[V]) *node[V] {
+	n := t.getNode(cpu)
+	if n == nil {
+		n = &node[V]{}
+	}
+	n.tree = t
+	n.level = src.level
+	n.base = src.base
+	n.uni = uniformGates{}
+	if src.uniSt != nil {
+		switch t.kind {
+		case cloneCopy:
+			n.uniVal = *src.uniSt.val
+			n.uniStore = slotState[V]{val: &n.uniVal}
+		case cloneShared:
+			n.uniStore = slotState[V]{val: src.uniSt.val}
+		default:
+			n.uniStore = slotState[V]{val: t.clone(src.uniSt.val)}
+		}
+		n.uniSt = &n.uniStore
+	} else {
+		n.uniSt = nil
+	}
+	// A pooled node may carry recycled groups where src has none; drop
+	// them so the child's materialization shape is exactly the parent's.
+	for gi := range n.groups {
+		if g := n.groups[gi].Load(); g != nil && src.groups[gi].Load() == nil {
+			n.groups[gi].Store(nil)
+			t.groupsLive.Add(-1)
+		}
+	}
+	cpu.Tick(t.pageZero)
+	t.nodesLive.Add(1)
+	t.nodesEver.Add(1)
+	return n
+}
+
+// forkGroup returns dst's group gi, creating it zeroed if absent (a fresh
+// child group's gates start free, as in a brand-new address space). Unlike
+// materialize it does not pre-fill slot states: forkNode overwrites every
+// slot of a mirrored group explicitly.
+func (n *node[V]) forkGroup(nt *Tree[V], gi int) *slotGroup[V] {
+	if g := n.groups[gi].Load(); g != nil {
+		return g
+	}
+	g := new(slotGroup[V])
+	n.groups[gi].Store(g)
+	nt.groupsEver.Add(1)
+	nt.groupsLive.Add(1)
+	return g
+}
+
+// forkUnlock releases every slot bit of n at the end of a fork. The
+// uniform gate table is rewritten to one merged busy period — begun at the
+// fork's arrival (or the table's earlier busyStart) and free now — which
+// is exactly the state per-slot gates would hold and can never overflow
+// the plateau capacity. Materialized groups release through their own
+// gates. A locker that materialized a group mid-fork restored its gates
+// from the pre-merge table; it may under-wait the fork's critical section
+// in virtual time, an accepted inversion of the same class waitGate's
+// pass-through rule documents.
+func (n *node[V]) forkUnlock(cpu *hw.CPU, arrive uint64) {
+	now := cpu.Now()
+	n.matMu.Lock()
+	merged := uniformGates{busyStart: arrive, n: 1}
+	merged.free[0] = now
+	if u := &n.uni; u.n > 0 {
+		if u.busyStart < merged.busyStart {
+			merged.busyStart = u.busyStart
+		}
+		if f := u.free[u.n-1]; f > now {
+			merged.free[0] = f
+		}
+	}
+	n.uni = merged
+	for gi := groupsPerNode - 1; gi >= 0; gi-- {
+		base := gi * slotsPerLine
+		if g := n.groups[gi].Load(); g != nil {
+			for j := slotsPerLine - 1; j >= 0; j-- {
+				idx := base + j
+				cpu.ReleaseBitIn(&n.bits[idx>>6], uint64(1)<<(uint(idx)&63), &g.gates[j])
+			}
+		} else {
+			n.bits[base>>6].And(^(uint64(0xF) << (uint(base) & 63)))
+		}
+	}
+	n.matMu.Unlock()
+}

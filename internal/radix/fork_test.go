@@ -1,0 +1,145 @@
+package radix
+
+import (
+	"sync"
+	"testing"
+
+	"radixvm/internal/hw"
+)
+
+// TestForkClonesValues: the child sees exactly the parent's mappings —
+// folded, uniform-filled, and per-slot diverged alike — as private copies,
+// and visit reports every distinct value with its range.
+func TestForkClonesValues(t *testing.T) {
+	m, _, tr := newCopyTree(1)
+	c := m.CPU(0)
+	// A folded aligned subtree, a few scattered leaves, and a diverged
+	// page inside the fold.
+	lo := span(1) * 8
+	r := tr.LockRange(c, lo, lo+span(1))
+	r.Entry(0).SetClone(&val{x: 3})
+	r.Unlock()
+	for _, vpn := range []uint64{7, 1000, span(2) + 5} {
+		r = tr.LockPage(c, vpn)
+		v := val{x: int(vpn)}
+		r.Entry(0).SetClone(&v)
+		r.Unlock()
+	}
+	r = tr.LockPage(c, lo+9)
+	r.Entry(0).Value().x = 42
+	r.Unlock()
+
+	visited := 0
+	child := tr.Fork(c, func(flo, fhi uint64, src, dst *val) {
+		visited++
+		if src.x != dst.x {
+			t.Errorf("visit [%d,%d): src x=%d, dst x=%d", flo, fhi, src.x, dst.x)
+		}
+	})
+	if visited == 0 {
+		t.Fatal("visit never called")
+	}
+	// Child matches the parent everywhere.
+	for _, vpn := range []uint64{7, 1000, span(2) + 5, lo, lo + 9, lo + 100} {
+		p, ch := tr.Lookup(c, vpn), child.Lookup(c, vpn)
+		switch {
+		case p == nil && ch == nil:
+		case p == nil || ch == nil:
+			t.Fatalf("vpn %d: parent=%v child=%v", vpn, p, ch)
+		case p.x != ch.x:
+			t.Fatalf("vpn %d: parent x=%d child x=%d", vpn, p.x, ch.x)
+		}
+	}
+	if got := child.Lookup(c, lo+9); got == nil || got.x != 42 {
+		t.Fatalf("diverged page in fold: child sees %+v, want x=42", got)
+	}
+	// Copies are private in both directions.
+	r = child.LockPage(c, 1000)
+	r.Entry(0).Value().x = -1
+	r.Unlock()
+	if tr.Lookup(c, 1000).x != 1000 {
+		t.Fatal("child mutation leaked into the parent")
+	}
+	r = tr.LockPage(c, 7)
+	r.Entry(0).Value().x = -2
+	r.Unlock()
+	if child.Lookup(c, 7).x != 7 {
+		t.Fatal("parent mutation leaked into the child")
+	}
+	// The parent's locks are all released: a whole-space range lock works.
+	r = tr.LockRange(c, lo, lo+span(1))
+	r.Unlock()
+}
+
+// TestForkPreservesCompactness: forking a mostly-uniform tree must not
+// materialize slot groups on either side beyond what the parent already
+// diverged — the whole point of the structural clone over a replay of
+// per-slot writes.
+func TestForkPreservesCompactness(t *testing.T) {
+	m, _, tr := newCopyTree(1)
+	c := m.CPU(0)
+	lo := span(1) * 4
+	r := tr.LockRange(c, lo, lo+span(1)) // one folded interior slot
+	r.Entry(0).SetClone(&val{x: 1})
+	r.Unlock()
+	before := tr.GroupsEver()
+	child := tr.Fork(c, func(_, _ uint64, _, _ *val) {})
+	if grew := tr.GroupsEver() - before; grew != 0 {
+		t.Errorf("fork materialized %d parent groups, want 0", grew)
+	}
+	// The child mirrors the parent's diverged groups exactly (the only
+	// groups the parent has are the root's and the L2 node's slots holding
+	// the child link / folded value).
+	if pg, cg := countLiveGroups(tr), countLiveGroups(child); cg > pg {
+		t.Errorf("child materialized %d groups, parent has %d — clone must not diverge further", cg, pg)
+	}
+	if got := child.Lookup(c, lo+5); got == nil || got.x != 1 {
+		t.Fatalf("child folded value = %+v, want x=1", got)
+	}
+}
+
+func countLiveGroups[V any](t *Tree[V]) int64 { return t.groupsLive.Load() }
+
+// TestForkVsConcurrentLockRange races a fork against range lock/write
+// cycles in a disjoint and an overlapping region: no deadlock, no torn
+// snapshot (the child must hold either the old or the new value of each
+// whole range, never a mix within one folded write).
+func TestForkVsConcurrentLockRange(t *testing.T) {
+	m, rc, tr := newCopyTree(2)
+	c0, c1 := m.CPU(0), m.CPU(1)
+	seed := func(c *hw.CPU, lo, n uint64, x int) {
+		r := tr.LockRange(c, lo, lo+n)
+		v := val{x: x}
+		for i := range r.Entries() {
+			r.Entry(i).SetClone(&v)
+		}
+		r.Unlock()
+	}
+	seed(c0, 100, 8, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 50; k++ {
+			seed(c1, 100, 8, 10+k) // overlaps the forked range
+			seed(c1, 5000, 4, k)   // disjoint
+			rc.Maintain(c1)
+		}
+	}()
+	for k := 0; k < 20; k++ {
+		child := tr.Fork(c0, func(_, _ uint64, _, _ *val) {})
+		// Snapshot atomicity: within [100,108) all pages carry one value.
+		first := child.Lookup(c0, 100)
+		if first == nil {
+			t.Fatalf("fork %d: seeded page missing", k)
+		}
+		for vpn := uint64(101); vpn < 108; vpn++ {
+			got := child.Lookup(c0, vpn)
+			if got == nil || got.x != first.x {
+				t.Fatalf("fork %d: torn snapshot at %d: %v vs %v", k, vpn, got, first)
+			}
+		}
+		rc.Maintain(c0)
+	}
+	wg.Wait()
+}

@@ -131,6 +131,13 @@ func (t *Tree[V]) lockIn(r *Range[V], n *node[V], lo, hi uint64) {
 // slot's folded value and whose lock bits are all held by the caller. The
 // parent's lock bit is released after the child is installed (§3.4). The
 // returned child carries one traversal pin for the caller.
+//
+// A carrier-backed folded value (a slot Mmap wrote through SetClone) is
+// retired to the expanding CPU's pool once the child is installed: the
+// child's uniform fill is a node-owned copy of the value (see newNode), so
+// nothing references the carrier's storage anymore. Without this the
+// carrier would be orphaned to the GC and every fold-expand remap cycle
+// would allocate a fresh one.
 func (t *Tree[V]) expand(cpu *hw.CPU, n *node[V], idx int, st *slotState[V]) *node[V] {
 	var fill *V
 	if st != nil {
@@ -147,6 +154,8 @@ func (t *Tree[V]) expand(cpu *hw.CPU, n *node[V], idx int, st *slotState[V]) *no
 	cpu.Write(n.line(idx))
 	if st == nil {
 		t.rc.Inc(cpu, n.obj) // slot went empty -> used
+	} else if st.carrier != nil {
+		t.retireCarrier(cpu, st.carrier)
 	}
 	n.release(cpu, idx)
 	return child

@@ -76,10 +76,12 @@ func (t *Tree[V]) recycle(cpu *hw.CPU, n *node[V]) {
 		t.groupsLive.Add(-countGroups(n))
 		return
 	}
+	var zeroV V
 	n.parent = nil
 	n.obj = nil
 	n.uniSt = nil
 	n.uniStore = slotState[V]{}
+	n.uniVal = zeroV // drop value references for the GC
 	n.uni = uniformGates{}
 	dropAll := countGroups(n) > poolGroupCap
 	for gi := range n.groups {

@@ -125,6 +125,7 @@ type Tree[V any] struct {
 	nodesEver        atomic.Int64
 	groupsEver       atomic.Int64 // slot groups materialized (fresh allocations)
 	groupsLive       atomic.Int64 // slot groups currently attached to live or pooled nodes
+	carriersEver     atomic.Int64 // value carriers heap-allocated (see CarriersEver)
 	plateauOverflows atomic.Int64 // bulk releases that exceeded maxPlateaus (see PlateauOverflows)
 }
 
@@ -210,9 +211,14 @@ type node[V any] struct {
 	// empty node). It is written only while the node is unpublished and
 	// immutable afterwards: post-publication writes go through a slot's
 	// materialized group. uniStore is its embedded backing, so uniform
-	// construction allocates nothing beyond the node itself.
+	// construction allocates nothing beyond the node itself. On cloneCopy
+	// trees the fill value itself is copied into the embedded uniVal, so
+	// the node never aliases caller-owned storage — in particular not a
+	// value carrier's, which lets folded-slot expansion retire the carrier
+	// it just expanded instead of orphaning it to the GC.
 	uniSt    *slotState[V]
 	uniStore slotState[V]
+	uniVal   V
 
 	// matMu serializes group materialization against uniform-gate
 	// updates (bulk lock-bit releases). Taken once per group lifetime
@@ -473,7 +479,16 @@ func NewCopy[V any](m *hw.Machine, rc *refcache.Refcache) *Tree[V] {
 }
 
 func buildTree[V any](m *hw.Machine, rc *refcache.Refcache, clone func(*V) *V, kind cloneKind) *Tree[V] {
-	t := &Tree[V]{
+	t := treeShell(m, rc, clone, kind)
+	t.root = t.newNode(nil, Levels-1, 0, nil, 0, false)
+	// The root is permanent: its object holds one immortal reference.
+	return t
+}
+
+// treeShell builds a tree without its root — shared by buildTree and Fork,
+// whose root is a structural clone rather than an empty node.
+func treeShell[V any](m *hw.Machine, rc *refcache.Refcache, clone func(*V) *V, kind cloneKind) *Tree[V] {
+	return &Tree[V]{
 		m:        m,
 		rc:       rc,
 		clone:    clone,
@@ -483,9 +498,6 @@ func buildTree[V any](m *hw.Machine, rc *refcache.Refcache, clone func(*V) *V, k
 		ranges:   make([]*Range[V], m.NCores()),
 		carriers: make([]carrierPool[V], m.NCores()),
 	}
-	t.root = t.newNode(nil, Levels-1, 0, nil, 0, false)
-	// The root is permanent: its object holds one immortal reference.
-	return t
 }
 
 // newNode allocates (or recycles) a node at the given level whose slots
@@ -513,7 +525,14 @@ func (t *Tree[V]) newNode(cpu *hw.CPU, level int, base uint64, fill *V, used int
 	n.level = level
 	n.base = base
 	if fill != nil {
-		n.uniStore = slotState[V]{val: fill}
+		if t.kind == cloneCopy {
+			// Copy the fill into node-owned storage: the caller's value
+			// (often a carrier's, see expand) stays free to be recycled.
+			n.uniVal = *fill
+			n.uniStore = slotState[V]{val: &n.uniVal}
+		} else {
+			n.uniStore = slotState[V]{val: fill}
+		}
 		n.uniSt = &n.uniStore
 	} else {
 		n.uniSt = nil

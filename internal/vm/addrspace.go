@@ -4,6 +4,7 @@ import (
 	"radixvm/internal/counter"
 	"radixvm/internal/hw"
 	"radixvm/internal/mem"
+	"radixvm/internal/pagetable"
 	"radixvm/internal/radix"
 	"radixvm/internal/refcache"
 )
@@ -22,10 +23,27 @@ type Mapping struct {
 	Back  Backing
 	Start uint64 // first VPN of the mmap that created this metadata
 
+	// COW marks an anonymous page whose frame is shared with another
+	// address space (set by Fork on both sides): installed translations
+	// stay read-only regardless of Prot, and the first write fault
+	// resolves it — copying the frame, or taking ownership when this
+	// mapping is the last COW share standing.
+	COW bool
+
 	// Set only on per-page (leaf) copies, by pagefault:
 	Frame    *mem.Frame
 	TLBCores hw.CoreSet
 	altCtr   counter.Counter
+}
+
+// permBits returns the hardware rights a translation for m may carry: the
+// mapping's protection, minus write while the page is copy-on-write.
+func (m *Mapping) permBits() pagetable.Perm {
+	perm := PermBits(m.Prot)
+	if m.COW {
+		perm &^= pagetable.PermW
+	}
+	return perm
 }
 
 // AddressSpace is a RadixVM address space.
@@ -166,6 +184,7 @@ func (as *AddressSpace) Mprotect(cpu *hw.CPU, vpn, npages uint64, prot Prot) err
 	var targets hw.CoreSet
 	revoked := false
 	hole := false
+	cow := false
 	for i := range r.Entries() {
 		e := r.Entry(i)
 		v := e.Value()
@@ -176,6 +195,9 @@ func (as *AddressSpace) Mprotect(cpu *hw.CPU, vpn, npages uint64, prot Prot) err
 		old := v.Prot
 		v.Prot = prot
 		e.Set(v) // same pointer: updates in place, no allocation
+		if v.COW {
+			cow = true
+		}
 		if old&^prot != 0 && v.Frame != nil {
 			// Rights revoked on a faulted page: every core in the
 			// shootdown set may cache the old rights.
@@ -184,7 +206,15 @@ func (as *AddressSpace) Mprotect(cpu *hw.CPU, vpn, npages uint64, prot Prot) err
 		}
 	}
 	if revoked {
-		as.mmu.Protect(cpu, r.Lo, r.Hi, PermBits(prot), targets, as.activeSet())
+		perm := PermBits(prot)
+		if cow {
+			// The rewrite must not hand write permission back to a
+			// copy-on-write page. Stripping W from the whole range is
+			// safe for any non-COW neighbors: their next write traps and
+			// lazily re-fills with the mapping's full rights.
+			perm &^= pagetable.PermW
+		}
+		as.mmu.Protect(cpu, r.Lo, r.Hi, perm, targets, as.activeSet())
 	}
 	r.Unlock()
 	if hole {
@@ -212,6 +242,9 @@ func (as *AddressSpace) unmapLocked(cpu *hw.CPU, r *radix.Range[Mapping]) {
 		}
 		if v.Frame != nil {
 			frames = append(frames, v.Frame)
+			if v.COW {
+				v.Frame.DropCOWShare(cpu) // this COW mapping is going away
+			}
 			if v.altCtr != nil {
 				ctrs = append(ctrs, v.altCtr)
 			}
@@ -237,13 +270,13 @@ func (as *AddressSpace) unmapLocked(cpu *hw.CPU, r *radix.Range[Mapping]) {
 // the translation — carrying the mapping's current rights — in the local
 // core's page table, and record this core in the page's shootdown set.
 func (as *AddressSpace) PageFault(cpu *hw.CPU, vpn uint64, write bool) error {
-	return as.fault(cpu, vpn, kindOf(write), false)
+	return as.fault(cpu, vpn, KindOf(write), false)
 }
 
 // fault handles one page fault. trapped reports that a TLB permission
 // trap raised it (the caller already counted the ProtFault), so a denial
 // here must not count the same trap twice.
-func (as *AddressSpace) fault(cpu *hw.CPU, vpn uint64, k accessKind, trapped bool) error {
+func (as *AddressSpace) fault(cpu *hw.CPU, vpn uint64, k Kind, trapped bool) error {
 	cpu.Stats().PageFaults++
 	cpu.Tick(FaultCost)
 	as.noteActive(cpu)
@@ -255,13 +288,14 @@ func (as *AddressSpace) fault(cpu *hw.CPU, vpn uint64, k accessKind, trapped boo
 	if v == nil {
 		return ErrSegv // unmapped, or munmap got the lock first (§3.4)
 	}
-	if !v.Prot.allows(k) {
+	if !v.Prot.Permits(k) {
 		if !trapped {
 			cpu.Stats().ProtFaults++
 		}
 		return ErrProt // mapped, but the mapping forbids this access
 	}
-	if v.Frame == nil {
+	switch {
+	case v.Frame == nil:
 		if v.Back.File != nil {
 			fr, ctr := v.Back.File.Page(cpu, v.Back.Offset+(vpn-v.Start))
 			as.alloc.IncRef(cpu, fr)
@@ -272,11 +306,17 @@ func (as *AddressSpace) fault(cpu *hw.CPU, vpn uint64, k accessKind, trapped boo
 		} else {
 			v.Frame = as.alloc.Alloc(cpu)
 		}
-	} else {
+	case v.COW && k == KindWrite:
+		// The mapping permits the write but the frame is shared with a
+		// forked space: resolve the copy-on-write under the page's
+		// metadata lock (so breaks of one page serialize, as §3.4 locks
+		// everything else about a page).
+		as.breakCOW(cpu, vpn, v)
+	default:
 		cpu.Stats().FillFaults++
 		cpu.Tick(FillCost)
 	}
-	as.mmu.Fill(cpu, vpn, v.Frame.PFN, PermBits(v.Prot))
+	as.mmu.Fill(cpu, vpn, v.Frame.PFN, v.permBits())
 	v.TLBCores.Add(cpu.ID())
 	e.Set(v)
 	return nil
@@ -286,33 +326,23 @@ func (as *AddressSpace) fault(cpu *hw.CPU, vpn uint64, k accessKind, trapped boo
 // hardware walk of this core's page table, then page fault. A TLB or walk
 // hit whose cached rights forbid the access traps like a miss: the fault
 // handler consults the metadata and either re-fills with wider rights (an
-// mprotect upgrade being realized lazily) or reports ErrProt.
+// mprotect upgrade being realized lazily), resolves a copy-on-write, or
+// reports ErrProt.
 func (as *AddressSpace) Access(cpu *hw.CPU, vpn uint64, write bool) error {
-	return as.access(cpu, vpn, kindOf(write))
+	return as.access(cpu, vpn, KindOf(write))
 }
 
-// Fetch models an instruction fetch at vpn: like Access, but the
-// permission checked is ProtExec.
+// Fetch implements System: an instruction fetch at vpn — like Access, but
+// the permission checked is ProtExec.
 func (as *AddressSpace) Fetch(cpu *hw.CPU, vpn uint64) error {
-	return as.access(cpu, vpn, accessExec)
+	return as.access(cpu, vpn, KindExec)
 }
 
-func permits(k accessKind, r, w, x bool) bool {
-	switch k {
-	case accessWrite:
-		return w
-	case accessExec:
-		return x
-	default:
-		return r
-	}
-}
-
-func (as *AddressSpace) access(cpu *hw.CPU, vpn uint64, k accessKind) error {
+func (as *AddressSpace) access(cpu *hw.CPU, vpn uint64, k Kind) error {
 	as.noteActive(cpu)
 	t := as.mmu.TLB(cpu.ID())
 	if e, ok := t.Lookup(vpn); ok {
-		if permits(k, e.Readable, e.Writable, e.Exec) {
+		if TLBAllows(e, k) {
 			cpu.Tick(AccessCost)
 			return nil
 		}
@@ -323,7 +353,7 @@ func (as *AddressSpace) access(cpu *hw.CPU, vpn uint64, k accessKind) error {
 		return as.fault(cpu, vpn, k, true)
 	}
 	if pte, ok := as.mmu.Lookup(cpu, vpn); ok {
-		if !permits(k, pte.Readable(), pte.Writable(), pte.Executable()) {
+		if !PTEAllows(pte, k) {
 			// The walk found a translation lacking the needed right —
 			// the same permission trap the TLB branch raises.
 			cpu.Stats().ProtFaults++

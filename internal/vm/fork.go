@@ -1,0 +1,191 @@
+package vm
+
+import (
+	"radixvm/internal/hw"
+	"radixvm/internal/mem"
+	"radixvm/internal/pagetable"
+)
+
+// Fork implements System for RadixVM. The radix tree's fork path acquires
+// every slot lock bit (left-to-right, like any other range operation, so
+// concurrent mmap/munmap/pagefault serialize with it at the leftmost
+// overlapping slot), snapshots the metadata into a child tree that keeps
+// the parent's uniform/diverged compactness, and releases. Per copied
+// entry:
+//
+//   - Never-faulted metadata (including folded interior entries) copies as
+//     is; each side faults its own frames later, privately.
+//   - File-backed frames are shared outright — the child's copy is just
+//     another mapping of the page cache frame, so its reference count (and
+//     Figure 8 baseline counter, when present) is bumped.
+//   - Anonymous frames become copy-on-write on both sides: the mapping
+//     metadata is flagged COW, the frame's COW share count grows (by two
+//     the first time, one per additional fork), and write permission is
+//     revoked from the parent's installed translations — a §3.4-style
+//     write-protect shootdown targeted at exactly the cores the mapping
+//     metadata saw fault each page, so forking a space whose regions are
+//     core-local sends no IPIs at all. The baselines must broadcast here,
+//     which is what the fork figure measures.
+//
+// The child starts with no translations anywhere (fresh MMU), so only the
+// parent's side needs shootdowns.
+func (as *AddressSpace) Fork(cpu *hw.CPU) (System, error) {
+	cpu.Stats().Forks++
+	cpu.Tick(RadixSyscallCost)
+	as.noteActive(cpu)
+
+	child := &AddressSpace{
+		m:     as.m,
+		rc:    as.rc,
+		alloc: as.alloc,
+		mmu:   as.newChildMMU(),
+		tmpls: make([]*Mapping, as.m.NCores()),
+	}
+
+	// Contiguous runs of faulted, writable, newly-COW pages, write-
+	// protected in one MMU.Protect (= one shootdown round) per run.
+	type protRun struct {
+		lo, hi  uint64
+		perm    pagetable.Perm
+		targets hw.CoreSet
+	}
+	var runs []protRun
+
+	child.tree = as.tree.Fork(cpu, func(lo, hi uint64, src, dst *Mapping) {
+		dst.TLBCores = hw.CoreSet{} // a fresh space: nobody caches anything
+		if src.Frame == nil {
+			return // metadata-only copy
+		}
+		as.alloc.IncRef(cpu, src.Frame) // the child's reference
+		if src.altCtr != nil {
+			src.altCtr.Inc(cpu)
+		}
+		if src.Back.File != nil {
+			return // file pages stay shared and writable on both sides
+		}
+		dst.COW = true
+		if src.COW {
+			// Already shared with an earlier fork; the child joins.
+			src.Frame.AddCOWShares(cpu, 1)
+			return
+		}
+		src.COW = true
+		src.Frame.AddCOWShares(cpu, 2) // parent and child
+		if src.Prot&ProtWrite == 0 {
+			return // no writable translation can exist; nothing to revoke
+		}
+		perm := src.permBits() // COW just set: write already stripped
+		if n := len(runs); n > 0 && runs[n-1].hi == lo && runs[n-1].perm == perm {
+			runs[n-1].hi = hi
+			runs[n-1].targets.Union(src.TLBCores)
+		} else {
+			runs = append(runs, protRun{lo: lo, hi: hi, perm: perm, targets: src.TLBCores})
+		}
+	})
+	for i := range runs {
+		r := &runs[i]
+		as.mmu.Protect(cpu, r.lo, r.hi, r.perm, r.targets, as.activeSet())
+	}
+	return child, nil
+}
+
+// newChildMMU builds a fresh MMU of the same design as the parent's, so a
+// Figure 9 shared-table ablation forks shared-table children.
+func (as *AddressSpace) newChildMMU() MMU {
+	if _, shared := as.mmu.(*SharedMMU); shared {
+		return NewSharedMMU(as.m)
+	}
+	return NewPerCoreMMU(as.m)
+}
+
+// breakCOW resolves a write fault on a copy-on-write page. The caller
+// holds the page's metadata lock, so breaks of one page in one address
+// space serialize; breaks of the same frame from different address spaces
+// coordinate only through the frame's atomic COW share count. When this
+// mapping is the last COW share standing, it simply takes ownership — the
+// frame is copied exactly once per genuine sharing, never for the final
+// owner. Precise per-page metadata is what makes that safe here; the
+// baselines' region-granular metadata cannot prove soleness, so they
+// always copy.
+func (as *AddressSpace) breakCOW(cpu *hw.CPU, vpn uint64, v *Mapping) {
+	cpu.Stats().COWBreaks++
+	orig := v.Frame
+	v.COW = false
+	if n := orig.COWShares(); n <= 1 {
+		// Sole share left (or a share whose count already drained): own
+		// the frame in place. Other cores' cached read-only translations
+		// still map the right frame, so nothing needs shooting down; a
+		// writer among them traps and re-fills with full rights.
+		if n == 1 {
+			orig.DropCOWShare(cpu)
+		}
+		return
+	}
+	nf := as.alloc.Alloc(cpu) // the zeroing charge stands in for the copy
+	nf.CopyFrom(orig)
+	orig.DropCOWShare(cpu) // only after the copy: the last sharer writes in place
+	v.Frame = nf
+	// Cached translations elsewhere still map the copied-from frame;
+	// invalidate exactly those cores so their next access re-faults to
+	// the private copy. The caller re-adds this core after its fill.
+	targets := v.TLBCores
+	targets.Remove(cpu.ID())
+	if !targets.Empty() {
+		as.mmu.Shootdown(cpu, vpn, vpn+1, targets, as.activeSet())
+	}
+	v.TLBCores = hw.CoreSet{}
+	as.alloc.DecRef(cpu, orig)
+}
+
+// Span is one contiguous page range, as the baselines' fork passes its
+// anonymous regions to ForkCopyTranslations.
+type Span struct{ Lo, Hi uint64 }
+
+// ForkCopyTranslations is the page-table half of a baseline fork
+// (dup_mmap): for every present translation in the anonymous spans, take a
+// reference for the child's page table, install the translation there with
+// write permission stripped, and downgrade the parent's entry in place
+// when it was writable. Returns whether any write right was revoked plus
+// the bounding page range of the downgrades, so the caller can issue its
+// single conservative broadcast flush. The caller holds the parent's
+// address-space lock; the child is private.
+func ForkCopyTranslations(cpu *hw.CPU, alloc *mem.Allocator, parent, child *pagetable.PageTable, spans []Span) (revoked bool, lo, hi uint64) {
+	lo, hi = ^uint64(0), uint64(0)
+	for _, s := range spans {
+		parent.ForEachRange(cpu, s.Lo, s.Hi, func(vpn uint64, pte pagetable.PTE) {
+			f := alloc.ByPFN(pte.PFN)
+			if f == nil {
+				return
+			}
+			alloc.IncRef(cpu, f) // the child page table's reference
+			perm := pte.Perm &^ pagetable.PermW
+			child.Map(cpu, vpn, pte.PFN, perm)
+			if pte.Perm&pagetable.PermW != 0 {
+				parent.Map(cpu, vpn, pte.PFN, perm)
+				revoked = true
+				if vpn < lo {
+					lo = vpn
+				}
+				if vpn+1 > hi {
+					hi = vpn + 1
+				}
+			}
+		})
+	}
+	return revoked, lo, hi
+}
+
+// CopyCOWFrame is the baselines' copy-on-write resolution: allocate a
+// private frame and copy the contents. Unlike RadixVM's break it cannot
+// take sole ownership — region-granular metadata cannot prove no other
+// space still maps the frame — so it always copies (the behavior of
+// pre-reuse-optimization kernels, and safely over-conservative). No
+// reference moves here: the caller drops its reference to the shared
+// frame only once its page table actually points at the copy (a loser of
+// the PTE-swap race must instead discard the copy).
+func CopyCOWFrame(cpu *hw.CPU, alloc *mem.Allocator, orig *mem.Frame) *mem.Frame {
+	cpu.Stats().COWBreaks++
+	nf := alloc.Alloc(cpu) // the zeroing charge stands in for the copy
+	nf.CopyFrom(orig)
+	return nf
+}

@@ -1,0 +1,388 @@
+package vm_test
+
+import (
+	"errors"
+	"testing"
+
+	"radixvm/internal/hw"
+	"radixvm/internal/vm"
+)
+
+// TestForkCOWSemantics drives the canonical fork lifecycle on all three
+// systems: the child shares the parent's faulted anonymous frames until
+// first write, each written page is copied exactly once per side, repeat
+// writes copy nothing more, and teardown leaks no frames.
+func TestForkCOWSemantics(t *testing.T) {
+	const lo, npages = uint64(100), uint64(4)
+	for i := range systems(newWorld(2)) {
+		w := newWorld(2)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			c := m0(w)
+			must(t, sys.Mmap(c, lo, npages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+			for v := lo; v < lo+npages; v++ {
+				must(t, sys.Access(c, v, true))
+			}
+			base := w.alloc.Created()
+			childSys, err := sys.Fork(c)
+			must(t, err)
+			// Reads share: no frames materialize.
+			for v := lo; v < lo+npages; v++ {
+				must(t, childSys.Access(c, v, false))
+			}
+			if got := w.alloc.Created() - base; got != 0 {
+				t.Fatalf("child reads created %d frames, want 0 (COW shares)", got)
+			}
+			// First child write of each page copies exactly once.
+			for v := lo; v < lo+npages; v++ {
+				must(t, childSys.Access(c, v, true))
+			}
+			if got := w.alloc.Created() - base; got != int64(npages) {
+				t.Fatalf("child writes created %d frames, want %d (one copy per page)", got, npages)
+			}
+			// Repeat writes copy nothing.
+			for v := lo; v < lo+npages; v++ {
+				must(t, childSys.Access(c, v, true))
+			}
+			if got := w.alloc.Created() - base; got != int64(npages) {
+				t.Fatalf("repeat child writes grew frames to %d, want %d", got, npages)
+			}
+			// After fork, the parent's cached writable translations are
+			// gone: its next write must trap (and resolve), not sail
+			// through a stale TLB entry onto the shared frame.
+			protBefore := c.Stats().ProtFaults + c.Stats().PageFaults
+			must(t, sys.Access(c, lo, true))
+			if c.Stats().ProtFaults+c.Stats().PageFaults == protBefore {
+				t.Fatal("parent write after fork used a stale writable translation")
+			}
+			// Isolation: the parent still owns its pages; its writes after
+			// the child privatized cost at most one more copy per page
+			// (zero on RadixVM, whose per-page share counts prove sole
+			// ownership; the baselines may copy conservatively).
+			base = w.alloc.Created()
+			for v := lo; v < lo+npages; v++ {
+				must(t, sys.Access(c, v, true))
+			}
+			extra := w.alloc.Created() - base
+			if extra > int64(npages) {
+				t.Fatalf("parent writes after child privatized created %d frames, want <= %d", extra, npages)
+			}
+			if sys.Name() == "radixvm" && extra != 0 {
+				t.Fatalf("radixvm parent (sole owner) copied %d frames, want 0", extra)
+			}
+			// Teardown: both spaces unmap; nothing leaks.
+			must(t, childSys.Munmap(c, lo, npages))
+			must(t, sys.Munmap(c, lo, npages))
+			w.quiesce()
+			if live := w.alloc.Live(); live != 0 {
+				t.Fatalf("%d frames leaked after parent+child exit", live)
+			}
+		})
+	}
+}
+
+// TestForkCopiesFrameContents verifies the data half of a COW break on
+// RadixVM, whose Lookup exposes the backing frames: the child's copy holds
+// the parent's bytes, and later parent writes stay invisible to the child.
+func TestForkCopiesFrameContents(t *testing.T) {
+	w := newWorld(1)
+	as := vm.New(w.m, w.rc, w.alloc, nil)
+	c := m0(w)
+	must(t, as.Mmap(c, 100, 1, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+	must(t, as.Access(c, 100, true))
+	pm := as.Lookup(c, 100)
+	pm.Frame.Data()[0] = 0xAB
+	childSys, err := as.Fork(c)
+	must(t, err)
+	child := childSys.(*vm.AddressSpace)
+	must(t, child.Access(c, 100, true)) // COW break copies the frame
+	cm := child.Lookup(c, 100)
+	if cm.Frame == pm.Frame {
+		t.Fatal("child still maps the parent's frame after its write")
+	}
+	if got := cm.Frame.Data()[0]; got != 0xAB {
+		t.Fatalf("child copy byte = %#x, want 0xAB (contents not copied)", got)
+	}
+	pm.Frame.Data()[0] = 0xCD
+	if got := cm.Frame.Data()[0]; got != 0xAB {
+		t.Fatalf("parent write leaked into child copy: %#x", got)
+	}
+}
+
+// TestForkSharesFileMappings: file-backed pages are not COW — both sides
+// keep writing the same page-cache frame, exactly like two independent
+// mappings of the file.
+func TestForkSharesFileMappings(t *testing.T) {
+	for i := range systems(newWorld(1)) {
+		w := newWorld(1)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			f := vm.NewFile(w.alloc)
+			c := m0(w)
+			must(t, sys.Mmap(c, 500, 2, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite, File: f}))
+			must(t, sys.Access(c, 500, true))
+			childSys, err := sys.Fork(c)
+			must(t, err)
+			must(t, childSys.Access(c, 500, true)) // write, not a COW break
+			must(t, childSys.Access(c, 501, true)) // child faults the file page itself
+			if created := w.alloc.Created(); created != 2 {
+				t.Fatalf("%d frames created, want 2 (file pages stay shared)", created)
+			}
+			must(t, childSys.Munmap(c, 500, 2))
+			must(t, sys.Munmap(c, 500, 2))
+			w.quiesce()
+			// The page cache holds the base references.
+			if live := w.alloc.Live(); live != 2 {
+				t.Fatalf("live = %d after unmaps, want 2 (page cache refs)", live)
+			}
+		})
+	}
+}
+
+// TestForkShootdownTargeting mirrors the munmap/mprotect IPI accounting
+// tests for fork: RadixVM's write-protect pass interrupts only the cores
+// that faulted writable pages (zero for a space one core used), and the
+// steady state — re-forking a space whose pages are already COW — sends
+// nothing at all. The baselines must broadcast their downgrade.
+func TestForkShootdownTargeting(t *testing.T) {
+	w := newWorld(4)
+	as := vm.New(w.m, w.rc, w.alloc, nil)
+	c0 := m0(w)
+	must(t, as.Mmap(c0, 100, 4, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+	for v := uint64(100); v < 104; v++ {
+		must(t, as.Access(c0, v, true))
+	}
+	_, err := as.Fork(c0)
+	must(t, err)
+	if got := c0.Stats().IPIsSent; got != 0 {
+		t.Fatalf("fork of a core-local space sent %d IPIs, want 0", got)
+	}
+	// Steady state: everything already COW, nothing to revoke.
+	_, err = as.Fork(c0)
+	must(t, err)
+	if got := c0.Stats().IPIsSent; got != 0 {
+		t.Fatalf("re-fork sent %d IPIs, want 0 (pages already COW)", got)
+	}
+	// A second core with writable translations is interrupted precisely.
+	c1 := w.m.CPU(1)
+	must(t, as.Mmap(c0, 200, 2, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+	must(t, as.Access(c1, 200, true))
+	before := c0.Stats().IPIsSent
+	_, err = as.Fork(c0)
+	must(t, err)
+	if got := c0.Stats().IPIsSent - before; got != 1 {
+		t.Fatalf("fork with one remote writable page sent %d IPIs, want exactly 1", got)
+	}
+
+	// The Linux baseline broadcasts to every active core.
+	lw := newWorld(4)
+	lsys := systems(lw)[1]
+	lc0 := m0(lw)
+	for i := 1; i < 4; i++ {
+		must(t, lsys.Mmap(lw.m.CPU(i), uint64(1000*i), 1, vm.MapOpts{Prot: vm.ProtWrite}))
+		must(t, lsys.Access(lw.m.CPU(i), uint64(1000*i), true))
+	}
+	must(t, lsys.Mmap(lc0, 100, 1, vm.MapOpts{Prot: vm.ProtWrite}))
+	must(t, lsys.Access(lc0, 100, true))
+	_, err = lsys.Fork(lc0)
+	must(t, err)
+	if got := lc0.Stats().IPIsSent; got != 3 {
+		t.Fatalf("linux fork sent %d IPIs, want 3 (broadcast to all active cores)", got)
+	}
+}
+
+// TestFetchAllSystems is the satellite regression for Fetch existing only
+// on RadixVM: exec-checked accesses must report identical ErrProt/ErrSegv
+// outcomes on all three systems, including through cached translations.
+func TestFetchAllSystems(t *testing.T) {
+	for i := range systems(newWorld(1)) {
+		w := newWorld(1)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			c := m0(w)
+			must(t, sys.Mmap(c, 100, 1, vm.MapOpts{Prot: vm.ProtRead}))
+			if err := sys.Fetch(c, 100); !errors.Is(err, vm.ErrProt) {
+				t.Fatalf("fetch from non-exec mapping: %v, want ErrProt", err)
+			}
+			// A cached read-only translation must still trap exec.
+			must(t, sys.Access(c, 100, false))
+			if err := sys.Fetch(c, 100); !errors.Is(err, vm.ErrProt) {
+				t.Fatalf("fetch through cached non-exec translation: %v, want ErrProt", err)
+			}
+			must(t, sys.Mmap(c, 200, 1, vm.MapOpts{Prot: vm.ProtRead | vm.ProtExec}))
+			must(t, sys.Fetch(c, 200))
+			// The cached translation carries the exec bit; repeats hit.
+			faults := c.Stats().PageFaults
+			must(t, sys.Fetch(c, 200))
+			if c.Stats().PageFaults != faults {
+				t.Fatal("second fetch faulted despite cached exec translation")
+			}
+			// Exec rights revoke like any other: mprotect away, trap.
+			must(t, sys.Mprotect(c, 200, 1, vm.ProtRead))
+			if err := sys.Fetch(c, 200); !errors.Is(err, vm.ErrProt) {
+				t.Fatalf("fetch after exec revoke: %v, want ErrProt", err)
+			}
+			if err := sys.Fetch(c, 999); !errors.Is(err, vm.ErrSegv) {
+				t.Fatalf("fetch from unmapped page: %v, want ErrSegv", err)
+			}
+		})
+	}
+}
+
+// TestGangForkVsConcurrentWrite races repeated forks against parent
+// writes from the other gang members: every access must succeed (the
+// region stays mapped read-write throughout), every child must be
+// internally consistent, and after everything exits no frame may leak.
+func TestGangForkVsConcurrentWrite(t *testing.T) {
+	const ncores = 4
+	const lo, npages = uint64(3000), uint64(8)
+	for i := range systems(newWorld(ncores)) {
+		w := newWorld(ncores)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			must(t, sys.Mmap(m0(w), lo, npages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+			children := make([]vm.System, 0, 20)
+			hw.RunGang(w.m, ncores, 2000, func(c *hw.CPU, g *hw.Gang) {
+				if c.ID() == 0 {
+					for k := 0; k < 20; k++ {
+						ch, err := sys.Fork(c)
+						if err != nil {
+							t.Errorf("fork %d: %v", k, err)
+							return
+						}
+						children = append(children, ch)
+						w.rc.Maintain(c)
+						g.Sync(c)
+					}
+					return
+				}
+				for k := 0; k < 60; k++ {
+					v := lo + uint64(k)%npages
+					if err := sys.Access(c, v, true); err != nil {
+						t.Errorf("core %d: parent write during fork: %v", c.ID(), err)
+						return
+					}
+					w.rc.Maintain(c)
+					g.Sync(c)
+				}
+			})
+			if t.Failed() {
+				return
+			}
+			// Each child is a working space: write every page, then exit.
+			c := m0(w)
+			for _, ch := range children {
+				for v := lo; v < lo+npages; v++ {
+					must(t, ch.Access(c, v, true))
+				}
+				must(t, ch.Munmap(c, lo, npages))
+			}
+			must(t, sys.Munmap(c, lo, npages))
+			w.quiesce()
+			if live := w.alloc.Live(); live != 0 {
+				t.Fatalf("%d frames leaked across %d forks", live, len(children))
+			}
+		})
+	}
+}
+
+// TestGangCOWFaultVsMunmap races COW breaks in a child against a
+// concurrent munmap of the child's range: an access may succeed or report
+// ErrSegv (the munmap got there first), never anything else, never a
+// wedge, and no frame may leak.
+func TestGangCOWFaultVsMunmap(t *testing.T) {
+	const ncores = 4
+	const lo, npages = uint64(4000), uint64(8)
+	for i := range systems(newWorld(ncores)) {
+		w := newWorld(ncores)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			c0 := m0(w)
+			for round := 0; round < 10; round++ {
+				must(t, sys.Mmap(c0, lo, npages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+				for v := lo; v < lo+npages; v++ {
+					must(t, sys.Access(c0, v, true))
+				}
+				childSys, err := sys.Fork(c0)
+				must(t, err)
+				hw.RunGang(w.m, ncores, 2000, func(c *hw.CPU, g *hw.Gang) {
+					if c.ID() == 0 {
+						c.Tick(uint64(500 * (round + 1)))
+						mustT(t, childSys.Munmap(c, lo, npages))
+						g.Sync(c)
+						return
+					}
+					for k := 0; k < 30; k++ {
+						v := lo + uint64(k)%npages
+						if err := childSys.Access(c, v, true); err != nil && !errors.Is(err, vm.ErrSegv) {
+							t.Errorf("core %d: COW write vs munmap: %v", c.ID(), err)
+							return
+						}
+						w.rc.Maintain(c)
+						g.Sync(c)
+					}
+				})
+				if t.Failed() {
+					return
+				}
+				must(t, sys.Munmap(c0, lo, npages))
+				w.quiesce()
+				if live := w.alloc.Live(); live != 0 {
+					t.Fatalf("round %d: %d frames leaked", round, live)
+				}
+			}
+		})
+	}
+}
+
+// TestDoubleForkChains: fork a fork a few generations deep; every level
+// shares until written, copies exactly once when written, and the whole
+// family tears down to zero live frames.
+func TestDoubleForkChains(t *testing.T) {
+	const lo, npages = uint64(100), uint64(2)
+	for i := range systems(newWorld(1)) {
+		w := newWorld(1)
+		sys := systems(w)[i]
+		t.Run(sys.Name(), func(t *testing.T) {
+			c := m0(w)
+			must(t, sys.Mmap(c, lo, npages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+			for v := lo; v < lo+npages; v++ {
+				must(t, sys.Access(c, v, true))
+			}
+			family := []vm.System{sys}
+			cur := sys
+			for gen := 0; gen < 3; gen++ {
+				ch, err := cur.Fork(c)
+				must(t, err)
+				family = append(family, ch)
+				cur = ch
+			}
+			// Reads anywhere in the chain share the original frames.
+			base := w.alloc.Created()
+			for _, s := range family {
+				for v := lo; v < lo+npages; v++ {
+					must(t, s.Access(c, v, false))
+				}
+			}
+			if got := w.alloc.Created() - base; got != 0 {
+				t.Fatalf("chain reads created %d frames, want 0", got)
+			}
+			// The deepest child writes: one copy per page, once.
+			for v := lo; v < lo+npages; v++ {
+				must(t, cur.Access(c, v, true))
+				must(t, cur.Access(c, v, true))
+			}
+			if got := w.alloc.Created() - base; got != int64(npages) {
+				t.Fatalf("deepest child writes created %d frames, want %d", got, npages)
+			}
+			// Everyone exits; refcache balance returns to zero.
+			for _, s := range family {
+				must(t, s.Munmap(c, lo, npages))
+			}
+			w.quiesce()
+			if live := w.alloc.Live(); live != 0 {
+				t.Fatalf("%d frames leaked after the fork chain exited", live)
+			}
+		})
+	}
+}

@@ -42,6 +42,31 @@ func TLBEntry(pte pagetable.PTE) tlb.Entry { return tlbEntry(pte.PFN, pte.Perm) 
 // mapping with protection p — the fill-path counterpart of TLBEntry.
 func TLBEntryFor(pfn uint64, p Prot) tlb.Entry { return tlbEntry(pfn, PermBits(p)) }
 
+// TLBAllows reports whether cached translation e carries the right access
+// kind k needs — the hardware check all three systems' TLB-hit paths share.
+func TLBAllows(e tlb.Entry, k Kind) bool {
+	switch k {
+	case KindWrite:
+		return e.Writable
+	case KindExec:
+		return e.Exec
+	default:
+		return e.Readable
+	}
+}
+
+// PTEAllows is TLBAllows for a walked page table entry.
+func PTEAllows(p pagetable.PTE, k Kind) bool {
+	switch k {
+	case KindWrite:
+		return p.Writable()
+	case KindExec:
+		return p.Executable()
+	default:
+		return p.Readable()
+	}
+}
+
 // MMU abstracts the hardware mapping layer under an address space, the
 // paper's "MMU abstraction" component (Table 1): it is "implemented both
 // for per-core page tables, which provide targeted TLB shootdowns, and for

@@ -38,37 +38,41 @@ const (
 	ProtExec
 )
 
-// accessKind distinguishes the three hardware access flavors a fault must
-// check against the mapping's protection.
-type accessKind uint8
+// Kind distinguishes the three hardware access flavors a fault must check
+// against the mapping's protection. It is shared by all three VM systems,
+// so exec-checked fetches behave identically everywhere.
+type Kind uint8
 
+// Access kinds.
 const (
-	accessRead accessKind = iota
-	accessWrite
-	accessExec
+	KindRead Kind = iota
+	KindWrite
+	KindExec
 )
 
-func kindOf(write bool) accessKind {
+// KindOf maps the load/store flag of a plain data access to its Kind.
+func KindOf(write bool) Kind {
 	if write {
-		return accessWrite
+		return KindWrite
 	}
-	return accessRead
+	return KindRead
 }
 
-// Allows reports whether protection p permits a plain load or store —
-// the rule the baseline systems share (they model no exec accesses).
-func (p Prot) Allows(write bool) bool { return p.allows(kindOf(write)) }
+// Allows reports whether protection p permits a plain load or store — a
+// shorthand for Permits(KindOf(write)); exec-checked accesses (Fetch) use
+// Permits(KindExec) directly.
+func (p Prot) Allows(write bool) bool { return p.Permits(KindOf(write)) }
 
-// allows reports whether a mapping with protection p permits the access.
+// Permits reports whether a mapping with protection p permits the access.
 // The rules are x86-shaped: a store needs ProtWrite, an instruction fetch
 // needs ProtExec, and a load succeeds under any non-empty protection
 // (writable and executable pages are readable; only PROT_NONE blocks
 // reads).
-func (p Prot) allows(k accessKind) bool {
+func (p Prot) Permits(k Kind) bool {
 	switch k {
-	case accessWrite:
+	case KindWrite:
 		return p&ProtWrite != 0
-	case accessExec:
+	case KindExec:
 		return p&ProtExec != 0
 	default:
 		return p != 0
@@ -109,6 +113,19 @@ type System interface {
 	// page walk, or page fault as appropriate. ErrSegv if unmapped,
 	// ErrProt if the mapping forbids the access.
 	Access(cpu *hw.CPU, vpn uint64, write bool) error
+	// Fetch models an instruction fetch at vpn: like Access, but the
+	// permission checked is ProtExec (a JIT executing freshly mapped
+	// code, a loader faulting in text pages).
+	Fetch(cpu *hw.CPU, vpn uint64) error
+	// Fork creates a copy-on-write child of the address space: the child
+	// snapshots the parent's mapping metadata, shares every already
+	// faulted anonymous frame read-only with the parent (the first write
+	// on either side copies the frame), and shares file-backed frames
+	// outright. Write permission on shared frames is revoked in both
+	// parent and child before Fork returns — installed translations are
+	// downgraded and stale TLB entries shot down — so neither side can
+	// write a shared frame behind the other's back.
+	Fork(cpu *hw.CPU) (System, error)
 	// PageTableBytes reports current hardware page table memory.
 	PageTableBytes() uint64
 }

@@ -251,6 +251,70 @@ func Protect(env *Env, sys vm.System, cores int, iters int, regionPages uint64) 
 	return run(env, "protect", sys, cores, warm, body)
 }
 
+// Fork runs the fork+COW microbenchmark, the Metis/posix-spawn pattern the
+// paper's evaluation stresses: a multithreaded parent in which every core
+// has faulted in its own private region forks a child; the child's threads
+// (one per core) then write every page of their own region — each first
+// write a copy-on-write break that copies the shared frame — unmap their
+// piece, and the child exits. Repeat.
+//
+// On RadixVM the steady-state cycle is entirely core-local: the fork's
+// write-protect pass finds the parent's pages already COW (the parent
+// never re-dirties them), so no shootdowns are sent, and each COW break
+// touches per-page metadata, a per-core page table, and a core-local frame
+// — disjoint writes commute even when they copy. The baselines serialize
+// three ways: every COW break broadcasts a TLB flush to every core using
+// the child (the shared table records no sharer sets), every child munmap
+// broadcasts again, and the fault/unmap paths contend on the address-space
+// lock. The reported metric is child page writes per second, as in the
+// local benchmark.
+func Fork(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Result {
+	bar := hw.NewBarrier(cores)
+	var child vm.System // published by core 0, read by all after the barrier
+	round := func(c *hw.CPU, g *hw.Gang) uint64 {
+		id := c.ID()
+		if id == 0 {
+			ch, err := sys.Fork(c)
+			mustNil(err)
+			child = ch
+		}
+		bar.Wait(c, g)
+		ch := child
+		lo := spread(id)
+		var writes uint64
+		for v := lo; v < lo+regionPages; v++ {
+			mustNil(ch.Access(c, v, true))
+			writes++
+		}
+		mustNil(ch.Munmap(c, lo, regionPages))
+		bar.Wait(c, g) // child fully torn down before the next fork
+		return writes
+	}
+	warm := func(c *hw.CPU, g *hw.Gang) uint64 {
+		// The parent: each core maps and write-faults its own region, so
+		// every page has a frame to share. One throwaway round pays the
+		// first fork's one-time write-protect shootdowns.
+		lo := spread(c.ID())
+		mustNil(sys.Mmap(c, lo, regionPages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+		for v := lo; v < lo+regionPages; v++ {
+			mustNil(sys.Access(c, v, true))
+		}
+		bar.Wait(c, g)
+		round(c, g)
+		return 0
+	}
+	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+		var writes uint64
+		for k := 0; k < iters; k++ {
+			writes += round(c, g)
+			env.RC.Maintain(c)
+			g.Sync(c)
+		}
+		return writes
+	}
+	return run(env, "fork", sys, cores, warm, body)
+}
+
 func mustNil(err error) {
 	if err != nil {
 		panic(err)

@@ -129,6 +129,62 @@ func TestProtectBaselinesBroadcast(t *testing.T) {
 	}
 }
 
+func TestForkRunsOnAllSystems(t *testing.T) {
+	for _, mk := range []func(*Env, *mem.Allocator) vm.System{
+		func(e *Env, a *mem.Allocator) vm.System { return vm.New(e.M, e.RC, a, nil) },
+		func(e *Env, a *mem.Allocator) vm.System { return linuxvm.New(e.M, e.RC, a) },
+		func(e *Env, a *mem.Allocator) vm.System { return bonsaivm.New(e.M, e.RC, a) },
+	} {
+		env, alloc := newEnv(2)
+		sys := mk(env, alloc)
+		r := Fork(env, sys, 2, 10, 4)
+		if want := uint64(2 * 10 * 4); r.PageWrites != want {
+			t.Fatalf("%s: PageWrites = %d, want %d", sys.Name(), r.PageWrites, want)
+		}
+		if r.Stats.Forks != 10 {
+			t.Fatalf("%s: Forks = %d, want 10", sys.Name(), r.Stats.Forks)
+		}
+		// Every measured child write of a parent-faulted page is a COW
+		// break (the parent faulted everything in during warmup).
+		if r.Stats.COWBreaks != r.PageWrites {
+			t.Fatalf("%s: COWBreaks = %d, want %d", sys.Name(), r.Stats.COWBreaks, r.PageWrites)
+		}
+	}
+}
+
+func TestForkRadixVMSendsNoIPIs(t *testing.T) {
+	// The steady-state fork+COW cycle on RadixVM is IPI-free: re-forks
+	// find the parent's pages already COW (nothing to revoke), and each
+	// child's COW break hits only per-page metadata its own core owns.
+	m := hw.NewMachine(hw.DefaultConfig(4))
+	rc := refcache.New(m)
+	env := &Env{M: m, RC: rc}
+	sys := vm.New(env.M, env.RC, mem.NewAllocator(m, rc), nil)
+	r := Fork(env, sys, 4, 20, 4)
+	if r.Stats.IPIsSent != 0 {
+		t.Errorf("fork benchmark sent %d IPIs on radixvm, want 0", r.Stats.IPIsSent)
+	}
+	if r.Stats.Shootdowns != 0 {
+		t.Errorf("fork benchmark ran %d shootdown rounds on radixvm, want 0", r.Stats.Shootdowns)
+	}
+}
+
+func TestForkBaselinesBroadcast(t *testing.T) {
+	// The contrast: every baseline COW break must broadcast a TLB flush
+	// to all cores using the child (the shared table has no sharer sets).
+	for _, mk := range []func(*Env, *mem.Allocator) vm.System{
+		func(e *Env, a *mem.Allocator) vm.System { return linuxvm.New(e.M, e.RC, a) },
+		func(e *Env, a *mem.Allocator) vm.System { return bonsaivm.New(e.M, e.RC, a) },
+	} {
+		env, alloc := newEnv(4)
+		sys := mk(env, alloc)
+		r := Fork(env, sys, 4, 10, 4)
+		if r.Stats.IPIsSent == 0 {
+			t.Errorf("%s fork benchmark sent no IPIs; per-break broadcast expected", sys.Name())
+		}
+	}
+}
+
 func TestLocalScalesLinearlyOnRadixVM(t *testing.T) {
 	// The Figure 5 headline in miniature: per-op virtual cost must stay
 	// ~flat from 1 to 8 cores on RadixVM.
