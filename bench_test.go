@@ -196,6 +196,25 @@ func BenchmarkFork(b *testing.B) {
 	}
 }
 
+// BenchmarkSpawn runs the spawn-server microbenchmark on the three VM
+// systems: every core concurrently forks its own COW child of one shared
+// parent per round, COW-touches its region in child and parent, and tears
+// the child down (the concurrent-fork variant of BenchmarkFork).
+func BenchmarkSpawn(b *testing.B) {
+	for _, sys := range []string{"radixvm", "bonsai", "linux"} {
+		b.Run(sys, func(b *testing.B) {
+			e, a := benchEnv(benchCores)
+			s := makeSystem(sys, e, a)
+			var pagesPerSec float64
+			for i := 0; i < b.N; i++ {
+				r := workload.Spawn(e, s, benchCores, 40, 16)
+				pagesPerSec = r.PerSecond()
+			}
+			b.ReportMetric(pagesPerSec/1e6, "Mpages/s")
+		})
+	}
+}
+
 // BenchmarkMmapMunmapCycle tracks the allocation-free control plane: the
 // steady-state map/unmap cycle on RadixVM. Run with -benchmem; the
 // allocation columns must read 0 (enforced by AllocsPerRun tests in

@@ -17,10 +17,19 @@
 // from the oldest shown run to the current one.
 //
 // With -warn N (percent), regressions beyond N% (vs the immediately
-// previous run in either mode) additionally emit GitHub Actions
-// `::warning::` annotations on stderr. The exit code is always 0:
-// virtual-time throughput on shared CI runners is noisy, so the table and
-// annotations inform rather than gate.
+// previous run in either mode) emit GitHub Actions `::warning::`
+// annotations on stderr. With -fail M (percent, M > N), regressions beyond
+// M% additionally make benchdiff exit non-zero, so large perf losses fail
+// the CI run instead of scrolling past in the job summary; small ones stay
+// informational because virtual-time throughput on shared CI runners is
+// noisy.
+//
+// -allow-jitter takes comma-separated exp/series/cores triples ("*"
+// wildcards series, 0 wildcards cores) naming cells whose run-to-run
+// jitter is known and benign; they are excluded from warnings and the fail
+// gate and marked ~ in the tables. The default covers Figure 8's shared
+// counter at 8 cores, whose contention resolution has been
+// real-scheduling-dependent (<1% jitter) since the seed.
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"radixvm/internal/harness"
@@ -62,6 +72,53 @@ func load(path string) (*benchFile, error) {
 type key struct {
 	exp, title, series string
 	cores              int
+}
+
+// allowEntry is one parsed -allow-jitter triple: a cell (or wildcarded set
+// of cells) whose run-to-run jitter is known and benign.
+type allowEntry struct {
+	exp    string
+	series string // "*" matches any series
+	cores  int    // 0 matches any core count
+}
+
+func parseAllow(s string) ([]allowEntry, error) {
+	var list []allowEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, "/")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad -allow-jitter entry %q (want exp/series/cores)", part)
+		}
+		e := allowEntry{exp: fields[0], series: fields[1]}
+		if fields[2] != "*" {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("bad -allow-jitter cores in %q", part)
+			}
+			e.cores = n
+		}
+		list = append(list, e)
+	}
+	return list, nil
+}
+
+func (e allowEntry) matches(k key) bool {
+	return e.exp == k.exp &&
+		(e.series == "*" || e.series == k.series) &&
+		(e.cores == 0 || e.cores == k.cores)
+}
+
+func jitterAllowed(list []allowEntry, k key) bool {
+	for _, e := range list {
+		if e.matches(k) {
+			return true
+		}
+	}
+	return false
 }
 
 func index(f *benchFile) (map[key]harness.Row, []key) {
@@ -133,8 +190,10 @@ func runLabel(path string) string {
 
 // printTrend renders one column per run, newest last, plus the delta from
 // the oldest shown run to the current one. Returns the regression count
-// (current vs immediately previous run) for the -warn annotations.
-func printTrend(runs []run, warnPct float64) int {
+// (current vs immediately previous run, beyond warnPct) and the count of
+// those beyond failPct; allowlisted cells are marked ~ and excluded from
+// both.
+func printTrend(runs []run, warnPct, failPct float64, allow []allowEntry) (regressions, failures int) {
 	fmt.Printf("### Perf trend (last %d runs)\n\n", len(runs))
 	fmt.Print("| figure | series | cores |")
 	for _, r := range runs {
@@ -152,7 +211,7 @@ func printTrend(runs []run, warnPct float64) int {
 		vals[i], _ = index(r.file)
 	}
 	_, order := index(runs[len(runs)-1].file)
-	regressions := 0
+	allowedAny := false
 	for _, k := range order {
 		fmt.Printf("| %s | %s | %d |", k.title, k.series, k.cores)
 		var first, prev, cur float64
@@ -179,9 +238,24 @@ func printTrend(runs []run, warnPct float64) int {
 		case haveEarlier:
 			trend = "—"
 		}
+		if jitterAllowed(allow, k) {
+			trend += " ~"
+			allowedAny = true
+			fmt.Printf(" %s |\n", trend)
+			continue
+		}
 		fmt.Printf(" %s |\n", trend)
-		if len(runs) >= 2 && prev != 0 && warnPct > 0 {
-			if pct := (cur - prev) / prev * 100; pct < -warnPct && !math.IsInf(pct, 0) {
+		if len(runs) >= 2 && prev != 0 {
+			pct := (cur - prev) / prev * 100
+			if math.IsInf(pct, 0) {
+				continue
+			}
+			// The fail gate is independent of the warn threshold, so
+			// -warn 0 (annotations off) cannot silently disarm -fail.
+			if failPct > 0 && pct < -failPct {
+				failures++
+			}
+			if warnPct > 0 && pct < -warnPct {
 				regressions++
 				fmt.Fprintf(os.Stderr, "::warning title=perf regression::%s / %s @%d cores: %.2f -> %.2f (%+.1f%% vs previous run)\n",
 					k.title, k.series, k.cores, prev, cur, pct)
@@ -189,7 +263,11 @@ func printTrend(runs []run, warnPct float64) int {
 		}
 	}
 	fmt.Println()
-	return regressions
+	if allowedAny {
+		fmt.Println("~ known run-to-run jitter, excluded from regression warnings.")
+		fmt.Println()
+	}
+	return regressions, failures
 }
 
 func main() {
@@ -198,7 +276,14 @@ func main() {
 	trendDir := flag.String("trend", "", "directory of retained BENCH_<sha>.json artifacts; renders a multi-run trend table instead of a two-file diff")
 	lastN := flag.Int("last", 10, "with -trend, show at most this many previous runs")
 	warnPct := flag.Float64("warn", 10, "emit ::warning:: annotations for regressions beyond this percent (0 disables)")
+	failPct := flag.Float64("fail", 0, "exit non-zero on regressions beyond this percent (0 disables)")
+	allowFlag := flag.String("allow-jitter", "fig8/shared/8", "comma-separated exp/series/cores cells with known benign run-to-run jitter, excluded from warnings and the fail gate (\"*\" wildcards series, 0 wildcards cores)")
 	flag.Parse()
+	allow, err := parseAllow(*allowFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
 	if *trendDir != "" {
 		if *newPath == "" {
 			fmt.Fprintln(os.Stderr, "benchdiff: -trend requires -new")
@@ -218,10 +303,15 @@ func main() {
 			runs = runs[len(runs)-*lastN:]
 		}
 		runs = append(runs, run{label: runLabel(*newPath) + " (this)", file: newF})
-		if n := printTrend(runs, *warnPct); n > 0 {
-			fmt.Printf("⚠️ %d series regressed by more than %.0f%% vs the previous run.\n", n, *warnPct)
+		warned, failed := printTrend(runs, *warnPct, *failPct, allow)
+		if warned > 0 {
+			fmt.Printf("⚠️ %d series regressed by more than %.0f%% vs the previous run.\n", warned, *warnPct)
 		} else {
 			fmt.Println("No regressions beyond the threshold.")
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d series regressed by more than %.0f%%; failing\n", failed, *failPct)
+			os.Exit(1)
 		}
 		return
 	}
@@ -248,7 +338,8 @@ func main() {
 	fmt.Println()
 	fmt.Println("| figure | series | cores | previous | current | delta |")
 	fmt.Println("|---|---|---:|---:|---:|---:|")
-	regressions := 0
+	regressions, failures := 0, 0
+	allowedAny := false
 	for _, k := range newOrder {
 		nr := newVals[k]
 		or, ok := oldVals[k]
@@ -260,19 +351,38 @@ func main() {
 		if or.Value != 0 {
 			pct := (nr.Value - or.Value) / or.Value * 100
 			delta = fmt.Sprintf("%+.1f%%", pct)
-			if *warnPct > 0 && pct < -*warnPct && !math.IsInf(pct, 0) {
-				delta += " ⚠️"
-				regressions++
-				fmt.Fprintf(os.Stderr, "::warning title=perf regression::%s / %s @%d cores: %.2f -> %.2f %s (%+.1f%%)\n",
-					k.title, k.series, k.cores, or.Value, nr.Value, nr.Unit, pct)
+			switch {
+			case jitterAllowed(allow, k):
+				delta += " ~"
+				allowedAny = true
+			case math.IsInf(pct, 0):
+			default:
+				// Fail and warn gates are independent: -warn 0 turns off
+				// annotations without disarming -fail.
+				if *failPct > 0 && pct < -*failPct {
+					failures++
+				}
+				if *warnPct > 0 && pct < -*warnPct {
+					delta += " ⚠️"
+					regressions++
+					fmt.Fprintf(os.Stderr, "::warning title=perf regression::%s / %s @%d cores: %.2f -> %.2f %s (%+.1f%%)\n",
+						k.title, k.series, k.cores, or.Value, nr.Value, nr.Unit, pct)
+				}
 			}
 		}
 		fmt.Printf("| %s | %s | %d | %.2f | %.2f %s | %s |\n", k.title, k.series, k.cores, or.Value, nr.Value, nr.Unit, delta)
 	}
 	fmt.Println()
+	if allowedAny {
+		fmt.Println("~ known run-to-run jitter, excluded from regression warnings.")
+	}
 	if regressions > 0 {
 		fmt.Printf("⚠️ %d series regressed by more than %.0f%%.\n", regressions, *warnPct)
 	} else {
 		fmt.Println("No regressions beyond the threshold.")
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d series regressed by more than %.0f%%; failing\n", failures, *failPct)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseAllowJitter(t *testing.T) {
+	list, err := parseAllow("fig8/shared/8, spawn/*/0 ,fork/radixvm/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(list))
+	}
+	cases := []struct {
+		k    key
+		want bool
+	}{
+		{key{exp: "fig8", series: "shared", cores: 8}, true},
+		{key{exp: "fig8", series: "shared", cores: 4}, false},
+		{key{exp: "fig8", series: "refcache", cores: 8}, false},
+		{key{exp: "spawn", series: "linux", cores: 4}, true},
+		{key{exp: "spawn", series: "radixvm", cores: 1}, true},
+		{key{exp: "fork", series: "radixvm", cores: 8}, true},
+		{key{exp: "fork", series: "linux", cores: 8}, false},
+		{key{exp: "fig5", series: "radixvm", cores: 8}, false},
+	}
+	for _, c := range cases {
+		if got := jitterAllowed(list, c.k); got != c.want {
+			t.Errorf("jitterAllowed(%+v) = %v, want %v", c.k, got, c.want)
+		}
+	}
+	if _, err := parseAllow("fig8/shared"); err == nil {
+		t.Error("two-field entry accepted, want error")
+	}
+	if _, err := parseAllow("fig8/shared/x"); err == nil {
+		t.Error("non-numeric cores accepted, want error")
+	}
+	if list, err := parseAllow(""); err != nil || len(list) != 0 {
+		t.Errorf("empty allowlist: %v, %d entries", err, len(list))
+	}
+}

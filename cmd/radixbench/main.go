@@ -7,7 +7,8 @@
 //	radixbench -exp table2
 //	radixbench -quick                      # fast smoke sweep (1,4,8 cores)
 //
-// Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, table2, memory.
+// Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, mprotect,
+// fork, spawn, table2, memory.
 package main
 
 import (
@@ -30,7 +31,7 @@ type jsonExp struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|fork|table2|memory")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|fork|spawn|table2|memory")
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,20,40,80)")
 	iters := flag.Int("iters", 0, "per-core iterations (default per experiment)")
 	quick := flag.Bool("quick", false, "fast smoke sweep (1,4,8 cores, few iters)")
@@ -79,6 +80,8 @@ func main() {
 			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigMprotect(o)}}
 		case "fork":
 			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigFork(o)}}
+		case "spawn":
+			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigSpawn(o)}}
 		case "table2":
 			return jsonExp{Name: name, Text: harness.Table2()}
 		case "memory":
@@ -92,7 +95,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "fork", "table2", "memory"}
+		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "fork", "spawn", "table2", "memory"}
 	}
 
 	var results []jsonExp

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	sysName := flag.String("sys", "radixvm", "vm system: radixvm|radixvm-shared|linux|bonsai")
-	wl := flag.String("workload", "local", "workload: local|pipeline|global|protect|fork")
+	wl := flag.String("workload", "local", "workload: local|pipeline|global|protect|fork|spawn")
 	cores := flag.Int("cores", 8, "simulated cores")
 	iters := flag.Int("iters", 200, "iterations per core")
 	pages := flag.Uint64("pages", 1, "region pages (local/pipeline) or piece pages (global)")
@@ -66,6 +66,8 @@ func main() {
 		r = workload.Protect(env, sys, *cores, *iters, maxU(*pages, 4))
 	case "fork":
 		r = workload.Fork(env, sys, *cores, *iters, maxU(*pages, 4))
+	case "spawn":
+		r = workload.Spawn(env, sys, *cores, *iters, maxU(*pages, 4))
 	default:
 		fmt.Fprintf(os.Stderr, "vmtrace: unknown -workload %q\n", *wl)
 		os.Exit(2)

@@ -481,8 +481,12 @@ func (as *AddressSpace) Fork(cpu *hw.CPU) (vm.System, error) {
 	defer cpu.Release(&as.lock)
 
 	var anon []vm.Span
+	pageZero := as.m.Config().PageZero
 	snap := as.regions.Snapshot()
 	snap.Ascend(cpu, 0, func(key uint64, o *region) bool {
+		// Each duplicated region struct is billed by its logical size, the
+		// same rule that prices RadixVM's header-sized node clones.
+		cpu.Tick(vm.MetaCopyCost(pageZero, vm.VMACopyBytes))
 		cow := o.cow
 		if o.back.File == nil {
 			cow = true

@@ -103,7 +103,7 @@ func TestGangAdaptiveQuantumHysteresis(t *testing.T) {
 	const ncores = 4
 	const quantum = 200
 	const cycles = 40
-	const calmIters = 30  // long enough that a calm phase can widen pre-fix
+	const calmIters = 30 // long enough that a calm phase can widen pre-fix
 	const hotIters = 6
 	m := NewMachine(TestConfig(ncores))
 	var l Line

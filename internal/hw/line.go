@@ -40,11 +40,11 @@ import (
 // the thousand in simulated data structures, so the struct is kept as
 // small as the model allows (48 bytes).
 type Line struct {
-	fast   atomic.Int32                // (sole sharer & owner core)+1, else 0
-	seq    atomic.Uint32               // seqlock word: odd = transition in progress
-	owner  atomic.Int32                // last writing core + 1; 0 = none
+	fast   atomic.Int32                 // (sole sharer & owner core)+1, else 0
+	seq    atomic.Uint32                // seqlock word: odd = transition in progress
+	owner  atomic.Int32                 // last writing core + 1; 0 = none
 	shared [MaxCores / 64]atomic.Uint64 // directory: cores that have the line cached
-	gate   waitGate                    // home-node service queue in virtual time
+	gate   waitGate                     // home-node service queue in virtual time
 }
 
 // Reset returns l to the uncached zero state, for data structures that

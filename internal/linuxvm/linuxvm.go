@@ -197,6 +197,7 @@ func (as *AddressSpace) Fork(cpu *hw.CPU) (vm.System, error) {
 	defer cpu.WUnlock(&as.lock)
 
 	var anon []vm.Span
+	pageZero := as.m.Config().PageZero
 	as.vmas.Ascend(cpu, 0, func(n *rbtree.Node[*vma]) bool {
 		o := n.Val
 		cow := o.cow
@@ -205,6 +206,9 @@ func (as *AddressSpace) Fork(cpu *hw.CPU) (vm.System, error) {
 			o.cow = true
 			anon = append(anon, vm.Span{Lo: o.start, Hi: o.end})
 		}
+		// Each duplicated VMA struct is billed by its logical size, the
+		// same rule that prices RadixVM's header-sized node clones.
+		cpu.Tick(vm.MetaCopyCost(pageZero, vm.VMACopyBytes))
 		child.vmas.Insert(cpu, o.start, &vma{
 			start: o.start, end: o.end, prot: o.prot, back: o.back, cow: cow,
 		})

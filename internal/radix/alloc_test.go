@@ -83,8 +83,8 @@ func TestFaultPathZeroAlloc(t *testing.T) {
 		if v == nil {
 			t.Fatal("page lost")
 		}
-		v.x++      // update metadata in place, as PageFault does
-		e.Set(v)   // unchanged pointer: no slot-state allocation
+		v.x++    // update metadata in place, as PageFault does
+		e.Set(v) // unchanged pointer: no slot-state allocation
 		r.Unlock()
 		vpn = 2048 + (vpn+1)%16
 	})

@@ -7,13 +7,34 @@ import (
 )
 
 // Tree.Fork structurally clones a tree — the radix half of an address-space
-// fork. The paper's protocol applies: fork is a whole-address-space
-// operation, so it acquires every slot lock bit in the tree, strictly
-// left-to-right in the same global order every Range operation uses
-// (ascending VPN, parent slot before the child node covering the same
-// VPNs), holds them all while copying, and releases right-to-left. Any
-// concurrent mmap/munmap/pagefault therefore serializes with the fork at
-// the leftmost slot both touch, exactly as two overlapping Ranges would.
+// fork. It sweeps every slot lock bit in the tree strictly left-to-right in
+// the same global order every Range operation uses (ascending VPN, parent
+// slot before the child node covering the same VPNs), but unlike a Range it
+// does not hold the whole sweep at once: each *node* is copied under all of
+// its bits and released (one merged busy period) before the fork descends
+// into that node's children — hand-over-hand at node granularity.
+//
+// What that buys and what it costs:
+//
+//   - Concurrent forks of one parent pipeline instead of fully serializing:
+//     fork B enters a subtree as soon as fork A has released it, so a spawn
+//     server's N simultaneous forks cost ~one tree sweep plus N pipeline
+//     stages, not N full sweeps back to back. This is the contention path
+//     the spawn workload measures.
+//   - Snapshot atomicity is *node-granular*: a concurrent Range operation
+//     whose slots all live in one node is observed entirely or not at all
+//     (it mutates only while holding its whole range, and the fork holds
+//     every bit of a node across that node's copy), and single-page
+//     operations — faults, COW breaks — are always atomic.
+//   - What is *not* promised (the relaxation vs. holding the whole tree): a
+//     Range operation *spanning nodes* can land in the released/not-yet-
+//     copied gap between two of the fork's node copies and be reflected
+//     partially, split at a node boundary; likewise a sequence of two
+//     operations straddling the sweep may be reflected partially, exactly
+//     as if the fork had run between them. Operations on disjoint regions
+//     commute with fork either way, which is the §3.4 property the
+//     workloads rely on; a caller needing Linux-style whole-space fork
+//     atomicity must serialize fork against multi-node writers itself.
 //
 // The child preserves the parent's uniform/diverged representation without
 // materializing anything on either side: a parent node's unmaterialized
@@ -24,18 +45,51 @@ import (
 // forking a large, mostly-folded address space copies compact headers, not
 // 8 KB pages of slots.
 
-// forkLocked records one locked source node and the forker's arrival time
-// at it (the start of the node's fork busy period).
-type forkLocked[V any] struct {
-	n      *node[V]
-	arrive uint64
+// Fork cost model: a cloned node is billed by the *logical* size of what
+// fork actually copies, at the page-copy rate (PageZero cycles per 4 KB).
+// A uniform node is one compact header — the fill value, the packed lock
+// bits, the plateau table, and the group directory — so cloning it costs a
+// header-sized virtual copy, not a full simulated 8 KB page; each
+// materialized group adds its cache line of four 16-byte slots. A fully
+// diverged node therefore pays the full page-copy rate for its 8 KB of
+// slots while a vast folded mapping forks in header-sized steps — the
+// virtual-time mirror of the real-memory win the structural clone already
+// delivers. The same by-logical-size rule prices the baselines' fork
+// (vm.MetaCopyCost: VMA structs and PTEs), keeping the comparison fair.
+const (
+	// ForkHeaderBytes is the logical size of a uniform node header billed
+	// per cloned node (~1.2 KB: fill slot, 8 lock-bit words, plateau
+	// table, 128-entry group directory).
+	ForkHeaderBytes = 1216
+	// ForkGroupBytes is the logical size billed per materialized group
+	// mirrored into the child: its cache line of four 16-byte slots.
+	ForkGroupBytes = 64
+	// forkPageBytes is the page-copy rate's denominator: PageZero is the
+	// cost of touching one 4 KB page.
+	forkPageBytes = 4096
+)
+
+// ForkNodeCost returns the virtual cycles fork charges for cloning one
+// node with the given number of materialized groups, given the machine's
+// PageZero cost (exported so tests can assert the billing exactly).
+func ForkNodeCost(pageZero uint64, groups int) uint64 {
+	return pageZero * (ForkHeaderBytes + uint64(groups)*ForkGroupBytes) / forkPageBytes
 }
 
 type forkCtx[V any] struct {
-	nt     *Tree[V]
-	visit  func(lo, hi uint64, src, dst *V)
-	locked []forkLocked[V]
-	pins   []*node[V]
+	nt    *Tree[V]
+	visit func(lo, hi uint64, src, dst *V)
+	flush func(cpu *hw.CPU)
+}
+
+// forkKid records a pinned source child whose subtree copy is deferred
+// until the current node's bits are released (the hand-over-hand step),
+// plus the dst slot the finished copy's link goes into.
+type forkKid[V any] struct {
+	child *node[V]
+	dg    *slotGroup[V]
+	j     int
+	idx   int
 }
 
 // Fork clones t's mapped structure into a fresh tree of the same kind on
@@ -44,49 +98,60 @@ type forkCtx[V any] struct {
 // folded interior slots their whole span, and a uniform node's shared fill
 // is visited once for the node's entire range (its logical per-slot copies
 // are identical by construction, so one visit covers them all). src is the
-// parent's value — mutable in place, since fork holds every lock bit — and
-// dst the child's fresh copy. On cloneShared trees src and dst are the
-// same pointer (values are shared by construction).
+// parent's value — mutable in place, since fork holds the covering slot's
+// lock bit while visiting — and dst the child's fresh copy. On cloneShared
+// trees src and dst are the same pointer (values are shared by
+// construction).
 func (t *Tree[V]) Fork(cpu *hw.CPU, visit func(lo, hi uint64, src, dst *V)) *Tree[V] {
+	return t.ForkFlush(cpu, visit, nil)
+}
+
+// ForkFlush is Fork with a per-node flush hook: after each source node has
+// been fully copied — every visit for its slots done — and *before* its
+// lock bits are released, flush runs. The VM layer uses it to issue the
+// write-protect shootdowns for the pages just flagged COW while the slots
+// are still locked, so no parent write can slip through a stale writable
+// translation between the snapshot of a page and the revocation of its
+// write rights.
+func (t *Tree[V]) ForkFlush(cpu *hw.CPU, visit func(lo, hi uint64, src, dst *V), flush func(cpu *hw.CPU)) *Tree[V] {
 	nt := treeShell(t.m, t.rc, t.clone, t.kind)
-	ctx := &forkCtx[V]{nt: nt, visit: visit}
+	ctx := &forkCtx[V]{nt: nt, visit: visit, flush: flush}
 	nt.root = t.forkNode(cpu, ctx, t.root, 1) // +1: the root's immortal ref
-	for i := len(ctx.locked) - 1; i >= 0; i-- {
-		ctx.locked[i].n.forkUnlock(cpu, ctx.locked[i].arrive)
-	}
-	for i := len(ctx.pins) - 1; i >= 0; i-- {
-		t.unpin(cpu, ctx.pins[i])
-	}
 	return nt
 }
 
-// forkNode locks src's slots left-to-right (descending into child nodes in
-// slot order, which keeps the global acquisition order consistent with
-// lockIn's and so deadlock-free) and builds the child tree's counterpart.
-// The locks stay held — Fork releases them all at the end, right-to-left —
-// so the copy is an atomic snapshot. extra is added to the new node's
-// reference count (the root's immortal reference).
+// forkNode locks src's slots left-to-right (ascending within each node, at
+// most one node held at a time, so the sweep is deadlock-free), copies
+// them into the child tree's counterpart, then releases all of src's bits
+// and only afterwards descends into the child nodes it pinned along the
+// way — hand-over-hand, so a trailing fork (or any locker) enters this
+// node the moment its copy is done rather than when the whole fork
+// finishes. Within one node the copy is a two-phase atomic snapshot;
+// across nodes the snapshot is only node-granular (see the package comment
+// above). extra is added to the new node's reference count (the root's
+// immortal reference).
 func (t *Tree[V]) forkNode(cpu *hw.CPU, ctx *forkCtx[V], src *node[V], extra int64) *node[V] {
 	arrive := cpu.Now()
 	// Unmaterialized slots' bits carry no per-slot gates; their pending
 	// virtual-time state lives in the node's uniform plateau table. Wait
-	// out its latest busy period once, under the usual overlap rule.
+	// out its latest busy period once, under the usual overlap rule. While
+	// here, register this fork's busy period on the node so groups
+	// materializing mid-fork restore gates that include it (see initGroup).
 	src.matMu.Lock()
-	if u := &src.uni; u.n > 0 {
-		if f := u.free[u.n-1]; f > arrive && arrive >= u.busyStart {
-			cpu.AdvanceTo(f)
-		}
+	src.waitUniformLocked(cpu, arrive)
+	src.forkForks++
+	if src.forkForks == 1 || arrive < src.forkBusy {
+		src.forkBusy = arrive
 	}
 	src.matMu.Unlock()
-	ctx.locked = append(ctx.locked, forkLocked[V]{n: src, arrive: arrive})
 
 	nt := ctx.nt
 	dst := nt.cloneShell(cpu, src)
+	var kidsBuf [8]forkKid[V]
+	kids := kidsBuf[:0]
 	var used int64
 	if dst.uniSt != nil {
 		used = SlotsPerNode
-		hi := src.base + uint64(SlotsPerNode)*span(src.level)
-		ctx.visit(src.base, hi, src.uniSt.val, dst.uniSt.val)
 	}
 	sp := span(src.level)
 	for idx := 0; idx < SlotsPerNode; idx++ {
@@ -100,10 +165,12 @@ func (t *Tree[V]) forkNode(cpu *hw.CPU, ctx *forkCtx[V], src *node[V], extra int
 			cpu.AcquireBitIn(w, mask, &g.gates[j])
 		} else {
 			// No group: the bit is normally free (held groupless bits
-			// exist only transiently, mid-expansion); spin out any such
-			// holder. The uniform gate wait above covered the virtual
-			// cost; no line exists to charge, in keeping with the
-			// copy-on-diverge rule that untouched slots cost nothing.
+			// exist only transiently, mid-expansion — or for a whole
+			// critical section, when a concurrent fork holds them). Spin
+			// out any such holder; its virtual-time cost is settled by
+			// the post-sweep merged-table wait below. No line exists to
+			// charge, in keeping with the copy-on-diverge rule that
+			// untouched slots cost nothing.
 			for {
 				old := w.Load()
 				if old&mask == 0 {
@@ -144,13 +211,11 @@ func (t *Tree[V]) forkNode(cpu *hw.CPU, ctx *forkCtx[V], src *node[V], extra int
 				}
 				continue
 			}
-			ctx.pins = append(ctx.pins, child)
-			dchild := t.forkNode(cpu, ctx, child, 0)
-			dchild.parent = dst
-			dchild.parentIdx = idx
-			dg := dst.forkGroup(nt, gi)
-			dg.slab[j] = slotState[V]{child: dchild.obj}
-			storePlain(&dg.sts[j], &dg.slab[j])
+			// Pinned: the child cannot be reclaimed. Defer its subtree copy
+			// until src's bits are released (the dst slot is filled in
+			// below; dst is private until Fork returns, so the order is
+			// unobservable).
+			kids = append(kids, forkKid[V]{child: child, dg: dst.forkGroup(nt, gi), j: j, idx: idx})
 			if dst.uniSt == nil {
 				used++
 			}
@@ -182,16 +247,52 @@ func (t *Tree[V]) forkNode(cpu *hw.CPU, ctx *forkCtx[V], src *node[V], extra int
 			}
 		}
 	}
+	// A concurrent fork may have merged its busy period into the uniform
+	// table after our entry wait — whether or not we ever observed one of
+	// its bits held (it can release between our entry and our first bit
+	// load). Consult the merged table once more now that every bit is
+	// ours, so overlapping forks serialize in virtual time regardless of
+	// how the real-time race resolved.
+	src.matMu.Lock()
+	src.waitUniformLocked(cpu, arrive)
+	src.matMu.Unlock()
+	// The uniform fill's single visit runs here, with every bit of the
+	// node held (the sweep above took them all), so the visit contract —
+	// src mutable under the covering slots' locks — holds for folded
+	// state too; a trailing concurrent fork is still parked on the bits.
+	if dst.uniSt != nil {
+		hi := src.base + uint64(SlotsPerNode)*span(src.level)
+		ctx.visit(src.base, hi, src.uniSt.val, dst.uniSt.val)
+	}
 	dst.obj = nt.rc.NewObj(used+extra, freeNode[V])
 	dst.obj.Data = dst
+	// The node is fully copied. Flush (the VM layer's shootdowns for this
+	// node's pages) while the bits are still held, then release them all in
+	// one merged busy period so trailing forks and lockers can proceed.
+	if ctx.flush != nil {
+		ctx.flush(cpu)
+	}
+	src.forkUnlock(cpu, arrive)
+	// Hand-over-hand descent: copy the pinned children left-to-right, each
+	// locking only its own subtree.
+	for i := range kids {
+		k := &kids[i]
+		dchild := t.forkNode(cpu, ctx, k.child, 0)
+		dchild.parent = dst
+		dchild.parentIdx = k.idx
+		k.dg.slab[k.j] = slotState[V]{child: dchild.obj}
+		storePlain(&k.dg.sts[k.j], &k.dg.slab[k.j])
+		t.unpin(cpu, k.child)
+	}
 	return dst
 }
 
 // cloneShell builds the child-tree counterpart of src: same level and
 // base, a kind-appropriate copy of the uniform fill, no groups beyond the
-// ones the caller mirrors slot by slot. t is the child tree. The pageZero
-// tick is the fork's per-node metadata copy cost (the paper's fork copies
-// the radix page itself).
+// ones the caller mirrors slot by slot. t is the child tree. The metadata
+// copy is billed by its logical size (ForkNodeCost): a header-sized tick
+// for the uniform state plus a cache line per materialized source group,
+// instead of the flat full-page charge the pre-cost-model fork paid.
 func (t *Tree[V]) cloneShell(cpu *hw.CPU, src *node[V]) *node[V] {
 	n := t.getNode(cpu)
 	if n == nil {
@@ -215,15 +316,23 @@ func (t *Tree[V]) cloneShell(cpu *hw.CPU, src *node[V]) *node[V] {
 	} else {
 		n.uniSt = nil
 	}
+	n.forkBusy, n.forkForks = 0, 0
 	// A pooled node may carry recycled groups where src has none; drop
 	// them so the child's materialization shape is exactly the parent's.
+	// Count the source's materialized groups while here: they price the
+	// clone (logical-size billing below).
+	srcGroups := 0
 	for gi := range n.groups {
-		if g := n.groups[gi].Load(); g != nil && src.groups[gi].Load() == nil {
+		sg := src.groups[gi].Load()
+		if sg != nil {
+			srcGroups++
+		}
+		if g := n.groups[gi].Load(); g != nil && sg == nil {
 			n.groups[gi].Store(nil)
 			t.groupsLive.Add(-1)
 		}
 	}
-	cpu.Tick(t.pageZero)
+	cpu.Tick(ForkNodeCost(t.pageZero, srcGroups))
 	t.nodesLive.Add(1)
 	t.nodesEver.Add(1)
 	return n
@@ -244,18 +353,33 @@ func (n *node[V]) forkGroup(nt *Tree[V], gi int) *slotGroup[V] {
 	return g
 }
 
+// waitUniformLocked waits out the node's latest merged busy period for an
+// arrival at virtual time at, under the usual overlap rule (an arrival
+// predating the busy period passes through). Caller holds matMu.
+func (n *node[V]) waitUniformLocked(cpu *hw.CPU, at uint64) {
+	if u := &n.uni; u.n > 0 {
+		if f := u.free[u.n-1]; f > at && at >= u.busyStart {
+			cpu.AdvanceTo(f)
+		}
+	}
+}
+
 // forkUnlock releases every slot bit of n at the end of a fork. The
 // uniform gate table is rewritten to one merged busy period — begun at the
 // fork's arrival (or the table's earlier busyStart) and free now — which
 // is exactly the state per-slot gates would hold and can never overflow
 // the plateau capacity. Materialized groups release through their own
-// gates. A locker that materialized a group mid-fork restored its gates
-// from the pre-merge table; it may under-wait the fork's critical section
-// in virtual time, an accepted inversion of the same class waitGate's
-// pass-through rule documents.
+// gates. A group materialized *mid-fork* restored its gates with the
+// fork's busy period merged in (initGroup consults forkBusy), so a
+// concurrent locker waits out the fork's critical section exactly as it
+// would behind any other holder.
 func (n *node[V]) forkUnlock(cpu *hw.CPU, arrive uint64) {
 	now := cpu.Now()
 	n.matMu.Lock()
+	n.forkForks--
+	if n.forkForks == 0 {
+		n.forkBusy = 0
+	}
 	merged := uniformGates{busyStart: arrive, n: 1}
 	merged.free[0] = now
 	if u := &n.uni; u.n > 0 {

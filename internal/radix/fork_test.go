@@ -100,10 +100,172 @@ func TestForkPreservesCompactness(t *testing.T) {
 
 func countLiveGroups[V any](t *Tree[V]) int64 { return t.groupsLive.Load() }
 
+// TestForkMidMaterializationBusyPeriod is the regression for the mid-fork
+// under-wait (ROADMAP open item 4, closed this PR): a slot group that
+// materializes while a fork holds the node's bits must restore gates whose
+// busy period includes the fork's — merged at materialization from the
+// node's in-progress-fork record — not just the pre-fork uniform table's.
+// Without the merge, a locker whose clock sits between the fork's arrival
+// and the (later) bulk-prime time recorded in the uniform table takes the
+// waitGate inversion pass-through and under-waits the fork's critical
+// section.
+func TestForkMidMaterializationBusyPeriod(t *testing.T) {
+	m, _, tr := newCopyTree(3)
+	c0, c1, c2 := m.CPU(0), m.CPU(1), m.CPU(2)
+
+	// Seed from a core whose clock is far ahead: first a folded value over
+	// the whole root slot, then a LockPage that expands it into a chain
+	// down to the leaf — every chain node's uniform table records a
+	// bulk-prime busy period around H.
+	const H = 1_000_000
+	c1.Tick(H)
+	r := tr.LockPage(c1, 5)
+	v := val{x: 1}
+	r.Entry(0).SetClone(&v) // folded: covers the whole root slot
+	r.Unlock()
+	r = tr.LockPage(c1, 5) // expands to the leaf at c1's clock (~H)
+	r.Unlock()
+
+	// Fork from a core far behind the seeder (gang skew), and stretch its
+	// critical section past the locker's clock M, with L < M < H.
+	const L = 10_000
+	const M = 50_000
+	c0.Tick(L)
+	c2.Tick(M)
+
+	var forkEnd uint64
+	sawLeaf := false
+	tr.ForkFlush(c0, func(lo, hi uint64, _, _ *val) {
+		if hi-lo == 1 { // a per-page visit: only the leaf produces these
+			sawLeaf = true
+		}
+	}, func(cpu *hw.CPU) {
+		if !sawLeaf || forkEnd != 0 {
+			return // not the leaf node's flush
+		}
+		// Mid-fork, with the leaf's bits held: a reader's touch of vpn 100
+		// materializes its (previously uniform) group. Its gates must carry
+		// the fork's busy period, which began around L.
+		if got := tr.Lookup(c2, 100); got == nil || got.x != 1 {
+			t.Fatalf("vpn 100 = %+v, want the uniform fill x=1", got)
+		}
+		cpu.Tick(100_000) // stretch the fork's critical section past M
+		forkEnd = cpu.Now()
+	})
+	if forkEnd == 0 {
+		t.Fatal("leaf flush never ran")
+	}
+
+	// The locker arrived inside the fork's (merged) busy period, so it must
+	// wait out the critical section — not pass through because the uniform
+	// table's bulk-prime busyStart H postdates its clock.
+	lr := tr.LockPage(c2, 100)
+	lr.Unlock()
+	if got := c2.Now(); got < forkEnd {
+		t.Fatalf("locker under-waited the fork's critical section: clock %d < fork end %d", got, forkEnd)
+	}
+}
+
+// TestForkCostModel: fork bills cloned nodes by their logical size —
+// header-sized ticks for uniform nodes plus a cache line per materialized
+// group — never the full simulated page the pre-cost-model fork charged.
+func TestForkCostModel(t *testing.T) {
+	pz := uint64(2560)
+	if got, want := ForkNodeCost(pz, 0), pz*ForkHeaderBytes/4096; got != want {
+		t.Fatalf("uniform node cost = %d, want %d", got, want)
+	}
+	if ForkNodeCost(pz, 0) >= pz/2 {
+		t.Fatalf("uniform header copy (%d cycles) not cheaper than half a page copy (%d)", ForkNodeCost(pz, 0), pz/2)
+	}
+	full := ForkNodeCost(pz, groupsPerNode)
+	if full < 2*pz {
+		t.Fatalf("fully diverged node (%d cycles) cheaper than its 8 KB of slots (%d)", full, 2*pz)
+	}
+
+	// A mostly-folded space forks for strictly less than the old flat
+	// page-copy charge per node.
+	m, _, tr := newCopyTree(1)
+	c := m.CPU(0)
+	pageZero := m.Config().PageZero
+	lo := span(1) * 4
+	r := tr.LockRange(c, lo, lo+span(1)) // one folded interior slot
+	r.Entry(0).SetClone(&val{x: 1})
+	r.Unlock()
+	before := c.Now()
+	child := tr.Fork(c, func(_, _ uint64, _, _ *val) {})
+	delta := c.Now() - before
+	nodes := uint64(child.NodesEver())
+	if delta >= nodes*pageZero {
+		t.Errorf("fork cost %d cycles >= old flat billing %d (%d nodes x PageZero)", delta, nodes*pageZero, nodes)
+	}
+	if delta < nodes*ForkNodeCost(pageZero, 0) {
+		t.Errorf("fork cost %d cycles < %d header copies (%d)", delta, nodes, nodes*ForkNodeCost(pageZero, 0))
+	}
+}
+
+// TestConcurrentForksConsistent races several cores forking one parent
+// simultaneously — the spawn-server pattern the hand-over-hand sweep
+// exists for: no deadlock at the tree locks, every child sees exactly the
+// parent's mappings, and the parent's locks are all free afterwards.
+func TestConcurrentForksConsistent(t *testing.T) {
+	const forkers = 4
+	m, rc, tr := newCopyTree(forkers)
+	seedC := m.CPU(0)
+	// Per-forker diverged leaves plus one shared folded range.
+	for f := 0; f < forkers; f++ {
+		for p := 0; p < 4; p++ {
+			vpn := uint64(f+1)*span(1) + uint64(p)
+			r := tr.LockPage(seedC, vpn)
+			v := val{x: f*100 + p}
+			r.Entry(0).SetClone(&v)
+			r.Unlock()
+		}
+	}
+	foldLo := span(1) * 16
+	r := tr.LockRange(seedC, foldLo, foldLo+span(1))
+	r.Entry(0).SetClone(&val{x: 7777})
+	r.Unlock()
+
+	children := make([]*Tree[val], forkers)
+	var wg sync.WaitGroup
+	for f := 0; f < forkers; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			c := m.CPU(f)
+			for k := 0; k < 10; k++ {
+				children[f] = tr.Fork(c, func(_, _ uint64, _, _ *val) {})
+				rc.Maintain(c)
+			}
+		}(f)
+	}
+	wg.Wait()
+	for f, child := range children {
+		for ff := 0; ff < forkers; ff++ {
+			for p := 0; p < 4; p++ {
+				vpn := uint64(ff+1)*span(1) + uint64(p)
+				got := child.Lookup(seedC, vpn)
+				if got == nil || got.x != ff*100+p {
+					t.Fatalf("child %d vpn %d: got %+v, want x=%d", f, vpn, got, ff*100+p)
+				}
+			}
+		}
+		if got := child.Lookup(seedC, foldLo+99); got == nil || got.x != 7777 {
+			t.Fatalf("child %d folded value: %+v", f, got)
+		}
+	}
+	// Every bit was released: a whole-space range lock goes through.
+	r = tr.LockRange(seedC, 1, MaxVPN-1)
+	r.Unlock()
+}
+
 // TestForkVsConcurrentLockRange races a fork against range lock/write
 // cycles in a disjoint and an overlapping region: no deadlock, no torn
 // snapshot (the child must hold either the old or the new value of each
-// whole range, never a mix within one folded write).
+// whole range, never a mix within one folded write). The written ranges
+// live inside one node — the granularity at which the hand-over-hand
+// fork promises atomicity; ranges spanning node boundaries may split at
+// a boundary, by documented design (see fork.go).
 func TestForkVsConcurrentLockRange(t *testing.T) {
 	m, rc, tr := newCopyTree(2)
 	c0, c1 := m.CPU(0), m.CPU(1)

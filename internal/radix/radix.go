@@ -226,6 +226,16 @@ type node[V any] struct {
 	matMu sync.Mutex
 	uni   uniformGates
 
+	// forkBusy/forkForks (matMu) track in-progress forks holding this
+	// node's slot bits: forkForks counts them and forkBusy is the earliest
+	// arrival among them — the start of the fork busy period forkUnlock
+	// will eventually merge into uni. A group materializing mid-fork
+	// consults them so its restored gates carry the fork's busy period,
+	// not just the pre-fork table's (a locker could otherwise under-wait
+	// the fork's critical section; see initGroup).
+	forkBusy  uint64
+	forkForks int32
+
 	bits   [SlotsPerNode / 64]atomic.Uint64 // packed slot lock bits
 	groups [groupsPerNode]atomic.Pointer[slotGroup[V]]
 }
@@ -270,6 +280,15 @@ func (n *node[V]) materializeLocked(gi int) *slotGroup[V] {
 func (n *node[V]) initGroup(g *slotGroup[V], gi int) {
 	t := n.tree
 	base := gi * slotsPerLine
+	// A fork in progress holds this node's bits: its busy period has not
+	// been merged into uni yet (forkUnlock does that), so merge it into the
+	// restored gates here. Without this, a locker materializing a group
+	// mid-fork could carry a busyStart later than the fork's arrival and
+	// pass the gate without waiting out the fork's critical section.
+	busyStart := n.uni.busyStart
+	if n.forkForks > 0 && n.forkBusy < busyStart {
+		busyStart = n.forkBusy
+	}
 	for j := 0; j < slotsPerLine; j++ {
 		var st *slotState[V]
 		if n.uniSt != nil {
@@ -286,7 +305,7 @@ func (n *node[V]) initGroup(g *slotGroup[V], gi int) {
 			}
 		}
 		storePlain(&g.sts[j], st)
-		g.gates[j].Restore(n.uni.freeAt(base+j), n.uni.busyStart)
+		g.gates[j].Restore(n.uni.freeAt(base+j), busyStart)
 	}
 }
 
@@ -538,6 +557,7 @@ func (t *Tree[V]) newNode(cpu *hw.CPU, level int, base uint64, fill *V, used int
 		n.uniSt = nil
 	}
 	n.uni = uniformGates{}
+	n.forkBusy, n.forkForks = 0, 0
 	if locked {
 		// Lock-bit propagation (§3.4) in bulk: set all 512 bits with 8
 		// word stores and record the priming instant; the node is

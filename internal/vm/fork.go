@@ -6,12 +6,15 @@ import (
 	"radixvm/internal/pagetable"
 )
 
-// Fork implements System for RadixVM. The radix tree's fork path acquires
-// every slot lock bit (left-to-right, like any other range operation, so
-// concurrent mmap/munmap/pagefault serialize with it at the leftmost
-// overlapping slot), snapshots the metadata into a child tree that keeps
-// the parent's uniform/diverged compactness, and releases. Per copied
-// entry:
+// Fork implements System for RadixVM. The radix tree's fork path sweeps
+// every slot lock bit left-to-right (the same global order as any range
+// operation, so concurrent mmap/munmap/pagefault serialize with it at each
+// overlapping slot) hand-over-hand: each node is copied under its bits,
+// write-protected, and released before the sweep descends further — which
+// is what lets a spawn server's concurrent per-core forks pipeline through
+// disjoint subtrees instead of serializing end to end. The snapshot goes
+// into a child tree that keeps the parent's uniform/diverged compactness,
+// billed by its logical size (radix.ForkNodeCost). Per copied entry:
 //
 //   - Never-faulted metadata (including folded interior entries) copies as
 //     is; each side faults its own frames later, privately.
@@ -43,7 +46,11 @@ func (as *AddressSpace) Fork(cpu *hw.CPU) (System, error) {
 	}
 
 	// Contiguous runs of faulted, writable, newly-COW pages, write-
-	// protected in one MMU.Protect (= one shootdown round) per run.
+	// protected in one MMU.Protect (= one shootdown round) per run. The
+	// runs are flushed per radix node *while its slot bits are still held*
+	// (ForkFlush), so no parent write can slip through a stale writable
+	// translation between a page's snapshot and the revocation of its
+	// write rights.
 	type protRun struct {
 		lo, hi  uint64
 		perm    pagetable.Perm
@@ -51,7 +58,7 @@ func (as *AddressSpace) Fork(cpu *hw.CPU) (System, error) {
 	}
 	var runs []protRun
 
-	child.tree = as.tree.Fork(cpu, func(lo, hi uint64, src, dst *Mapping) {
+	child.tree = as.tree.ForkFlush(cpu, func(lo, hi uint64, src, dst *Mapping) {
 		dst.TLBCores = hw.CoreSet{} // a fresh space: nobody caches anything
 		if src.Frame == nil {
 			return // metadata-only copy
@@ -81,11 +88,13 @@ func (as *AddressSpace) Fork(cpu *hw.CPU) (System, error) {
 		} else {
 			runs = append(runs, protRun{lo: lo, hi: hi, perm: perm, targets: src.TLBCores})
 		}
+	}, func(cpu *hw.CPU) {
+		for i := range runs {
+			r := &runs[i]
+			as.mmu.Protect(cpu, r.lo, r.hi, r.perm, r.targets, as.activeSet())
+		}
+		runs = runs[:0]
 	})
-	for i := range runs {
-		r := &runs[i]
-		as.mmu.Protect(cpu, r.lo, r.hi, r.perm, r.targets, as.activeSet())
-	}
 	return child, nil
 }
 
@@ -145,18 +154,22 @@ type Span struct{ Lo, Hi uint64 }
 // (dup_mmap): for every present translation in the anonymous spans, take a
 // reference for the child's page table, install the translation there with
 // write permission stripped, and downgrade the parent's entry in place
-// when it was writable. Returns whether any write right was revoked plus
-// the bounding page range of the downgrades, so the caller can issue its
-// single conservative broadcast flush. The caller holds the parent's
-// address-space lock; the child is private.
+// when it was writable. Each copied entry is billed by its logical size
+// (MetaCopyCost over PTECopyBytes) — the same by-logical-size rule that
+// prices RadixVM's node clones. Returns whether any write right was
+// revoked plus the bounding page range of the downgrades, so the caller
+// can issue its single conservative broadcast flush. The caller holds the
+// parent's address-space lock; the child is private.
 func ForkCopyTranslations(cpu *hw.CPU, alloc *mem.Allocator, parent, child *pagetable.PageTable, spans []Span) (revoked bool, lo, hi uint64) {
 	lo, hi = ^uint64(0), uint64(0)
+	pageZero := cpu.Machine().Config().PageZero
 	for _, s := range spans {
 		parent.ForEachRange(cpu, s.Lo, s.Hi, func(vpn uint64, pte pagetable.PTE) {
 			f := alloc.ByPFN(pte.PFN)
 			if f == nil {
 				return
 			}
+			cpu.Tick(MetaCopyCost(pageZero, PTECopyBytes))
 			alloc.IncRef(cpu, f) // the child page table's reference
 			perm := pte.Perm &^ pagetable.PermW
 			child.Map(cpu, vpn, pte.PFN, perm)

@@ -151,6 +151,31 @@ const (
 	WalkCost = 40
 )
 
+// Fork's metadata copies are billed by their *logical* size at the
+// page-copy rate (PageZero cycles per MetaPageBytes), on every system:
+// RadixVM bills each cloned radix node as a compact header plus its
+// materialized groups (radix.ForkNodeCost), and the baselines bill each
+// duplicated VMA/region struct and each copied PTE below. Only genuinely
+// shared frames — the COW copies on first write — pay the full page rate,
+// through Allocator.Alloc as before.
+const (
+	// MetaPageBytes is the page-copy rate's denominator: PageZero is the
+	// cost of touching one 4 KB page.
+	MetaPageBytes = 4096
+	// VMACopyBytes is the logical size of one duplicated region struct in
+	// a baseline fork's dup_mmap pass (~sizeof(struct vm_area_struct),
+	// matching linuxvm.VMABytes' Table 2 accounting).
+	VMACopyBytes = 200
+	// PTECopyBytes is the logical size of one copied page table entry.
+	PTECopyBytes = 8
+)
+
+// MetaCopyCost converts a logical metadata size into virtual cycles at the
+// page-copy rate.
+func MetaCopyCost(pageZero, bytes uint64) uint64 {
+	return pageZero * bytes / MetaPageBytes
+}
+
 // File is a mappable object backed by the (simulated) page cache: all
 // mappings of the same file offset share one physical frame, which is what
 // makes the Figure 8 workload hammer a single reference count.

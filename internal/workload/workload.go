@@ -315,6 +315,80 @@ func Fork(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Res
 	return run(env, "fork", sys, cores, warm, body)
 }
 
+// Spawn runs the spawn-server microbenchmark, the concurrent half of the
+// fork story: where Fork designates one core to fork while the gang waits,
+// Spawn has *every* core fork its own copy-on-write child of one shared
+// multithreaded parent each round, with no barrier between the forks — so
+// fork-vs-fork (and fork-vs-fault) contention at the address-space
+// structures is exercised directly, the pattern of a posix_spawn service
+// or a per-connection preforking server. Per round, each core:
+//
+//  1. forks its own child of the shared parent (concurrently with every
+//     other core's fork);
+//  2. COW-touches its own region in its child — each first write breaks
+//     the share and copies the frame;
+//  3. re-dirties its own region in the *parent* (the server thread keeps
+//     serving), which breaks the parent-side COW shares and re-arms the
+//     next fork's write-protect pass;
+//  4. tears its child down, exit_mmap-style — one munmap per mapped
+//     region — unwinding the child's COW shares and frame references
+//     exactly.
+//
+// On RadixVM the forks serialize only at the radix slot locks — cheap,
+// because the cost model bills the structural clone's compact headers by
+// their logical size — while the parent-side COW breaks stay per-page and
+// targeted (the stale translation lives only on the breaking core: no
+// shootdowns at all). The baselines serialize every fork, parent break,
+// and parent fault on one address-space lock and broadcast a TLB flush to
+// every core using the parent per parent-side break — which is exactly
+// where they should, and do, collapse. The reported metric counts child
+// and parent page writes, as in the local benchmark.
+func Spawn(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Result {
+	bar := hw.NewBarrier(cores)
+	round := func(c *hw.CPU, g *hw.Gang) uint64 {
+		lo := spread(c.ID())
+		ch, err := sys.Fork(c)
+		mustNil(err)
+		var writes uint64
+		for v := lo; v < lo+regionPages; v++ {
+			mustNil(ch.Access(c, v, true)) // child COW break: copy
+			writes++
+		}
+		for v := lo; v < lo+regionPages; v++ {
+			mustNil(sys.Access(c, v, true)) // parent re-dirty: parent-side break
+			writes++
+		}
+		// The child exits: unmap every inherited region, exit_mmap-style.
+		for id := 0; id < cores; id++ {
+			mustNil(ch.Munmap(c, spread(id), regionPages))
+		}
+		return writes
+	}
+	warm := func(c *hw.CPU, g *hw.Gang) uint64 {
+		// The parent: each core maps and write-faults its own region, then
+		// one throwaway round pays the first fork's one-time shootdowns and
+		// settles every line the loop touches.
+		lo := spread(c.ID())
+		mustNil(sys.Mmap(c, lo, regionPages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+		for v := lo; v < lo+regionPages; v++ {
+			mustNil(sys.Access(c, v, true))
+		}
+		bar.Wait(c, g) // every region faulted before the first fork
+		round(c, g)
+		return 0
+	}
+	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+		var writes uint64
+		for k := 0; k < iters; k++ {
+			writes += round(c, g)
+			env.RC.Maintain(c)
+			g.Sync(c)
+		}
+		return writes
+	}
+	return run(env, "spawn", sys, cores, warm, body)
+}
+
 func mustNil(err error) {
 	if err != nil {
 		panic(err)

@@ -185,6 +185,95 @@ func TestForkBaselinesBroadcast(t *testing.T) {
 	}
 }
 
+func TestSpawnRunsOnAllSystems(t *testing.T) {
+	for _, mk := range []func(*Env, *mem.Allocator) vm.System{
+		func(e *Env, a *mem.Allocator) vm.System { return vm.New(e.M, e.RC, a, nil) },
+		func(e *Env, a *mem.Allocator) vm.System { return linuxvm.New(e.M, e.RC, a) },
+		func(e *Env, a *mem.Allocator) vm.System { return bonsaivm.New(e.M, e.RC, a) },
+	} {
+		env, alloc := newEnv(2)
+		sys := mk(env, alloc)
+		r := Spawn(env, sys, 2, 10, 4)
+		// Each core, each round: 4 child writes + 4 parent re-dirties.
+		if want := uint64(2 * 10 * 8); r.PageWrites != want {
+			t.Fatalf("%s: PageWrites = %d, want %d", sys.Name(), r.PageWrites, want)
+		}
+		// Every core forks its own child every round.
+		if want := uint64(2 * 10); r.Stats.Forks != want {
+			t.Fatalf("%s: Forks = %d, want %d", sys.Name(), r.Stats.Forks, want)
+		}
+		// Every measured write — child and parent side alike — is a COW
+		// break: the child inherits everything shared, and the parent's
+		// re-dirtied pages were re-COWed by the round's forks.
+		if r.Stats.COWBreaks != r.PageWrites {
+			t.Fatalf("%s: COWBreaks = %d, want %d", sys.Name(), r.Stats.COWBreaks, r.PageWrites)
+		}
+	}
+}
+
+func TestSpawnShootdownsTargetedOnRadixVM(t *testing.T) {
+	// The spawn steady state on RadixVM: each round's forks re-COW the
+	// parent's re-dirtied regions — one targeted single-core shootdown per
+	// region per round, from the per-page sharer sets — and the parent-side
+	// COW breaks send nothing at all (the only stale translation lives on
+	// the breaking core itself). Totals are deterministic even though which
+	// fork pays each revoke is scheduling-dependent.
+	const cores, iters = 4, 20
+	m := hw.NewMachine(hw.DefaultConfig(cores))
+	rc := refcache.New(m)
+	env := &Env{M: m, RC: rc}
+	sys := vm.New(env.M, env.RC, mem.NewAllocator(m, rc), nil)
+	r := Spawn(env, sys, cores, iters, 4)
+	if want := uint64(cores * iters); r.Stats.IPIsSent != want {
+		t.Errorf("radixvm spawn sent %d IPIs, want %d (one per re-dirtied region per round)", r.Stats.IPIsSent, want)
+	}
+	if want := uint64(cores * iters); r.Stats.Shootdowns != want {
+		t.Errorf("radixvm spawn ran %d shootdown rounds, want %d", r.Stats.Shootdowns, want)
+	}
+}
+
+func TestSpawnBaselinesBroadcast(t *testing.T) {
+	// The contrast: the baselines broadcast to every core using the parent
+	// on each fork's write-protect pass AND on each parent-side COW break.
+	const cores, iters = 4, 10
+	for _, mk := range []func(*Env, *mem.Allocator) vm.System{
+		func(e *Env, a *mem.Allocator) vm.System { return linuxvm.New(e.M, e.RC, a) },
+		func(e *Env, a *mem.Allocator) vm.System { return bonsaivm.New(e.M, e.RC, a) },
+	} {
+		env, alloc := newEnv(cores)
+		sys := mk(env, alloc)
+		r := Spawn(env, sys, cores, iters, 4)
+		// At minimum, every fork and every parent-side break broadcasts to
+		// the other cores (cores-1 IPIs each).
+		min := uint64(cores*iters) * uint64(cores-1)
+		if r.Stats.IPIsSent < min {
+			t.Errorf("%s spawn sent %d IPIs, want >= %d (per-fork broadcasts)", sys.Name(), r.Stats.IPIsSent, min)
+		}
+	}
+}
+
+func TestSpawnScalesOnRadixVMNotBaselines(t *testing.T) {
+	// The headline: concurrent per-core fork/exit throughput grows with
+	// cores on RadixVM (forks pipeline through the tree hand-over-hand,
+	// COW breaks stay per-page and targeted) while the Linux baseline
+	// stays near-flat on its address-space lock and broadcasts.
+	throughput := func(mk func(*Env, *mem.Allocator) vm.System, cores int) float64 {
+		m := hw.NewMachine(hw.DefaultConfig(cores))
+		rc := refcache.New(m)
+		env := &Env{M: m, RC: rc}
+		r := Spawn(env, mk(env, mem.NewAllocator(m, rc)), cores, 30, 8)
+		return r.PerSecond()
+	}
+	radix := func(e *Env, a *mem.Allocator) vm.System { return vm.New(e.M, e.RC, a, nil) }
+	linux := func(e *Env, a *mem.Allocator) vm.System { return linuxvm.New(e.M, e.RC, a) }
+	if one, eight := throughput(radix, 1), throughput(radix, 8); eight < 2.5*one {
+		t.Errorf("radixvm spawn did not scale: %.2f -> %.2f M pages/s from 1 -> 8 cores", one/1e6, eight/1e6)
+	}
+	if one, eight := throughput(linux, 1), throughput(linux, 8); eight > 2.2*one {
+		t.Errorf("linux spawn scaled unexpectedly: %.2f -> %.2f M pages/s from 1 -> 8 cores", one/1e6, eight/1e6)
+	}
+}
+
 func TestLocalScalesLinearlyOnRadixVM(t *testing.T) {
 	// The Figure 5 headline in miniature: per-op virtual cost must stay
 	// ~flat from 1 to 8 cores on RadixVM.
