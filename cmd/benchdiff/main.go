@@ -25,11 +25,14 @@
 // noisy.
 //
 // -allow-jitter takes comma-separated exp/series/cores triples ("*"
-// wildcards series, 0 wildcards cores) naming cells whose run-to-run
+// wildcards series, 0 wildcards cores; series may contain "/", as the
+// scale figure's system/workload series do) naming cells whose run-to-run
 // jitter is known and benign; they are excluded from warnings and the fail
 // gate and marked ~ in the tables. The default covers Figure 8's shared
 // counter at 8 cores, whose contention resolution has been
-// real-scheduling-dependent (<1% jitter) since the seed.
+// real-scheduling-dependent (<1% jitter) since the seed, and the scale
+// figure's fork/spawn rows (frame-metadata line races, same class as the
+// fork figure's fig-stability mask).
 package main
 
 import (
@@ -89,13 +92,17 @@ func parseAllow(s string) ([]allowEntry, error) {
 		if part == "" {
 			continue
 		}
-		fields := strings.Split(part, "/")
-		if len(fields) != 3 {
+		// Series names may themselves contain "/" (the scale figure's
+		// system/workload series), so the experiment is everything before
+		// the first separator and the core count everything after the last.
+		first := strings.Index(part, "/")
+		last := strings.LastIndex(part, "/")
+		if first < 0 || first == last {
 			return nil, fmt.Errorf("bad -allow-jitter entry %q (want exp/series/cores)", part)
 		}
-		e := allowEntry{exp: fields[0], series: fields[1]}
-		if fields[2] != "*" {
-			n, err := strconv.Atoi(fields[2])
+		e := allowEntry{exp: part[:first], series: part[first+1 : last]}
+		if c := part[last+1:]; c != "*" {
+			n, err := strconv.Atoi(c)
 			if err != nil {
 				return nil, fmt.Errorf("bad -allow-jitter cores in %q", part)
 			}
@@ -277,7 +284,11 @@ func main() {
 	lastN := flag.Int("last", 10, "with -trend, show at most this many previous runs")
 	warnPct := flag.Float64("warn", 10, "emit ::warning:: annotations for regressions beyond this percent (0 disables)")
 	failPct := flag.Float64("fail", 0, "exit non-zero on regressions beyond this percent (0 disables)")
-	allowFlag := flag.String("allow-jitter", "fig8/shared/8", "comma-separated exp/series/cores cells with known benign run-to-run jitter, excluded from warnings and the fail gate (\"*\" wildcards series, 0 wildcards cores)")
+	allowFlag := flag.String("allow-jitter",
+		"fig8/shared/8,"+
+			"scale/radixvm/fork/0,scale/bonsai/fork/0,scale/linux/fork/0,"+
+			"scale/radixvm/spawn/0,scale/bonsai/spawn/0,scale/linux/spawn/0",
+		"comma-separated exp/series/cores cells with known benign run-to-run jitter, excluded from warnings and the fail gate (\"*\" wildcards series, 0 wildcards cores); the default covers fig8's shared counter and the scale figure's fork/spawn rows, whose frame-metadata line races resolve in real arrival order")
 	flag.Parse()
 	allow, err := parseAllow(*allowFlag)
 	if err != nil {

@@ -8,7 +8,11 @@
 //	radixbench -quick                      # fast smoke sweep (1,4,8 cores)
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, mprotect,
-// fork, spawn, table2, memory.
+// fork, spawn, scale, table2, memory.
+//
+// The scale experiment sweeps 1..64 cores (1,8,64 with -quick) across all
+// three systems and workloads; the other figure experiments keep the
+// paper's 1,10,20,40,80 hardware-thread axis scaled to the default sweep.
 package main
 
 import (
@@ -31,17 +35,19 @@ type jsonExp struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|fork|spawn|table2|memory")
-	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,20,40,80)")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|fork|spawn|scale|table2|memory")
+	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,20,40,80; scale: 1,4,8,16,32,64)")
 	iters := flag.Int("iters", 0, "per-core iterations (default per experiment)")
-	quick := flag.Bool("quick", false, "fast smoke sweep (1,4,8 cores, few iters)")
-	memCores := flag.Int("memcores", 20, "core count for the -exp memory experiment")
+	quick := flag.Bool("quick", false, "fast smoke sweep (1,4,8 cores; scale: 1,8,64)")
+	memCores := flag.Int("memcores", 20, "core count for the -exp memory experiment (80-core run is always appended)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
+	so := harness.ScaleOptions()
 	if *quick {
 		o = harness.QuickOptions()
+		so = harness.ScaleQuickOptions()
 	}
 	if *coresFlag != "" {
 		o.Cores = nil
@@ -53,9 +59,11 @@ func main() {
 			}
 			o.Cores = append(o.Cores, n)
 		}
+		so.Cores = o.Cores
 	}
 	if *iters > 0 {
 		o.Iters = *iters
+		so.Iters = *iters
 	}
 
 	// run computes one experiment, returning tables for figure experiments
@@ -82,10 +90,18 @@ func main() {
 			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigFork(o)}}
 		case "spawn":
 			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigSpawn(o)}}
+		case "scale":
+			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigScale(so)}}
 		case "table2":
 			return jsonExp{Name: name, Text: harness.Table2()}
 		case "memory":
-			return jsonExp{Name: name, Text: harness.MetisMemory(*memCores)}
+			// Report the requested sweep point alongside the paper's own
+			// 80-core measurement (§5.4 cites 13x there).
+			txt := harness.MetisMemory(*memCores)
+			if *memCores != 80 {
+				txt += harness.MetisMemory(80)
+			}
+			return jsonExp{Name: name, Text: txt}
 		default:
 			fmt.Fprintf(os.Stderr, "radixbench: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -95,7 +111,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "fork", "spawn", "table2", "memory"}
+		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "fork", "spawn", "scale", "table2", "memory"}
 	}
 
 	var results []jsonExp

@@ -42,6 +42,20 @@ func QuickOptions() Options {
 	return Options{Cores: []int{1, 4, 8}, Iters: 60}
 }
 
+// ScaleOptions sweeps the extended 1-64-core series the tree-barrier
+// simulator makes reachable (the paper's machine has 80 cores across 8
+// sockets; past 8 cores the sweep crosses socket boundaries and the
+// baselines start paying cross-socket IPI costs).
+func ScaleOptions() Options {
+	return Options{Cores: []int{1, 4, 8, 16, 32, 64}, Iters: 120}
+}
+
+// ScaleQuickOptions is the smoke variant of ScaleOptions for CI: the
+// 1-core anchor, the single-socket point, and the 64-core headline.
+func ScaleQuickOptions() Options {
+	return Options{Cores: []int{1, 8, 64}, Iters: 40}
+}
+
 // Row is one data point: a labeled series value at a core count. The JSON
 // tags define the machine-readable schema `radixbench -json` emits for
 // perf-trajectory tooling.
@@ -80,15 +94,38 @@ func (t *Table) Print(w io.Writer) {
 		val[r.Series][r.Cores] = r.Value
 		unit = r.Unit
 	}
-	fmt.Fprintf(w, "%-22s", "series \\ cores")
+	// Column widths adapt to long series labels and wide values (the
+	// 64-128-core sweeps' series like "radixvm/mprotect" and 3-digit core
+	// counts), but never drop below the historical 22/12 so all existing
+	// figure outputs keep their exact byte layout.
+	sw := len("series \\ cores")
+	for _, s := range series {
+		if len(s) > sw {
+			sw = len(s)
+		}
+	}
+	if sw < 22 {
+		sw = 22
+	} else {
+		sw += 2
+	}
+	vw := 12
+	for _, s := range series {
+		for _, c := range cores {
+			if l := len(fmt.Sprintf("%.2f", val[s][c])); l+2 > vw {
+				vw = l + 2
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-*s", sw, "series \\ cores")
 	for _, c := range cores {
-		fmt.Fprintf(w, "%12d", c)
+		fmt.Fprintf(w, "%*d", vw, c)
 	}
 	fmt.Fprintf(w, "   (%s)\n", unit)
 	for _, s := range series {
-		fmt.Fprintf(w, "%-22s", s)
+		fmt.Fprintf(w, "%-*s", sw, s)
 		for _, c := range cores {
-			fmt.Fprintf(w, "%12.2f", val[s][c])
+			fmt.Fprintf(w, "%*.2f", vw, val[s][c])
 		}
 		fmt.Fprintln(w)
 	}
@@ -233,6 +270,44 @@ func FigSpawn(o Options) *Table {
 			e, a := env(n)
 			r := workload.Spawn(e, f.make(e, a), n, o.Iters, 16)
 			t.Rows = append(t.Rows, Row{Series: f.name, Cores: n, Value: r.PerSecond() / 1e6, Unit: "M pages/s"})
+		}
+	}
+	return t
+}
+
+// FigScale is the extended scalability figure the 64-128-core simulator
+// exists for: the three VM-operation workloads whose slopes the paper's
+// central claim is about (targeted mprotect, fork+COW, concurrent spawn),
+// swept across socket boundaries. radixvm's per-page sharer sets keep
+// every shootdown targeted, so its slope holds as the sweep crosses
+// sockets; linux and bonsai broadcast, and past one socket each broadcast
+// pays the cross-socket IPI rate for most of its growing target list, so
+// their curves stay flat or fall. Series are system/workload pairs.
+func FigScale(o Options) *Table {
+	t := &Table{Title: "scale: VM-op throughput to 64 cores (M page writes/sec)"}
+	type wl struct {
+		name string
+		run  func(e *workload.Env, s vm.System, n int) workload.Result
+	}
+	wls := []wl{
+		{"mprotect", func(e *workload.Env, s vm.System, n int) workload.Result {
+			return workload.Protect(e, s, n, o.Iters, 4)
+		}},
+		{"fork", func(e *workload.Env, s vm.System, n int) workload.Result {
+			return workload.Fork(e, s, n, o.Iters, 16)
+		}},
+		{"spawn", func(e *workload.Env, s vm.System, n int) workload.Result {
+			return workload.Spawn(e, s, n, o.Iters, 16)
+		}},
+	}
+	for _, w := range wls {
+		for _, f := range factories() {
+			series := f.name + "/" + w.name
+			for _, n := range o.Cores {
+				e, a := env(n)
+				r := w.run(e, f.make(e, a), n)
+				t.Rows = append(t.Rows, Row{Series: series, Cores: n, Value: r.PerSecond() / 1e6, Unit: "M pages/s"})
+			}
 		}
 	}
 	return t
@@ -484,7 +559,12 @@ func Table2() string {
 }
 
 // MetisMemory reproduces §5.4's per-core vs shared page table overhead for
-// the Metis job at the given core count.
+// the Metis job at the given core count. The paper measured 13x at 80
+// cores; our model overshoots that at high core counts (53x at 80) because
+// every simulated core maps and faults the job's whole shared image, where
+// the real Metis run leaves most of its 38 GB touched by only a few cores.
+// At 20 cores the modeled ratio (12.6x) happens to sit right at the
+// paper's number.
 func MetisMemory(cores int) string {
 	cfg := metis.DefaultConfig()
 	run := func(mmu func(m *hw.Machine) vm.MMU) uint64 {
@@ -497,7 +577,8 @@ func MetisMemory(cores int) string {
 	sh := run(func(m *hw.Machine) vm.MMU { return vm.NewSharedMMU(m) })
 	return fmt.Sprintf("== §5.4: Metis page-table memory at %d cores ==\n"+
 		"shared page table:   %8d KB\n"+
-		"per-core page table: %8d KB (%.1fx; paper measured 13x at 80 cores)\n",
+		"per-core page table: %8d KB (%.1fx; paper measured 13x at 80 cores,\n"+
+		"                     where this model's all-cores-touch-everything job overshoots)\n",
 		cores, sh/1024, per/1024, float64(per)/float64(sh))
 }
 

@@ -1,6 +1,9 @@
 package hw
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Gang keeps a group of simulated cores' virtual clocks within a bounded
 // skew of each other (conservative-window parallel discrete event
@@ -13,30 +16,46 @@ import "sync"
 //
 // A core that finishes its work must call Leave so the others stop waiting
 // for it.
-// Internally the gang tracks the slowest member incrementally: clocks are
-// monotonic, so the minimum can only change when the current minimum
-// member reports or membership changes. Sync therefore recomputes the
-// minimum (a scan of the member list) and wakes waiters only on those
-// events, instead of scanning a map and broadcasting on every call — the
-// seed's per-Sync map scan plus thundering-herd broadcast was among the
-// largest real-CPU costs of every gang-driven benchmark.
+//
+// # Tree structure
+//
+// The gang is a two-level tree mirroring the simulated machine's socket
+// topology. Each socket's members sync against a socket-local sub-gang: a
+// per-socket mutex, condvar, incremental minimum (clocks are monotonic, so
+// the minimum only moves when the slowest member reports or membership
+// changes), and a per-socket adaptive quantum. The socket publishes its
+// minimum as a single atomic word; the global minimum is the min over
+// those published words — a handful of atomic loads, no shared lock. The
+// global layer (one mutex + condvar) is touched only when a member has
+// exhausted its window against a *remote* socket's published minimum and
+// must park; socket-minimum advances broadcast there only while such
+// remote waiters exist.
+//
+// The previous flat design — one mutex, one O(members) scan, one
+// thundering-herd broadcast — was the simulator's own scalability ceiling:
+// real time per Sync grew superlinearly with member count, which is why
+// every figure stopped at 8–16 cores. With the tree, the hot structures a
+// Sync touches are all per-socket (at most CoresPerSocket contenders), so
+// the real-time cost per Sync stays near-flat from 8 to 128 members.
 //
 // # Adaptive quantum batching
 //
 // The skew bound exists only to make simulated *contention* faithful: if
 // two cores never touch a common cache line, their virtual outcomes are
 // independent of how far their clocks drift, and forcing them to lock-step
-// every `quantum` cycles is pure real-time overhead — the gang's mutex and
-// condvar were the simulator's own scalability ceiling above ~40
-// goroutines. Sync therefore watches each member's contention signal (its
-// cache-line transfer and received-IPI counters): after a calm window with
-// no member observing any cross-core traffic the effective quantum doubles
-// (up to maxBatchFactor× the configured bound), and the moment any member
-// observes a transfer it snaps back to the configured quantum. Contended
-// benchmarks (the Figure 5 baselines, Figure 7's writers, Figure 8)
-// never leave the configured bound, so their interleaving — and their
-// virtual-time output — is exactly as before; embarrassingly parallel
-// phases stop paying for a tight lock-step they never needed.
+// every `quantum` cycles is pure real-time overhead. Sync therefore
+// watches each member's contention signal (its cache-line transfer and
+// received-IPI counters): after a calm window with no member of the
+// *socket* observing any cross-core traffic the socket's effective quantum
+// doubles (up to maxBatchFactor× the configured bound), and the moment any
+// member observes a transfer it snaps back to the configured quantum. The
+// machinery composes per level: a calm socket widens locally even while a
+// sibling socket is contended, because each socket's bound is driven only
+// by its own members' signals and its own minimum's progress. Contended
+// sockets never leave the configured bound, so their interleaving — and
+// the virtual-time output — is exactly as with the flat barrier;
+// embarrassingly parallel sockets stop paying for a tight lock-step they
+// never needed.
 //
 // Widening carries hysteresis, because the contention signal arrives one
 // Sync late (a member reports the transfers of its *previous* iteration):
@@ -47,19 +66,42 @@ import "sync"
 // windows the next widening step requires (calmNeed, capped), so an
 // alternating workload settles at the tight bound within a few cycles; a
 // ramp that makes it all the way back to the cap proves the calm is real
-// and resets calmNeed to one. A gang that never observes contention
+// and resets calmNeed to one. A socket that never observes contention
 // behaves exactly as before (calmNeed stays at one).
 type Gang struct {
+	quantum uint64 // configured skew bound (the floor)
+
+	// Socket layer. regMu serializes sub-gang creation; a published
+	// sockGang and the socks list snapshot are immutable afterwards.
+	regMu   sync.Mutex
+	sockets [MaxCores]atomic.Pointer[sockGang] // indexed by socket number
+	socks   atomic.Pointer[[]*sockGang]        // sockets ever populated
+
+	// Global layer: touched only when a member must park on a remote
+	// socket's progress.
+	gmu      sync.Mutex
+	gcond    *sync.Cond
+	gwaiters atomic.Int64
+}
+
+// sockGang is one socket's sub-gang: the members on that socket, their
+// local minimum, and the socket's own adaptive skew bound.
+type sockGang struct {
+	g    *Gang
+	idx  int // socket number
+	base int // first core ID on this socket
+
+	min atomic.Uint64 // published socket minimum; emptyMin when no members
+	eff atomic.Uint64 // adaptive bound: quantum..maxBatchFactor*quantum
+
 	mu      sync.Mutex
 	cond    *sync.Cond
-	quantum uint64 // configured skew bound (the floor)
-	eff     uint64 // current effective bound: quantum..maxBatchFactor*quantum
-	clocks  [MaxCores]uint64
-	lastObs [MaxCores]uint64 // last contention counter sample per member
-	member  [MaxCores]bool
-	ids     []int // active member ids, unordered
+	clocks  []uint64 // local index -> clock
+	lastObs []uint64 // last contention counter sample per member
+	member  []bool
+	ids     []int // active local indices, unordered
+	minLoc  int
 	minVal  uint64
-	minID   int
 	calmLo  uint64 // minVal when the current calm window started
 	// Hysteresis state: widening requires calmNeed consecutive calm
 	// windows (calmStreak counts them). Snap-backs from a widened bound
@@ -78,13 +120,19 @@ const DefaultQuantum = 2000
 // configured bound during contention-free stretches.
 const maxBatchFactor = 32
 
-// calmWindowFactor is how many effective quanta of global progress must
-// pass without any member observing contention before the bound widens.
+// calmWindowFactor is how many effective quanta of socket-minimum progress
+// must pass without any member of the socket observing contention before
+// the socket's bound widens.
 const calmWindowFactor = 4
 
 // maxCalmNeed caps the widening hysteresis: however noisy the workload, a
 // long enough genuinely-calm stretch can always re-widen eventually.
 const maxCalmNeed = 64
+
+// emptyMin is the minimum an empty socket (or gang) reports, so nobody
+// blocks on it. Slightly below the maximum clock so adding a bound to it
+// cannot wrap.
+const emptyMin = ^uint64(0) - 1<<32
 
 // NewGang creates a gang with the given skew bound in cycles
 // (DefaultQuantum if <= 0).
@@ -92,10 +140,46 @@ func NewGang(quantum uint64) *Gang {
 	if quantum == 0 {
 		quantum = DefaultQuantum
 	}
-	g := &Gang{quantum: quantum, eff: quantum, calmNeed: 1}
-	g.cond = sync.NewCond(&g.mu)
-	g.recompute()
+	g := &Gang{quantum: quantum}
+	g.gcond = sync.NewCond(&g.gmu)
+	empty := []*sockGang{}
+	g.socks.Store(&empty)
 	return g
+}
+
+// socketFor returns (creating if needed) the sub-gang for cpu's socket.
+func (g *Gang) socketFor(cpu *CPU) *sockGang {
+	sid := cpu.Socket()
+	if s := g.sockets[sid].Load(); s != nil {
+		return s
+	}
+	g.regMu.Lock()
+	defer g.regMu.Unlock()
+	if s := g.sockets[sid].Load(); s != nil {
+		return s
+	}
+	cps := cpu.m.cfg.CoresPerSocket
+	s := &sockGang{
+		g:        g,
+		idx:      sid,
+		base:     sid * cps,
+		clocks:   make([]uint64, cps),
+		lastObs:  make([]uint64, cps),
+		member:   make([]bool, cps),
+		minLoc:   -1,
+		minVal:   emptyMin,
+		calmNeed: 1,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.min.Store(emptyMin)
+	s.eff.Store(g.quantum)
+	old := *g.socks.Load()
+	list := make([]*sockGang, len(old)+1)
+	copy(list, old)
+	list[len(old)] = s
+	g.socks.Store(&list)
+	g.sockets[sid].Store(s)
+	return s
 }
 
 // Join registers cpu as an active member. Call before the core's loop
@@ -103,112 +187,204 @@ func NewGang(quantum uint64) *Gang {
 func (g *Gang) Join(cpu *CPU) {
 	now := cpu.Now()
 	obs := cpu.stats.Transfers + cpu.stats.IPIsReceived()
-	g.mu.Lock()
-	id := cpu.ID()
-	if !g.member[id] {
-		g.member[id] = true
-		g.ids = append(g.ids, id)
+	s := g.socketFor(cpu)
+	li := cpu.ID() - s.base
+	s.mu.Lock()
+	if !s.member[li] {
+		s.member[li] = true
+		s.ids = append(s.ids, li)
 	}
-	g.clocks[id] = now
-	g.lastObs[id] = obs // traffic before joining is not gang contention
-	g.recompute()       // a joiner may lower the minimum
-	g.cond.Broadcast()
-	g.mu.Unlock()
+	s.clocks[li] = now
+	s.lastObs[li] = obs // traffic before joining is not gang contention
+	s.advanceLocked()   // a joiner may lower the minimum
+	s.mu.Unlock()
 }
 
-// Sync reports cpu's clock and blocks while cpu is more than the current
-// effective quantum ahead of the slowest active member.
+// Sync reports cpu's clock and blocks while cpu is more than its socket's
+// current effective quantum ahead of the slowest active member anywhere in
+// the gang.
 func (g *Gang) Sync(cpu *CPU) {
 	now := cpu.Now()
-	id := cpu.ID()
 	// Contention signal, sampled outside the lock: Transfers is owned by
 	// the calling goroutine, ipisRecv is atomic.
 	obs := cpu.stats.Transfers + cpu.stats.IPIsReceived()
-	g.mu.Lock()
-	g.clocks[id] = now
-	if id == g.minID {
-		// Only the slowest member's report can advance the minimum, so
-		// only then do waiters need a wakeup.
-		g.recompute()
-		g.cond.Broadcast()
+	s := g.sockets[cpu.Socket()].Load()
+	li := cpu.ID() - s.base
+	s.mu.Lock()
+	s.clocks[li] = now
+	if li == s.minLoc {
+		// Only the slowest member's report can advance the socket minimum,
+		// so only then do waiters need a wakeup.
+		s.advanceLocked()
 	}
-	if obs != g.lastObs[id] {
+	quantum := g.quantum
+	if obs != s.lastObs[li] {
 		// This member moved a cache line (or took an IPI) since its last
-		// report: contention is live, tighten back to the configured
-		// bound and restart the calm window. A snap-back from a widened
-		// bound means the last widening was premature (the signal lags a
-		// Sync), so the next one must earn more consecutive calm windows.
-		g.lastObs[id] = obs
-		if g.eff > g.quantum && g.calmNeed < maxCalmNeed {
-			g.calmNeed *= 2
+		// report: contention is live on this socket, tighten back to the
+		// configured bound and restart the calm window. A snap-back from a
+		// widened bound means the last widening was premature (the signal
+		// lags a Sync), so the next one must earn more consecutive calm
+		// windows.
+		s.lastObs[li] = obs
+		if s.eff.Load() > quantum && s.calmNeed < maxCalmNeed {
+			s.calmNeed *= 2
 		}
-		g.eff = g.quantum
-		g.calmLo = g.minVal
-		g.calmStreak = 0
-	} else if g.eff < g.quantum*maxBatchFactor && g.minVal > g.calmLo+calmWindowFactor*g.eff {
-		// A full calm window of global progress with nobody observing
-		// contention: count it, and widen once enough have accumulated.
-		g.calmLo = g.minVal
-		g.calmStreak++
-		if g.calmStreak >= g.calmNeed {
-			g.eff *= 2
-			g.calmStreak = 0
-			if g.eff >= g.quantum*maxBatchFactor {
+		s.eff.Store(quantum)
+		s.calmLo = s.minVal
+		s.calmStreak = 0
+	} else if e := s.eff.Load(); e < quantum*maxBatchFactor && s.minVal > s.calmLo+calmWindowFactor*e {
+		// A full calm window of socket progress with none of its members
+		// observing contention: count it, and widen once enough have
+		// accumulated.
+		s.calmLo = s.minVal
+		s.calmStreak++
+		if s.calmStreak >= s.calmNeed {
+			s.eff.Store(e * 2)
+			s.calmStreak = 0
+			if e*2 >= quantum*maxBatchFactor {
 				// A full ramp back to the cap is proof of real calm:
 				// restore the fast ramp for the next tightening.
-				g.calmNeed = 1
+				s.calmNeed = 1
 			}
 		}
 	}
-	for now > g.minVal+g.eff {
-		g.cond.Wait()
+	for {
+		gmin, gsock := g.globalMin()
+		if now <= gmin+s.eff.Load() {
+			break
+		}
+		if gsock == s.idx || s.minVal <= gmin {
+			// Our own socket is (or ties) the global laggard: its progress
+			// is what unblocks us, and that progress broadcasts locally.
+			s.cond.Wait()
+			continue
+		}
+		// A remote socket lags. Drop the socket lock — siblings must keep
+		// syncing through it — and park at the global layer until some
+		// socket's minimum advances.
+		s.mu.Unlock()
+		g.waitRemote(s, now)
+		s.mu.Lock()
 	}
-	g.mu.Unlock()
+	s.mu.Unlock()
 }
 
-// EffectiveQuantum returns the current adaptive skew bound (diagnostics
-// and tests): the configured quantum while contention is live, up to
-// maxBatchFactor times it after calm windows.
+// waitRemote parks the caller at the global layer until the global minimum
+// allows it to proceed or its own socket becomes the laggard (in which
+// case Sync's loop goes back to waiting locally). Callers hold no socket
+// lock; socket advances broadcast gcond whenever gwaiters is nonzero.
+func (g *Gang) waitRemote(s *sockGang, now uint64) {
+	g.gmu.Lock()
+	g.gwaiters.Add(1)
+	for {
+		gmin, _ := g.globalMin()
+		if now <= gmin+s.eff.Load() || s.min.Load() <= gmin {
+			break
+		}
+		g.gcond.Wait()
+	}
+	g.gwaiters.Add(-1)
+	g.gmu.Unlock()
+}
+
+// globalMin returns the minimum over every socket's published minimum and
+// the socket holding it. An empty gang reports emptyMin so nobody blocks.
+func (g *Gang) globalMin() (uint64, int) {
+	min, sock := emptyMin, -1
+	for _, s := range *g.socks.Load() {
+		if v := s.min.Load(); v < min {
+			min, sock = v, s.idx
+		}
+	}
+	return min, sock
+}
+
+// advanceLocked recomputes the socket minimum, publishes it, and wakes
+// waiters: local members always; the global layer only if remote waiters
+// exist AND this socket's advance could have raised the global minimum —
+// i.e. its previous published minimum was at or below the new global one.
+// A non-laggard socket's advance leaves the global minimum untouched, so
+// skipping the broadcast there cannot strand a waiter, and it is what
+// keeps a contended 64+-core gang from waking every remote waiter
+// O(sockets) times per virtual step. Callers hold s.mu.
+func (s *sockGang) advanceLocked() {
+	old := s.min.Load()
+	s.recompute()
+	s.min.Store(s.minVal)
+	s.cond.Broadcast()
+	if s.g.gwaiters.Load() > 0 {
+		if gmin, _ := s.g.globalMin(); old <= gmin {
+			s.g.gmu.Lock()
+			s.g.gcond.Broadcast()
+			s.g.gmu.Unlock()
+		}
+	}
+}
+
+// recompute rescans the socket's member list for the slowest clock;
+// callers hold s.mu. An empty socket reports emptyMin so nobody blocks.
+func (s *sockGang) recompute() {
+	if len(s.ids) == 0 {
+		s.minLoc = -1
+		s.minVal = emptyMin
+		return
+	}
+	s.minLoc = s.ids[0]
+	s.minVal = s.clocks[s.minLoc]
+	for _, li := range s.ids[1:] {
+		if c := s.clocks[li]; c < s.minVal {
+			s.minLoc, s.minVal = li, c
+		}
+	}
+}
+
+// EffectiveQuantum returns the widest current adaptive skew bound across
+// the gang's sockets (diagnostics and tests): the configured quantum while
+// contention is live everywhere, up to maxBatchFactor times it after calm
+// windows.
 func (g *Gang) EffectiveQuantum() uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.eff
+	var e uint64
+	for _, s := range *g.socks.Load() {
+		if v := s.eff.Load(); v > e {
+			e = v
+		}
+	}
+	if e == 0 {
+		return g.quantum
+	}
+	return e
+}
+
+// EffectiveQuantumFor returns the adaptive skew bound of cpu's socket —
+// per-socket, so a calm socket's widened bound is visible even while a
+// sibling socket is pinned at the configured quantum.
+func (g *Gang) EffectiveQuantumFor(cpu *CPU) uint64 {
+	if s := g.sockets[cpu.Socket()].Load(); s != nil {
+		return s.eff.Load()
+	}
+	return g.quantum
 }
 
 // Leave removes cpu from the gang so other members no longer wait for it.
 func (g *Gang) Leave(cpu *CPU) {
-	g.mu.Lock()
-	id := cpu.ID()
-	if g.member[id] {
-		g.member[id] = false
-		for i, m := range g.ids {
-			if m == id {
-				g.ids[i] = g.ids[len(g.ids)-1]
-				g.ids = g.ids[:len(g.ids)-1]
+	s := g.sockets[cpu.Socket()].Load()
+	if s == nil {
+		return
+	}
+	li := cpu.ID() - s.base
+	s.mu.Lock()
+	if s.member[li] {
+		s.member[li] = false
+		for i, m := range s.ids {
+			if m == li {
+				s.ids[i] = s.ids[len(s.ids)-1]
+				s.ids = s.ids[:len(s.ids)-1]
 				break
 			}
 		}
-		g.recompute()
-		g.cond.Broadcast()
+		s.advanceLocked()
 	}
-	g.mu.Unlock()
-}
-
-// recompute rescans the member list for the slowest clock; callers hold
-// g.mu. An empty gang reports the maximum clock so nobody blocks.
-func (g *Gang) recompute() {
-	if len(g.ids) == 0 {
-		g.minID = -1
-		g.minVal = ^uint64(0) - 1<<32
-		return
-	}
-	g.minID = g.ids[0]
-	g.minVal = g.clocks[g.minID]
-	for _, id := range g.ids[1:] {
-		if c := g.clocks[id]; c < g.minVal {
-			g.minID, g.minVal = id, c
-		}
-	}
+	s.mu.Unlock()
 }
 
 // RunGang runs fn(cpu) concurrently on cores [0, ncores) of m, each joined

@@ -1,0 +1,184 @@
+package hw
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// flatGang is the pre-tree gang barrier, kept test-only as the baseline
+// for BenchmarkGangSync: one mutex, one condvar, one O(members) scan, one
+// gang-wide broadcast. Its real-time cost per Sync grows superlinearly
+// with member count — the blowup the tree barrier removes. Semantics
+// (incremental minimum, adaptive quantum, hysteresis) match the tree
+// barrier on a single socket.
+type flatGang struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	quantum    uint64
+	eff        uint64
+	clocks     [MaxCores]uint64
+	lastObs    [MaxCores]uint64
+	member     [MaxCores]bool
+	ids        []int
+	minVal     uint64
+	minID      int
+	calmLo     uint64
+	calmStreak uint64
+	calmNeed   uint64
+}
+
+func newFlatGang(quantum uint64) *flatGang {
+	if quantum == 0 {
+		quantum = DefaultQuantum
+	}
+	g := &flatGang{quantum: quantum, eff: quantum, calmNeed: 1}
+	g.cond = sync.NewCond(&g.mu)
+	g.recompute()
+	return g
+}
+
+func (g *flatGang) Join(cpu *CPU) {
+	now := cpu.Now()
+	obs := cpu.stats.Transfers + cpu.stats.IPIsReceived()
+	g.mu.Lock()
+	id := cpu.ID()
+	if !g.member[id] {
+		g.member[id] = true
+		g.ids = append(g.ids, id)
+	}
+	g.clocks[id] = now
+	g.lastObs[id] = obs
+	g.recompute()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *flatGang) Sync(cpu *CPU) {
+	now := cpu.Now()
+	id := cpu.ID()
+	obs := cpu.stats.Transfers + cpu.stats.IPIsReceived()
+	g.mu.Lock()
+	g.clocks[id] = now
+	if id == g.minID {
+		g.recompute()
+		g.cond.Broadcast()
+	}
+	if obs != g.lastObs[id] {
+		g.lastObs[id] = obs
+		if g.eff > g.quantum && g.calmNeed < maxCalmNeed {
+			g.calmNeed *= 2
+		}
+		g.eff = g.quantum
+		g.calmLo = g.minVal
+		g.calmStreak = 0
+	} else if g.eff < g.quantum*maxBatchFactor && g.minVal > g.calmLo+calmWindowFactor*g.eff {
+		g.calmLo = g.minVal
+		g.calmStreak++
+		if g.calmStreak >= g.calmNeed {
+			g.eff *= 2
+			g.calmStreak = 0
+			if g.eff >= g.quantum*maxBatchFactor {
+				g.calmNeed = 1
+			}
+		}
+	}
+	for now > g.minVal+g.eff {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+func (g *flatGang) Leave(cpu *CPU) {
+	g.mu.Lock()
+	id := cpu.ID()
+	if g.member[id] {
+		g.member[id] = false
+		for i, m := range g.ids {
+			if m == id {
+				g.ids[i] = g.ids[len(g.ids)-1]
+				g.ids = g.ids[:len(g.ids)-1]
+				break
+			}
+		}
+		g.recompute()
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+func (g *flatGang) recompute() {
+	if len(g.ids) == 0 {
+		g.minID = -1
+		g.minVal = emptyMin
+		return
+	}
+	g.minID = g.ids[0]
+	g.minVal = g.clocks[g.minID]
+	for _, id := range g.ids[1:] {
+		if c := g.clocks[id]; c < g.minVal {
+			g.minID, g.minVal = id, c
+		}
+	}
+}
+
+func runFlatGang(m *Machine, ncores int, quantum uint64, fn func(cpu *CPU, g *flatGang)) {
+	g := newFlatGang(quantum)
+	for i := 0; i < ncores; i++ {
+		g.Join(m.CPU(i))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < ncores; i++ {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			defer g.Leave(c)
+			fn(c, g)
+		}(m.CPU(i))
+	}
+	wg.Wait()
+}
+
+// BenchmarkGangSync compares the real-time (wall-clock) cost per Sync of
+// the flat barrier against the tree barrier as the member count grows.
+// The workload is a contended loop — every core writes a line shared with
+// its socket siblings each iteration, so every socket's adaptive quantum
+// stays pinned at the configured bound and the barrier itself is what's
+// measured. Contention is socket-local because that is the shape of the
+// paper's workloads (per-core regions, per-socket sharing; only the
+// baselines' broadcasts cross sockets): the flat barrier still pays its
+// gang-wide scan and thundering-herd broadcast for it, while the tree
+// keeps every sync socket-local. ns/op is wall time per simulated
+// iteration; the acceptance bar for the tree is 64 members within ~3x
+// of 8.
+func BenchmarkGangSync(b *testing.B) {
+	for _, impl := range []string{"flat", "tree"} {
+		for _, ncores := range []int{8, 32, 64, 128} {
+			b.Run(fmt.Sprintf("impl=%s/cores=%d", impl, ncores), func(b *testing.B) {
+				m := NewMachine(TestConfig(ncores))
+				var lines [MaxCores/10 + 1]Line // one contended line per socket
+				iters := b.N/ncores + 1
+				body := func(c *CPU) {
+					c.Write(&lines[c.Socket()])
+					c.Tick(100)
+				}
+				b.ResetTimer()
+				if impl == "flat" {
+					runFlatGang(m, ncores, 1000, func(c *CPU, g *flatGang) {
+						for k := 0; k < iters; k++ {
+							body(c)
+							g.Sync(c)
+						}
+					})
+				} else {
+					RunGang(m, ncores, 1000, func(c *CPU, g *Gang) {
+						for k := 0; k < iters; k++ {
+							body(c)
+							g.Sync(c)
+						}
+					})
+				}
+			})
+		}
+	}
+}

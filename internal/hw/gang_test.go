@@ -18,11 +18,8 @@ func TestGangBoundsSkew(t *testing.T) {
 			c.Write(&l)
 			c.Tick(100)
 			g.Sync(c)
-			g.mu.Lock()
-			g.recompute()
-			lo := g.minVal
-			eff := g.eff
-			g.mu.Unlock()
+			lo, _ := g.globalMin()
+			eff := g.EffectiveQuantumFor(c)
 			if eff != quantum {
 				t.Errorf("core %d saw effective quantum %d under live contention, want %d", c.ID(), eff, quantum)
 				return
@@ -208,6 +205,122 @@ func BenchmarkGangSyncCalm(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// TestGangTreeCrossSocketSkew is the multi-socket regression for the tree
+// barrier: with every socket contended, no member may run beyond the
+// configured quantum of the *global* minimum, and no socket's adaptive
+// bound may widen. Small CoresPerSocket spreads a handful of goroutines
+// across several sockets.
+func TestGangTreeCrossSocketSkew(t *testing.T) {
+	const ncores = 6
+	const quantum = 1000
+	cfg := TestConfig(ncores)
+	cfg.CoresPerSocket = 2 // sockets {0,1} {2,3} {4,5}
+	m := NewMachine(cfg)
+	skews := make([]uint64, ncores)
+	var l Line
+	RunGang(m, ncores, quantum, func(c *CPU, g *Gang) {
+		for k := 0; k < 300; k++ {
+			c.Write(&l) // one shared line: every socket stays contended
+			c.Tick(100)
+			g.Sync(c)
+			lo, _ := g.globalMin()
+			if eff := g.EffectiveQuantumFor(c); eff != quantum {
+				t.Errorf("core %d (socket %d): effective quantum %d under live contention, want %d",
+					c.ID(), c.Socket(), eff, quantum)
+				return
+			}
+			if now := c.Now(); now > lo && now-lo > skews[c.ID()] {
+				skews[c.ID()] = now - lo
+			}
+		}
+	})
+	// After Sync returns, a contended core is at most quantum + one
+	// iteration ahead of the global minimum (a write can cost up to a
+	// cross-socket transfer plus home-node serialization).
+	for id, s := range skews {
+		if s > quantum+1500 {
+			t.Errorf("core %d virtual skew %d exceeded the cross-socket quantum bound", id, s)
+		}
+	}
+}
+
+// TestGangPerSocketWidening: the adaptive quantum composes per level — a
+// calm socket must ramp its local bound far beyond the configured quantum
+// even while a sibling socket's recurring contention pins that sibling
+// near the configured bound. (Under the flat barrier this was impossible:
+// the contended cores' snap-backs reset the single shared calm window, so
+// nobody ever widened.) The contended socket may take one transient
+// widening step — the skew window legitimately admits short local-hit
+// bursts, and the traffic signal lags a Sync — but must never ramp.
+func TestGangPerSocketWidening(t *testing.T) {
+	const quantum = 500
+	cfg := TestConfig(8)
+	cfg.CoresPerSocket = 4 // socket 0: cores 0-3, socket 1: cores 4-7
+	m := NewMachine(cfg)
+	var l Line
+	maxEff := make([]uint64, 8)
+	effs := make([]uint64, 8)
+	RunGang(m, 8, quantum, func(c *CPU, g *Gang) {
+		for k := 0; k < 600; k++ {
+			if c.Socket() == 0 {
+				c.Write(&l) // socket 0 keeps hitting a shared line
+			}
+			c.Tick(100)
+			g.Sync(c)
+			if e := g.EffectiveQuantumFor(c); e > maxEff[c.ID()] {
+				maxEff[c.ID()] = e
+			}
+		}
+		effs[c.ID()] = g.EffectiveQuantumFor(c)
+	})
+	for id := 0; id < 4; id++ {
+		if maxEff[id] > 2*quantum {
+			t.Errorf("contended socket 0 core %d: effective quantum ramped to %d, want <= one transient step (%d)",
+				id, maxEff[id], 2*quantum)
+		}
+	}
+	for id := 4; id < 8; id++ {
+		if effs[id] < 4*quantum {
+			t.Errorf("calm socket 1 core %d: effective quantum %d never ramped past %d while sibling was contended",
+				id, effs[id], 4*quantum)
+		}
+		if effs[id] > quantum*maxBatchFactor {
+			t.Errorf("calm socket 1 core %d: effective quantum %d exceeded the %dx cap", id, effs[id], maxBatchFactor)
+		}
+	}
+}
+
+// TestGangTreeJoinLeaveChurn stresses membership churn across sockets
+// under the race detector: members repeatedly Block (leave + rejoin)
+// mid-run, with staggered lifetimes, while shared-line traffic keeps every
+// socket's minimum moving. The assertions are liveness (the run completes)
+// and that long-lived members reached their full virtual span.
+func TestGangTreeJoinLeaveChurn(t *testing.T) {
+	const ncores = 12
+	cfg := TestConfig(ncores)
+	cfg.CoresPerSocket = 3 // four sockets
+	m := NewMachine(cfg)
+	var l Line
+	RunGang(m, ncores, 400, func(c *CPU, g *Gang) {
+		iters := 200 + 40*c.ID() // staggered exits empty sockets one by one
+		for k := 0; k < iters; k++ {
+			if (k+c.ID())%3 == 0 {
+				c.Write(&l)
+			}
+			c.Tick(100)
+			g.Sync(c)
+			if (k+7*c.ID())%17 == 0 {
+				g.Block(c, func() {}) // leave + rejoin mid-sync
+			}
+		}
+	})
+	for id := 0; id < ncores; id++ {
+		if min := uint64(200+40*id) * 100; m.CPU(id).Now() < min {
+			t.Errorf("core %d stalled: clock %d, want >= %d", id, m.CPU(id).Now(), min)
+		}
 	}
 }
 

@@ -338,6 +338,51 @@ func TestSendIPIs(t *testing.T) {
 	}
 }
 
+// TestSendIPIsCrossSocket: delivery and ack are two-tier — a target on
+// another socket costs the Remote variants, and the split is counted.
+func TestSendIPIsCrossSocket(t *testing.T) {
+	cfg := TestConfig(24) // sockets of 10: cores 0-9, 10-19, 20-23
+	m := NewMachine(cfg)
+	sender := m.CPU(0)
+	var targets CoreSet
+	targets.Add(1)  // same socket
+	targets.Add(10) // socket 1
+	targets.Add(20) // socket 2
+	n := sender.SendIPIs(targets, func(*CPU) {})
+	if n != 3 {
+		t.Fatalf("SendIPIs n = %d, want 3", n)
+	}
+	want := cfg.IPIBase + cfg.IPIPerTarget + 2*cfg.IPIPerTargetRemote +
+		cfg.IPIAckWait + 2*cfg.IPIAckWaitRemote
+	if sender.Now() != want {
+		t.Errorf("sender cost %d, want %d", sender.Now(), want)
+	}
+	if sender.stats.IPIsRemote != 2 {
+		t.Errorf("IPIsRemote = %d, want 2", sender.stats.IPIsRemote)
+	}
+	if sender.stats.IPIsSent != 3 {
+		t.Errorf("IPIsSent = %d, want 3", sender.stats.IPIsSent)
+	}
+}
+
+// TestBroadcastShootdownCost pins the headline number the NUMA model
+// exists for: a full broadcast on the paper's 80-core, 8-socket machine
+// costs on the order of 500k cycles (§5.3 measures ~500,000).
+func TestBroadcastShootdownCost(t *testing.T) {
+	cfg := DefaultConfig(80)
+	m := NewMachine(cfg)
+	sender := m.CPU(0)
+	var targets CoreSet
+	for i := 0; i < 80; i++ {
+		targets.Add(i)
+	}
+	sender.SendIPIs(targets, func(*CPU) {})
+	// 9 local + 70 remote targets.
+	if got := sender.Now(); got < 300_000 || got > 700_000 {
+		t.Errorf("80-core broadcast cost %d cycles, want ~500k (paper §5.3)", got)
+	}
+}
+
 func TestSendIPIsEmpty(t *testing.T) {
 	m := testMachine(t, 2)
 	c := m.CPU(0)

@@ -10,6 +10,15 @@ import "sync/atomic"
 // the APIC hardware to transmit the inter-processor interrupts ... appears
 // to be non-scalable", §5.3), and an acknowledgment wait.
 //
+// Delivery cost is two-tier, like line transfers: a target on the sender's
+// socket is reached over the on-chip interconnect, a remote target over
+// the cross-socket fabric at Config.IPIPerTargetRemote (and its ack at
+// Config.IPIAckWaitRemote). This is what makes broadcast shootdowns grow
+// with the machine rather than with the idea of a shootdown: on one socket
+// an 8-target round costs tens of kilocycles, while a 79-target broadcast
+// on the paper's 8-socket machine — where ~70 targets are remote — costs
+// ~500k cycles, the number the paper measures (§5.3).
+//
 // The sender is never included even if present in targets: the caller
 // handles its own core synchronously.
 //
@@ -21,7 +30,15 @@ func (c *CPU) SendIPIs(targets CoreSet, handler func(target *CPU)) int {
 		return 0
 	}
 	cfg := &c.m.cfg
-	c.Tick(cfg.IPIBase + uint64(n)*cfg.IPIPerTarget)
+	sock := c.Socket()
+	var nFar uint64
+	targets.ForEach(func(id int) {
+		if c.m.Socket(id) != sock {
+			nFar++
+		}
+	})
+	nNear := uint64(n) - nFar
+	c.Tick(cfg.IPIBase + nNear*cfg.IPIPerTarget + nFar*cfg.IPIPerTargetRemote)
 	targets.ForEach(func(id int) {
 		t := c.m.CPU(id)
 		handler(t)
@@ -30,7 +47,8 @@ func (c *CPU) SendIPIs(targets CoreSet, handler func(target *CPU)) int {
 	})
 	// Wait for acknowledgments; acks arrive roughly in parallel but each
 	// costs the sender a serialized receive.
-	c.Tick(uint64(n) * cfg.IPIAckWait)
+	c.Tick(nNear*cfg.IPIAckWait + nFar*cfg.IPIAckWaitRemote)
 	c.stats.IPIsSent += uint64(n)
+	c.stats.IPIsRemote += nFar
 	return n
 }

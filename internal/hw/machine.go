@@ -40,11 +40,15 @@ type Config struct {
 	// Interrupt costs. The paper measures broadcast shootdowns at
 	// ~500,000 cycles and observes that APIC IPI delivery is
 	// "non-scalable": each additional target adds serialized cost at the
-	// sender.
-	IPIBase      uint64 // fixed cost to initiate any shootdown
-	IPIPerTarget uint64 // serialized per-target APIC delivery cost
-	IPIHandler   uint64 // cost charged to each receiving core
-	IPIAckWait   uint64 // sender-side wait per target for the ack round
+	// sender. Like line transfers, delivery is two-tier: targets on the
+	// sender's socket cost IPIPerTarget/IPIAckWait, targets on another
+	// socket cost the Remote variants (zero means same as local).
+	IPIBase            uint64 // fixed cost to initiate any shootdown
+	IPIPerTarget       uint64 // serialized delivery cost, same-socket target
+	IPIPerTargetRemote uint64 // serialized delivery cost, cross-socket target
+	IPIHandler         uint64 // cost charged to each receiving core
+	IPIAckWait         uint64 // sender-side ack wait, same-socket target
+	IPIAckWaitRemote   uint64 // sender-side ack wait, cross-socket target
 
 	// Page operations.
 	PageZero uint64 // zeroing a 4 KB page (paper: ~64 L2 misses)
@@ -59,18 +63,20 @@ type Config struct {
 // shapes, not absolute cycle counts.
 func DefaultConfig(ncores int) Config {
 	return Config{
-		NCores:          ncores,
-		CoresPerSocket:  10,
-		LocalHit:        4,
-		SameSocketXfer:  100,
-		CrossSocketXfer: 300,
-		DRAMAccess:      200,
-		IPIBase:         2000,
-		IPIPerTarget:    1500,
-		IPIHandler:      1000,
-		IPIAckWait:      500,
-		PageZero:        64 * 40,    // 64 L2 misses (paper §5.3) at ~40 cycles each
-		EpochCycles:     24_000_000, // 10 ms at 2.4 GHz
+		NCores:             ncores,
+		CoresPerSocket:     10,
+		LocalHit:           4,
+		SameSocketXfer:     100,
+		CrossSocketXfer:    300,
+		DRAMAccess:         200,
+		IPIBase:            2000,
+		IPIPerTarget:       1500,
+		IPIPerTargetRemote: 4500, // cross-socket fabric: 3x the on-chip cost
+		IPIHandler:         1000,
+		IPIAckWait:         500,
+		IPIAckWaitRemote:   1500,
+		PageZero:           64 * 40,    // 64 L2 misses (paper §5.3) at ~40 cycles each
+		EpochCycles:        24_000_000, // 10 ms at 2.4 GHz
 	}
 }
 
@@ -96,6 +102,14 @@ func NewMachine(cfg Config) *Machine {
 	}
 	if cfg.CoresPerSocket <= 0 {
 		cfg.CoresPerSocket = 10
+	}
+	// Configs predating the two-tier IPI model pay the local cost
+	// everywhere.
+	if cfg.IPIPerTargetRemote == 0 {
+		cfg.IPIPerTargetRemote = cfg.IPIPerTarget
+	}
+	if cfg.IPIAckWaitRemote == 0 {
+		cfg.IPIAckWaitRemote = cfg.IPIAckWait
 	}
 	m := &Machine{cfg: cfg}
 	m.cpus = make([]*CPU, cfg.NCores)
@@ -154,6 +168,7 @@ type Stats struct {
 	Transfers      uint64 // inter-core cache-line transfers (the contention metric)
 	CrossSocket    uint64 // subset of Transfers that crossed sockets
 	IPIsSent       uint64 // shootdown interrupts issued by this core
+	IPIsRemote     uint64 // subset of IPIsSent that crossed a socket boundary
 	ipisRecv       uint64 // accessed atomically (written by remote senders)
 	Shootdowns     uint64 // munmap-triggered shootdown rounds
 	PageFaults     uint64
@@ -177,6 +192,7 @@ func (t *Stats) add(s *Stats) {
 	t.Transfers += s.Transfers
 	t.CrossSocket += s.CrossSocket
 	t.IPIsSent += s.IPIsSent
+	t.IPIsRemote += s.IPIsRemote
 	t.ipisRecv += atomic.LoadUint64(&s.ipisRecv)
 	t.Shootdowns += s.Shootdowns
 	t.PageFaults += s.PageFaults

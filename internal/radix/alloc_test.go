@@ -137,6 +137,43 @@ func TestNodeFootprintUniformVsDiverged(t *testing.T) {
 	}
 }
 
+// TestGroupDirectoryCompression: the presence-bitmap + dense-slice group
+// directory must cut the uniform node header ~4x against the former
+// 128-entry pointer array (which was ~1 KB of the ~1.2 KB header), and
+// FootprintBytes must account exactly for headers plus materialized groups
+// with their dense directory entries.
+func TestGroupDirectoryCompression(t *testing.T) {
+	ptrSz := uint64(unsafe.Sizeof(uintptr(0)))
+	nodeSz := uint64(unsafe.Sizeof(node[val]{}))
+	oldHeader := nodeSz + uint64(groupsPerNode)*ptrSz // header with the pointer-array directory
+	if nodeSz*4 > oldHeader {
+		t.Errorf("node header = %d B, want >= 4x below the pointer-array header's %d B", nodeSz, oldHeader)
+	}
+
+	// Build the fault-path chain (nodes diverged in a slot or two): the
+	// real footprint including materialized groups must now undercut what
+	// bitmap-less headers alone used to cost.
+	m, _, tr := newTree(1)
+	c := m.CPU(0)
+	setRange(tr, c, 0, span(2), &val{7})
+	r := tr.LockPage(c, 1234)
+	r.Entry(0).Set(r.Entry(0).Value())
+	r.Unlock()
+	fp := tr.FootprintBytes()
+	if headersOnly := uint64(tr.NodesLive()) * oldHeader; fp >= headersOnly {
+		t.Errorf("chain footprint %d B (groups included) not below the old headers-only cost %d B", fp, headersOnly)
+	}
+	// The estimate is exact: headers + (group + one directory pointer) each.
+	groupSz := uint64(unsafe.Sizeof(slotGroup[val]{})) + ptrSz
+	var liveGroups uint64
+	// GroupsEver counts fresh materializations; nothing has been freed or
+	// dropped in this tree, so it equals the live count.
+	liveGroups = uint64(tr.GroupsEver())
+	if want := uint64(tr.NodesLive())*nodeSz + liveGroups*groupSz; fp != want {
+		t.Errorf("FootprintBytes = %d, want %d (%d nodes, %d groups)", fp, want, tr.NodesLive(), liveGroups)
+	}
+}
+
 // TestLockRangeSteadyStateAllocs bounds the mmap/munmap path: re-mapping an
 // existing small range must allocate only the per-entry slot states.
 func TestLockRangeSteadyStateAllocs(t *testing.T) {

@@ -159,7 +159,7 @@ func (t *Tree[V]) forkNode(cpu *hw.CPU, ctx *forkCtx[V], src *node[V], extra int
 		j := idx % slotsPerLine
 		mask := uint64(1) << (uint(idx) & 63)
 		w := &src.bits[idx>>6]
-		g := src.groups[gi].Load()
+		g := src.groupLoad(gi)
 		if g != nil {
 			cpu.Write(&g.line)
 			cpu.AcquireBitIn(w, mask, &g.gates[j])
@@ -183,7 +183,7 @@ func (t *Tree[V]) forkNode(cpu *hw.CPU, ctx *forkCtx[V], src *node[V], extra int
 			}
 			// A concurrent locker may have materialized the group while
 			// we raced for the bit; re-read so the state load sees it.
-			g = src.groups[gi].Load()
+			g = src.groupLoad(gi)
 		}
 
 		var st *slotState[V]
@@ -322,15 +322,24 @@ func (t *Tree[V]) cloneShell(cpu *hw.CPU, src *node[V]) *node[V] {
 	// Count the source's materialized groups while here: they price the
 	// clone (logical-size billing below).
 	srcGroups := 0
-	for gi := range n.groups {
-		sg := src.groups[gi].Load()
-		if sg != nil {
-			srcGroups++
+	if sd := src.dir.Load(); sd != nil {
+		srcGroups = sd.count()
+	}
+	if d := n.dir.Load(); d != nil {
+		sd := src.dir.Load()
+		nd := &groupDir[V]{}
+		n.forEachGroup(func(gi int, g *slotGroup[V]) {
+			if sd != nil && sd.get(gi) != nil {
+				nd.bits[gi>>6] |= 1 << (uint(gi) & 63)
+				nd.groups = append(nd.groups, g)
+			} else {
+				t.groupsLive.Add(-1)
+			}
+		})
+		if len(nd.groups) == 0 {
+			nd = nil
 		}
-		if g := n.groups[gi].Load(); g != nil && sg == nil {
-			n.groups[gi].Store(nil)
-			t.groupsLive.Add(-1)
-		}
+		n.dir.Store(nd)
 	}
 	cpu.Tick(ForkNodeCost(t.pageZero, srcGroups))
 	t.nodesLive.Add(1)
@@ -343,11 +352,11 @@ func (t *Tree[V]) cloneShell(cpu *hw.CPU, src *node[V]) *node[V] {
 // materialize it does not pre-fill slot states: forkNode overwrites every
 // slot of a mirrored group explicitly.
 func (n *node[V]) forkGroup(nt *Tree[V], gi int) *slotGroup[V] {
-	if g := n.groups[gi].Load(); g != nil {
+	if g := n.groupLoad(gi); g != nil {
 		return g
 	}
 	g := new(slotGroup[V])
-	n.groups[gi].Store(g)
+	n.dirInsert(gi, g)
 	nt.groupsEver.Add(1)
 	nt.groupsLive.Add(1)
 	return g
@@ -393,7 +402,7 @@ func (n *node[V]) forkUnlock(cpu *hw.CPU, arrive uint64) {
 	n.uni = merged
 	for gi := groupsPerNode - 1; gi >= 0; gi-- {
 		base := gi * slotsPerLine
-		if g := n.groups[gi].Load(); g != nil {
+		if g := n.groupLoad(gi); g != nil {
 			for j := slotsPerLine - 1; j >= 0; j-- {
 				idx := base + j
 				cpu.ReleaseBitIn(&n.bits[idx>>6], uint64(1)<<(uint(idx)&63), &g.gates[j])

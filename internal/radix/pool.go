@@ -83,18 +83,13 @@ func (t *Tree[V]) recycle(cpu *hw.CPU, n *node[V]) {
 	n.uniStore = slotState[V]{}
 	n.uniVal = zeroV // drop value references for the GC
 	n.uni = uniformGates{}
-	dropAll := countGroups(n) > poolGroupCap
-	for gi := range n.groups {
-		// Plain resets are legal: the node is unreachable, and the next
-		// incarnation is published through the parent slot's atomic store.
-		if g := n.groups[gi].Load(); g != nil {
-			if dropAll {
-				n.groups[gi].Store(nil)
-				t.groupsLive.Add(-1)
-			} else {
-				resetGroup(g)
-			}
-		}
+	// Plain resets are legal: the node is unreachable, and the next
+	// incarnation is published through the parent slot's atomic store.
+	if cnt := countGroups(n); cnt > poolGroupCap {
+		n.dir.Store(nil)
+		t.groupsLive.Add(-cnt)
+	} else {
+		n.forEachGroup(func(_ int, g *slotGroup[V]) { resetGroup(g) })
 	}
 	for w := range n.bits {
 		n.bits[w].Store(0)
@@ -103,13 +98,10 @@ func (t *Tree[V]) recycle(cpu *hw.CPU, n *node[V]) {
 }
 
 func countGroups[V any](n *node[V]) int64 {
-	var c int64
-	for gi := range n.groups {
-		if n.groups[gi].Load() != nil {
-			c++
-		}
+	if d := n.dir.Load(); d != nil {
+		return int64(d.count())
 	}
-	return c
+	return 0
 }
 
 // PoolSize returns the number of recycled nodes cached for cpu

@@ -6,16 +6,31 @@
 # dependent contention resolution (see ROADMAP "Open items"):
 #
 #   - fig8's `shared` series at 8 cores (the shared-counter baseline's
-#     contention resolution; jittery since the seed), and
+#     contention resolution; jittery since the seed),
 #   - the fork figure's multi-core columns (the forking core writes every
 #     region owner's frame-metadata lines, so line-transfer resolution and
 #     barrier-time IPI folds race; the 1-core column still gates, as do
-#     fork's IPI/shootdown counts in the test suite).
+#     fork's IPI/shootdown counts in the test suite), and
+#   - fig7's writer rows' multi-core columns (writers and lookup cores race
+#     for the same slot lines; the home-node queue serializes them in real
+#     seqlock-arrival order within the skew window, which the tree
+#     barrier's per-socket wakeups no longer replay identically — the flat
+#     barrier's thundering-herd wake order happened to. Last digit only;
+#     the contention-free `0 writers` row and all 1-core columns still
+#     gate byte-exact), and
+#   - the 64-core scale smoke's fork/spawn rows' multi-core columns (the
+#     same frame-metadata line races as the fork figure, now across
+#     sockets; all mprotect rows and all 1-core columns still gate).
+#
+# The 64-core scale smoke runs under a wall-clock budget (default 300 s
+# per generation, override with FIG_SMOKE_BUDGET) so a simulator-side
+# real-time scaling regression fails this job instead of hanging it.
 #
 # Usage: scripts/fig-stability.sh <scratch-dir>
 set -euo pipefail
 
 dir="${1:?usage: fig-stability.sh <scratch-dir>}"
+budget="${FIG_SMOKE_BUDGET:-300}"
 
 gen() {
   out="$1"
@@ -26,13 +41,33 @@ gen() {
   go run ./cmd/radixbench -exp table2 >"$out/table2.txt"
   go run ./cmd/radixbench -exp mprotect -quick >"$out/mprotect.txt"
   go run ./cmd/radixbench -exp fork -quick >"$out/fork.txt"
+  timeout "$budget" go run ./cmd/radixbench -exp scale -quick >"$out/scale.txt"
   # Mask fig8's shared@8 cell (the quick sweep's last column).
   sed -E -i 's/^(shared.*[[:space:]])[0-9]+\.[0-9]+$/\1 JITTER/' "$out/fig8.txt"
   # Mask fork's multi-core columns; the 1-core column still gates.
   sed -E -i 's/^((radixvm|bonsai|linux)[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$out/fork.txt"
+  # Mask fig7's writer rows' multi-core columns; `0 writers` and the
+  # 1-core column still gate.
+  sed -E -i 's/^(([1-9][0-9]* writers)[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$out/fig7.txt"
+  # Mask the scale smoke's fork/spawn multi-core columns; every mprotect
+  # row and all 1-core columns still gate.
+  sed -E -i 's/^(((radixvm|bonsai|linux)\/(fork|spawn))[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$out/scale.txt"
 }
 
 gen "$dir/run1"
 gen "$dir/run2"
 diff -ru "$dir/run1" "$dir/run2"
 echo "figure outputs are byte-identical across two runs"
+
+# The committed full-resolution scalability figure (figures/scale.txt) must
+# also regenerate byte-identically, modulo the same fork/spawn mask — this
+# is the gate on the paper's central claim (radixvm's slope holds to 64
+# cores while the broadcast baselines flatten).
+mask_scale() {
+  sed -E 's/^(((radixvm|bonsai|linux)\/(fork|spawn))[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$1"
+}
+timeout "$budget" go run ./cmd/radixbench -exp scale >"$dir/scale_full.txt"
+mask_scale figures/scale.txt >"$dir/scale_committed_masked.txt"
+mask_scale "$dir/scale_full.txt" >"$dir/scale_full_masked.txt"
+diff -u "$dir/scale_committed_masked.txt" "$dir/scale_full_masked.txt"
+echo "committed figures/scale.txt regenerates byte-identically"
