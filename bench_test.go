@@ -194,6 +194,45 @@ func BenchmarkFork(b *testing.B) {
 			b.ReportMetric(pagesPerSec/1e6, "Mpages/s")
 		})
 	}
+	// ForkLatency isolates the latency of the Fork call itself — not a
+	// throughput cycle — on a single core whose address space has 64k
+	// faulted pages (128 leaf nodes). The lazy generation fork copies one
+	// root node and bumps a generation, so its vcycles/fork metric is flat
+	// in address-space size; the eager sweep's is O(nodes). The ratio
+	// between the two rows is the headline the CI job summary publishes.
+	for _, mode := range []string{"eager", "lazy"} {
+		b.Run("ForkLatency/"+mode, func(b *testing.B) {
+			e, a := benchEnv(1)
+			s := vm.New(e.M, e.RC, a, nil)
+			s.SetForkEager(mode == "eager")
+			c := e.M.CPU(0)
+			const lo, npages = uint64(1 << 20), uint64(1 << 16)
+			opts := vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}
+			mustNilB(b, s.Mmap(c, lo, npages, opts))
+			for v := lo; v < lo+npages; v++ {
+				mustNilB(b, s.Access(c, v, true))
+			}
+			// One throwaway fork pays the one-time COW arming of the
+			// parent's mappings.
+			ch, err := s.Fork(c)
+			mustNilB(b, err)
+			ch.(vm.Exiter).Exit(c)
+			e.RC.Maintain(c)
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				before := c.Now()
+				ch, err := s.Fork(c)
+				mustNilB(b, err)
+				cycles = c.Now() - before
+				b.StopTimer()
+				ch.(vm.Exiter).Exit(c)
+				e.RC.Maintain(c)
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(cycles), "vcycles/fork")
+		})
+	}
 }
 
 // BenchmarkSpawn runs the spawn-server microbenchmark on the three VM

@@ -8,7 +8,7 @@
 //	radixbench -quick                      # fast smoke sweep (1,4,8 cores)
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, mprotect,
-// fork, spawn, scale, table2, memory.
+// fork, spawn, clone, scale, table2, memory.
 //
 // The scale experiment sweeps 1..64 cores (1,8,64 with -quick) across all
 // three systems and workloads; the other figure experiments keep the
@@ -35,7 +35,7 @@ type jsonExp struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|fork|spawn|scale|table2|memory")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|fork|spawn|clone|scale|table2|memory")
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,20,40,80; scale: 1,4,8,16,32,64)")
 	iters := flag.Int("iters", 0, "per-core iterations (default per experiment)")
 	quick := flag.Bool("quick", false, "fast smoke sweep (1,4,8 cores; scale: 1,8,64)")
@@ -90,6 +90,8 @@ func main() {
 			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigFork(o)}}
 		case "spawn":
 			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigSpawn(o)}}
+		case "clone":
+			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigClone(o)}}
 		case "scale":
 			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigScale(so)}}
 		case "table2":
@@ -111,7 +113,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "fork", "spawn", "scale", "table2", "memory"}
+		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "fork", "spawn", "clone", "scale", "table2", "memory"}
 	}
 
 	var results []jsonExp

@@ -275,6 +275,49 @@ func FigSpawn(o Options) *Table {
 	return t
 }
 
+// FigClone runs the template-clone microbenchmark (the zygote/spawn-server
+// fan-out the O(1) generation fork exists for): every core forks its own
+// child of one large shared template per round, COW-touches 8 pages of its
+// own slice, and exits the child. The metric is whole fork-to-exit cycles
+// per second, so it isolates fork and exit cost from the (fixed, small)
+// touch work. The headline radixvm series runs the lazy generation fork
+// (SetForkEager(false)): fork is one root copy plus a generation bump and
+// exit releases only the child's divergences, so the cycle cost is O(pages
+// touched) regardless of template size. radixvm-eager is the same system
+// with the default per-node sweep, and the baselines additionally pay an
+// exit_mmap munmap sweep per child — both walk metadata proportional to
+// the whole template per cycle. Like FigSpawn, the concurrent forks race
+// for tree locks under real scheduling, so only the 1-core column is
+// bit-stable run-to-run; the scaling shape is.
+func FigClone(o Options) *Table {
+	t := &Table{Title: "clone: template fork fan-out (K clones/sec)"}
+	series := []sysFactory{
+		{"radixvm", func(e *workload.Env, a *mem.Allocator) vm.System {
+			as := vm.New(e.M, e.RC, a, nil)
+			as.SetForkEager(false)
+			return as
+		}},
+		{"radixvm-eager", func(e *workload.Env, a *mem.Allocator) vm.System { return vm.New(e.M, e.RC, a, nil) }},
+		{"bonsai", func(e *workload.Env, a *mem.Allocator) vm.System { return bonsaivm.New(e.M, e.RC, a) }},
+		{"linux", func(e *workload.Env, a *mem.Allocator) vm.System { return linuxvm.New(e.M, e.RC, a) }},
+	}
+	const slicePages, touchPages = 1024, 8
+	// Each round forks (and for the baselines, munmap-sweeps) the whole
+	// template on every core, so rounds are expensive; a few suffice for a
+	// deterministic virtual-time metric, and the full sweep must fit the
+	// fig-stability wall-clock budget on a loaded CI runner.
+	iters := maxInt(2, o.Iters/40)
+	for _, f := range series {
+		for _, n := range o.Cores {
+			e, a := env(n)
+			r := workload.Clone(e, f.make(e, a), n, iters, slicePages, touchPages)
+			clones := float64(iters * n)
+			t.Rows = append(t.Rows, Row{Series: f.name, Cores: n, Value: clones * 2.4e9 / float64(r.Cycles) / 1e3, Unit: "K clones/s"})
+		}
+	}
+	return t
+}
+
 // FigScale is the extended scalability figure the 64-128-core simulator
 // exists for: the three VM-operation workloads whose slopes the paper's
 // central claim is about (targeted mprotect, fork+COW, concurrent spawn),

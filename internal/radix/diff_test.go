@@ -97,3 +97,147 @@ func refGet(ref *rbtree.Tree[int], c *hw.CPU, p uint64) int {
 	}
 	return -1
 }
+
+// TestDifferentialEagerVsLazyFork drives identical randomized op sequences
+// through two fork families — one all-eager, one all-lazy (the two modes
+// must not mix within a family) — with a fork in the middle: seed the
+// parent, fork, then keep mutating parent and child with the same ops on
+// both sides. The final mappings of parent and child must match page by
+// page across the two strategies and against rbtree reference models.
+// Virtual *time* is not compared across strategies: the lazy fork bills
+// each node copy at divergence instead of at fork, so the clocks
+// legitimately differ; what must hold is that the lazy schedule is
+// deterministic, which TestLazyForkDeterministic pins down below.
+func TestDifferentialEagerVsLazyFork(t *testing.T) {
+	const (
+		trials = 4
+		window = uint64(1 << 13)
+		ops    = 150
+	)
+	for trial := 0; trial < trials; trial++ {
+		mE, rcE, trE := newCopyTree(1)
+		mL, rcL, trL := newCopyTree(1)
+		cE, cL := mE.CPU(0), mL.CPU(0)
+		parentRef := rbtree.New[int]()
+		childRef := rbtree.New[int]()
+
+		apply := func(rng *rand.Rand, eager, lazy *Tree[val], ref *rbtree.Tree[int], op int) {
+			lo := uint64(rng.Intn(int(window)))
+			ln := uint64(rng.Intn(700) + 1)
+			hi := minU(lo+ln, window)
+			if hi == lo {
+				hi = lo + 1
+			}
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				v := &val{op}
+				setRange(eager, cE, lo, hi, v)
+				setRange(lazy, cL, lo, hi, v)
+				for p := lo; p < hi; p++ {
+					ref.Insert(cE, p, op)
+				}
+			case 3:
+				clearRange(eager, cE, lo, hi)
+				clearRange(lazy, cL, lo, hi)
+				for p := lo; p < hi; p++ {
+					ref.Delete(cE, p)
+				}
+			default:
+				rE := eager.LockPage(cE, lo)
+				rL := lazy.LockPage(cL, lo)
+				eE, eL := rE.Entry(0), rL.Entry(0)
+				if (eE.Value() == nil) != (eL.Value() == nil) {
+					t.Fatalf("trial %d op %d: page %d mapped=%v eager vs %v lazy",
+						trial, op, lo, eE.Value() != nil, eL.Value() != nil)
+				}
+				if v := eE.Value(); v != nil {
+					v.x = op
+					eE.Set(v)
+					vL := eL.Value()
+					vL.x = op
+					eL.Set(vL)
+					for p := eE.Lo; p < eE.Hi; p++ {
+						ref.Insert(cE, p, op)
+					}
+				}
+				rE.Unlock()
+				rL.Unlock()
+			}
+			rcE.Maintain(cE)
+			rcL.Maintain(cL)
+		}
+
+		seed := int64(4200 + trial)
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < ops; op++ {
+			apply(rng, trE, trL, parentRef, op)
+		}
+		childE := trE.Fork(cE, func(_, _ uint64, _, _ *val) {})
+		childL := trL.ForkLazy(cL)
+		// The child starts as a snapshot of the parent.
+		for p := uint64(0); p < window; p += 7 {
+			if got, want := lookupVal(childL, cL, p), refGet(parentRef, cE, p); got != want {
+				t.Fatalf("trial %d: lazy child snapshot diverged at page %d: %d, want %d", trial, p, got, want)
+			}
+		}
+		// Keep mutating both sides with identical (but distinct per side)
+		// op streams; the rbtree models split at the fork too.
+		for p := uint64(0); p < window; p++ {
+			if v, ok := parentRef.Get(cE, p); ok {
+				childRef.Insert(cE, p, v)
+			}
+		}
+		rngP := rand.New(rand.NewSource(seed + 1000))
+		rngC := rand.New(rand.NewSource(seed + 2000))
+		for op := ops; op < 2*ops; op++ {
+			apply(rngP, trE, trL, parentRef, op)
+			apply(rngC, childE, childL, childRef, -op)
+		}
+		quiesce(rcE)
+		quiesce(rcL)
+		for p := uint64(0); p < window+64; p++ {
+			if got, want := lookupVal(trL, cL, p), refGet(parentRef, cE, p); got != want {
+				t.Fatalf("trial %d: lazy parent diverged at page %d: %d, want %d", trial, p, got, want)
+			}
+			if got, want := lookupVal(trE, cE, p), refGet(parentRef, cE, p); got != want {
+				t.Fatalf("trial %d: eager parent diverged at page %d: %d, want %d", trial, p, got, want)
+			}
+			if got, want := lookupVal(childL, cL, p), refGet(childRef, cE, p); got != want {
+				t.Fatalf("trial %d: lazy child diverged at page %d: %d, want %d", trial, p, got, want)
+			}
+			if got, want := lookupVal(childE, cE, p), refGet(childRef, cE, p); got != want {
+				t.Fatalf("trial %d: eager child diverged at page %d: %d, want %d", trial, p, got, want)
+			}
+		}
+	}
+}
+
+// TestLazyForkDeterministic: the lazy fork's deferred billing must not cost
+// determinism — two runs of the same single-core fork-and-diverge scenario
+// land on identical virtual clocks (the figure-stability CI gate depends on
+// this for the template-clone figure's one-core column).
+func TestLazyForkDeterministic(t *testing.T) {
+	run := func() uint64 {
+		m, rc, tr := newCopyTree(1)
+		c := m.CPU(0)
+		rng := rand.New(rand.NewSource(77))
+		for op := 0; op < 100; op++ {
+			lo := uint64(rng.Intn(1 << 12))
+			setRange(tr, c, lo, lo+uint64(rng.Intn(100)+1), &val{op})
+			rc.Maintain(c)
+		}
+		child := tr.ForkLazy(c)
+		for op := 0; op < 100; op++ {
+			lo := uint64(rng.Intn(1 << 12))
+			setRange(child, c, lo, lo+uint64(rng.Intn(100)+1), &val{-op})
+			rc.Maintain(c)
+		}
+		child.Release(c)
+		quiesce(rc)
+		return c.Now()
+	}
+	first := run()
+	if second := run(); second != first {
+		t.Fatalf("lazy fork schedule nondeterministic: %d vs %d cycles", first, second)
+	}
+}

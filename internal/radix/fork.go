@@ -25,16 +25,20 @@ import (
 //     whose slots all live in one node is observed entirely or not at all
 //     (it mutates only while holding its whole range, and the fork holds
 //     every bit of a node across that node's copy), and single-page
-//     operations — faults, COW breaks — are always atomic.
-//   - What is *not* promised (the relaxation vs. holding the whole tree): a
-//     Range operation *spanning nodes* can land in the released/not-yet-
-//     copied gap between two of the fork's node copies and be reflected
-//     partially, split at a node boundary; likewise a sequence of two
-//     operations straddling the sweep may be reflected partially, exactly
-//     as if the fork had run between them. Operations on disjoint regions
-//     commute with fork either way, which is the §3.4 property the
-//     workloads rely on; a caller needing Linux-style whole-space fork
-//     atomicity must serialize fork against multi-node writers itself.
+//     operations — faults, COW breaks — are always atomic. A Range
+//     operation *spanning nodes* can land in the released/not-yet-copied
+//     gap between two node copies and be reflected partially, split at a
+//     node boundary. Operations on disjoint regions commute with fork
+//     either way — the §3.4 property the workloads rely on.
+//   - ForkLazy (lazy.go) strengthens this to whole-tree snapshot
+//     atomicity: the snapshot is taken entirely under the root's bits, and
+//     a shared node diverges only after acquiring all of its bits —
+//     serializing with any in-flight multi-node Range op, which therefore
+//     lands entirely before or entirely after the snapshot. Callers
+//     needing Linux-style whole-space fork atomicity use ForkLazy (the
+//     regression test TestLazyForkRangeAtomicity pins this down); the
+//     eager sweep keeps the node-granular relaxation in exchange for
+//     billing all copy cost up front at fork time.
 //
 // The child preserves the parent's uniform/diverged representation without
 // materializing anything on either side: a parent node's unmaterialized
@@ -317,6 +321,8 @@ func (t *Tree[V]) cloneShell(cpu *hw.CPU, src *node[V]) *node[V] {
 		n.uniSt = nil
 	}
 	n.forkBusy, n.forkForks = 0, 0
+	n.gen = t.gen.Load()
+	n.links.Store(1)
 	// A pooled node may carry recycled groups where src has none; drop
 	// them so the child's materialization shape is exactly the parent's.
 	// Count the source's materialized groups while here: they price the

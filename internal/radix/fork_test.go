@@ -265,7 +265,9 @@ func TestConcurrentForksConsistent(t *testing.T) {
 // whole range, never a mix within one folded write). The written ranges
 // live inside one node — the granularity at which the hand-over-hand
 // fork promises atomicity; ranges spanning node boundaries may split at
-// a boundary, by documented design (see fork.go).
+// a boundary, by documented design (see fork.go). The lazy fork does not
+// share that relaxation: TestLazyForkRangeAtomicity exercises the
+// cross-boundary case against ForkLazy.
 func TestForkVsConcurrentLockRange(t *testing.T) {
 	m, rc, tr := newCopyTree(2)
 	c0, c1 := m.CPU(0), m.CPU(1)

@@ -1,0 +1,336 @@
+package radix
+
+import (
+	"runtime"
+
+	"radixvm/internal/hw"
+)
+
+// Lazy (generation-based) fork: COW of the radix metadata itself.
+//
+// ForkLazy is the O(1) counterpart of Fork: instead of sweeping the whole
+// tree, it copies only the root node — in *link mode*, sharing the root's
+// child subtrees with the child tree instead of copying them — and bumps
+// the parent tree's generation, re-adopting the parent root into the new
+// generation under the root's held bits. Every node below the root is now
+// *foreign* to both trees (it belongs to the parent tree but predates the
+// parent's new generation, and belongs to the wrong tree outright from the
+// child's point of view), and the write paths path-copy a foreign node the
+// first time they descend into it (divergeChild): the same per-node copy
+// the eager fork performs, billed the same ForkNodeCost virtual time, just
+// deferred from fork time to first-divergence time. A node neither side
+// ever touches again is never copied — the metadata mirror of frame COW.
+//
+// Sharing discipline:
+//
+//   - node.links counts how many parent slots, across all trees of a fork
+//     family, reference the node. ForkLazy and divergence link-sharing
+//     increment it; divergence (which replaces a tree's link with a private
+//     copy) and Tree.Release decrement it. The last dropLink releases the
+//     node's *contents* (values via the onRelease hook, child links
+//     recursively), which is how frame references stay balanced when one
+//     side of a fork exits without ever touching most of the tree.
+//   - A shared node is read-only to every tree: Lookup and group
+//     materialization are safe (materialization is exact and produces
+//     state identical to the eager representation), but every locking
+//     descent diverges first, so in-place writes happen only under native
+//     nodes.
+//   - The snapshot is whole-tree atomic — a property the eager sweep
+//     cannot provide. Two mechanisms combine: ForkLazy drains all in-flight
+//     locked operations through the per-CPU quiescence gate (Tree.holds)
+//     before bumping the generation, so no operation straddles the
+//     snapshot instant with bits already held; and after the bump, every
+//     locked descent diverges foreign nodes before writing, so by
+//     induction writes only ever land in nodes native to the writing tree
+//     — never in a node the snapshot can reach. Divergence itself
+//     acquires *all* of the shared node's slot bits (the eager per-node
+//     copy protocol), so even racing divergences of one node serialize.
+//   - The deadlock-free order is preserved: divergence holds the parent
+//     slot's bit, then takes the child node's bits, which is the global
+//     parent-before-child, ascending-VPN order every operation uses.
+//
+// Mixing Fork and ForkLazy within one fork family is unsupported: the
+// eager sweep's visit mutates source values in place (COW arming), which
+// must not happen on a node shared with another tree. A family is
+// all-eager or all-lazy, chosen before the first fork.
+
+// ForkLazy clones t in O(1): the root is copied in link mode and the
+// parent's generation is bumped. The child tree inherits t's onDiverge and
+// onRelease hooks; onDiverge is invoked now for values stored in the root
+// node itself (they are copied immediately) and at divergence time for
+// everything deeper. The caller must tear the child down with Tree.Release
+// when it exits, or the shared subtrees' contents leak.
+func (t *Tree[V]) ForkLazy(cpu *hw.CPU) *Tree[V] {
+	// Drain in-flight locked operations and hold new ones out until the
+	// snapshot is taken (see the quiescence-gate comment above and on
+	// Tree.holds): an operation that validated its path as native before
+	// the generation bump would keep writing snapshot-shared nodes in
+	// place afterwards, and a multi-node operation caught mid-acquisition
+	// could then be half-visible to the child. The drain costs no virtual
+	// time — it models the brief kernel-level fork/VM-op exclusion a real
+	// implementation gets from per-CPU reader flags — and the caller must
+	// not hold a Range on t (self-deadlock).
+	t.lazyForks.Add(1)
+	for i := range t.holds {
+		for t.holds[i].flag.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+	defer t.lazyForks.Add(-1)
+
+	nt := treeShell(t.m, t.rc, t.clone, t.kind)
+	nt.onDiverge = t.onDiverge
+	nt.onRelease = t.onRelease
+	root, arrive := nt.linkCopy(cpu, t.root, 1) // +1: the root's immortal ref
+	nt.root = root
+	// Re-adopt the parent root into the new generation while all of its
+	// bits are still held: after the bits release, any descent from the
+	// parent root sees a native root whose children are all foreign. The
+	// child root is native to nt by construction (generation 0 of a fresh
+	// tree). Plain stores are ordered before concurrent lockers' bit
+	// acquisitions by the release/acquire pair on the packed bit words.
+	newGen := t.gen.Add(1)
+	t.root.gen = newGen
+	t.root.forkUnlock(cpu, arrive)
+	return nt
+}
+
+// linkCopy copies src into a new node of tree t in link mode: value slots
+// are cloned (invoking t's onDiverge hook per distinct value, the deferred
+// equivalent of Fork's visit), but child subtrees are *shared* — the copy
+// links src's children directly, bumping their links counts — so the copy
+// is O(1) in subtree size. src's bits are all held when linkCopy returns;
+// the caller publishes the copy (and performs any generation re-adoption)
+// and then releases them with src.forkUnlock(cpu, arrive). The bit
+// acquisition, busy-period registration, and ForkNodeCost billing are
+// exactly the eager forkNode's, so a lazy fork family remains
+// virtual-time-deterministic.
+func (t *Tree[V]) linkCopy(cpu *hw.CPU, src *node[V], extra int64) (*node[V], uint64) {
+	arrive := cpu.Now()
+	src.matMu.Lock()
+	src.waitUniformLocked(cpu, arrive)
+	src.forkForks++
+	if src.forkForks == 1 || arrive < src.forkBusy {
+		src.forkBusy = arrive
+	}
+	src.matMu.Unlock()
+
+	dst := t.cloneShell(cpu, src)
+	var used int64
+	if dst.uniSt != nil {
+		used = SlotsPerNode
+	}
+	sp := span(src.level)
+	for idx := 0; idx < SlotsPerNode; idx++ {
+		gi := idx / slotsPerLine
+		j := idx % slotsPerLine
+		mask := uint64(1) << (uint(idx) & 63)
+		w := &src.bits[idx>>6]
+		g := src.groupLoad(gi)
+		if g != nil {
+			cpu.Write(&g.line)
+			cpu.AcquireBitIn(w, mask, &g.gates[j])
+		} else {
+			// Groupless bit: spin out any transient holder (see forkNode);
+			// the virtual-time wait is settled by the merged-table wait
+			// below, and no line exists to charge.
+			for {
+				old := w.Load()
+				if old&mask == 0 {
+					if w.CompareAndSwap(old, old|mask) {
+						break
+					}
+					continue
+				}
+				runtime.Gosched()
+			}
+			g = src.groupLoad(gi)
+		}
+
+		var st *slotState[V]
+		if g != nil {
+			st = g.sts[j].Load()
+		} else {
+			st = src.uniSt
+		}
+		switch {
+		case st == nil:
+			if dst.uniSt != nil {
+				dg := dst.forkGroup(t, gi)
+				storePlain(&dg.sts[j], nil)
+				used--
+			}
+		case st.child != nil:
+			child := t.loadChild(cpu, src, idx, st)
+			if child == nil {
+				// The child died mid-reclaim; the slot is now empty.
+				if dst.uniSt != nil {
+					dg := dst.forkGroup(t, gi)
+					storePlain(&dg.sts[j], nil)
+					used--
+				}
+				continue
+			}
+			// Link mode: share the subtree instead of copying it. The pin
+			// makes the links bump safe against concurrent reclamation.
+			child.links.Add(1)
+			dg := dst.forkGroup(t, gi)
+			dg.slab[j] = slotState[V]{child: child.obj}
+			storePlain(&dg.sts[j], &dg.slab[j])
+			t.unpin(cpu, child)
+			if dst.uniSt == nil {
+				used++
+			}
+		case g == nil:
+			// Uniform fill: already represented by dst's header; the single
+			// whole-span visit runs below with every bit held.
+		default:
+			// A materialized value slot: give dst its own copy.
+			dg := dst.forkGroup(t, gi)
+			var dv *V
+			switch t.kind {
+			case cloneShared:
+				dv = st.val
+				dg.slab[j] = slotState[V]{val: dv}
+			case cloneCopy:
+				dg.vals[j] = *st.val
+				dv = &dg.vals[j]
+				dg.slab[j] = slotState[V]{val: dv}
+			default:
+				dv = t.clone(st.val)
+				dg.slab[j] = slotState[V]{val: dv}
+			}
+			storePlain(&dg.sts[j], &dg.slab[j])
+			if t.onDiverge != nil {
+				lo := src.slotBase(idx)
+				t.onDiverge(cpu, lo, lo+sp, st.val, dv)
+			}
+			if dst.uniSt == nil {
+				used++
+			}
+		}
+	}
+	// Serialize in virtual time with concurrent forks/divergences whose
+	// busy periods merged into the uniform table after our entry wait
+	// (same rule as forkNode).
+	src.matMu.Lock()
+	src.waitUniformLocked(cpu, arrive)
+	src.matMu.Unlock()
+	if dst.uniSt != nil && t.onDiverge != nil {
+		hi := src.base + uint64(SlotsPerNode)*sp
+		t.onDiverge(cpu, src.base, hi, src.uniSt.val, dst.uniSt.val)
+	}
+	dst.obj = t.rc.NewObj(used+extra, freeNode[V])
+	dst.obj.Data = dst
+	return dst, arrive
+}
+
+// divergeChild path-copies the foreign node child — pinned by the caller,
+// currently linked from n's slot idx — into a native copy, publishing it in
+// the slot and dropping the shared node's link. It returns the replacement
+// with one traversal pin for the caller, or nil if the slot no longer
+// references child (another operation diverged it first, or the child
+// died), in which case the caller re-reads the slot. The caller's pin on
+// child is consumed either way.
+func (t *Tree[V]) divergeChild(cpu *hw.CPU, n *node[V], idx int, child *node[V]) *node[V] {
+	// Take the parent slot's bit: divergence is a write to the slot, and
+	// the bit is what serializes racing divergences of the same link.
+	cpu.Write(n.line(idx))
+	n.acquire(cpu, idx)
+	st := n.slot(idx).Load()
+	if st == nil || st.child != child.obj {
+		n.release(cpu, idx)
+		t.unpin(cpu, child)
+		return nil
+	}
+	// Copy the shared node under all of its bits — serializing with any
+	// in-flight range operation inside it — with one creator pin for the
+	// caller. The copy inherits the parent *node's* generation (native by
+	// construction: descent only writes under native parents).
+	dst, arrive := t.linkCopy(cpu, child, 1)
+	dst.gen = n.gen
+	dst.parent = n
+	dst.parentIdx = idx
+	n.slot(idx).Store(&slotState[V]{child: dst.obj})
+	cpu.Write(n.line(idx))
+	child.forkUnlock(cpu, arrive)
+	// This tree's link moved to the private copy; drop the shared one.
+	// The caller's pin keeps child alive until the unpin below.
+	t.dropLink(cpu, child)
+	n.release(cpu, idx)
+	t.unpin(cpu, child)
+	return dst
+}
+
+// dropLink records that one parent slot stopped referencing n. The last
+// link releases the node's contents: its values (through the onRelease
+// hook) and, recursively, its links on child subtrees. Callers must hold a
+// traversal pin on n (or otherwise know it cannot be reclaimed mid-call).
+func (t *Tree[V]) dropLink(cpu *hw.CPU, n *node[V]) {
+	if n.links.Add(-1) > 0 {
+		return
+	}
+	releaseContents(cpu, n)
+}
+
+// releaseContents drops the contents of a node no tree links anymore: every
+// value is reported to the onRelease hook (the uniform fill once over the
+// node's whole span, diverged slots individually — mirroring the fork visit
+// convention), carriers are retired, child links are dropped recursively,
+// and the used-slot references drain so Refcache reclaims the node. No new
+// descent can reach n (no tree's slots point at it); lock-free readers that
+// pinned it earlier only ever read, and the GC keeps the memory valid under
+// them. The parent link is severed first so freeNode does not CAS a parent
+// slot that may itself already be released or recycled — nodes released
+// through this path go to the GC rather than the per-CPU pools, which is
+// fine: teardown is not a steady-state hot path.
+func releaseContents[V any](cpu *hw.CPU, n *node[V]) {
+	t := n.tree
+	n.parent = nil
+	sp := span(n.level)
+	if n.uniSt != nil && t.onRelease != nil {
+		hi := n.base + uint64(SlotsPerNode)*sp
+		t.onRelease(cpu, n.base, hi, n.uniSt.val)
+	}
+	used := 0
+	for idx := 0; idx < SlotsPerNode; idx++ {
+		st := n.peek(idx)
+		if st == nil {
+			continue
+		}
+		used++
+		if st.child != nil {
+			if obj := t.rc.TryGet(cpu, st.child.Weak()); obj != nil {
+				child := obj.Data.(*node[V])
+				t.dropLink(cpu, child)
+				t.rc.Dec(cpu, obj)
+			}
+			continue
+		}
+		if st != n.uniSt {
+			if t.onRelease != nil && st.val != nil {
+				lo := n.slotBase(idx)
+				t.onRelease(cpu, lo, lo+sp, st.val)
+			}
+			if st.carrier != nil {
+				t.retireCarrier(cpu, st.carrier)
+			}
+		}
+	}
+	for i := 0; i < used; i++ {
+		t.rc.Dec(cpu, n.obj)
+	}
+}
+
+// Release tears down a tree: the root's contents are released exactly as a
+// shared node's would be — values through onRelease, links on shared
+// subtrees dropped (a subtree another tree still links survives untouched;
+// one nobody links releases recursively) — and the root's immortal
+// reference is dropped. This is how a lazily forked child exits in O(its
+// own divergences) instead of paying an O(tree) unmap sweep, and how the
+// parent side of a fork family retires. The caller must guarantee no
+// concurrent operations on t are in flight.
+func (t *Tree[V]) Release(cpu *hw.CPU) {
+	t.dropLink(cpu, t.root)
+	t.rc.Dec(cpu, t.root.obj)
+}

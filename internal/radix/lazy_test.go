@@ -1,0 +1,304 @@
+package radix
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"radixvm/internal/hw"
+)
+
+// TestLazyForkClonesValues: a lazy fork's child sees exactly the parent's
+// mappings — folded, uniform-filled, and per-slot diverged alike — and
+// writes on either side diverge privately, never leaking across the fork.
+func TestLazyForkClonesValues(t *testing.T) {
+	m, _, tr := newCopyTree(1)
+	c := m.CPU(0)
+	lo := span(1) * 8
+	r := tr.LockRange(c, lo, lo+span(1))
+	r.Entry(0).SetClone(&val{x: 3})
+	r.Unlock()
+	for _, vpn := range []uint64{7, 1000, span(2) + 5} {
+		r = tr.LockPage(c, vpn)
+		v := val{x: int(vpn)}
+		r.Entry(0).SetClone(&v)
+		r.Unlock()
+	}
+	r = tr.LockPage(c, lo+9)
+	r.Entry(0).Value().x = 42
+	r.Unlock()
+
+	child := tr.ForkLazy(c)
+	for _, vpn := range []uint64{7, 1000, span(2) + 5, lo, lo + 9, lo + 100} {
+		p, ch := tr.Lookup(c, vpn), child.Lookup(c, vpn)
+		switch {
+		case p == nil && ch == nil:
+		case p == nil || ch == nil:
+			t.Fatalf("vpn %d: parent=%v child=%v", vpn, p, ch)
+		case p.x != ch.x:
+			t.Fatalf("vpn %d: parent x=%d child x=%d", vpn, p.x, ch.x)
+		}
+	}
+	if got := child.Lookup(c, lo+9); got == nil || got.x != 42 {
+		t.Fatalf("diverged page in fold: child sees %+v, want x=42", got)
+	}
+	// Writes diverge privately, in both directions.
+	r = child.LockPage(c, 1000)
+	r.Entry(0).Value().x = -1
+	r.Entry(0).Set(r.Entry(0).Value())
+	r.Unlock()
+	if tr.Lookup(c, 1000).x != 1000 {
+		t.Fatal("child divergence leaked into the parent")
+	}
+	r = tr.LockPage(c, 7)
+	r.Entry(0).Value().x = -2
+	r.Entry(0).Set(r.Entry(0).Value())
+	r.Unlock()
+	if child.Lookup(c, 7).x != 7 {
+		t.Fatal("parent divergence leaked into the child")
+	}
+	// Both trees' locks are all free afterwards.
+	r = tr.LockRange(c, lo, lo+span(1))
+	r.Unlock()
+	r = child.LockRange(c, lo, lo+span(1))
+	r.Unlock()
+}
+
+// TestLazyForkIsOrderOne: ForkLazy's virtual-time cost is O(root) — it must
+// not scale with the number of nodes in the tree, unlike the eager sweep,
+// which visits every one of them. This is the tentpole property: the fork
+// itself copies one node and bumps a generation.
+func TestLazyForkIsOrderOne(t *testing.T) {
+	build := func() (*hw.Machine, *Tree[val]) {
+		m, _, tr := newCopyTree(1)
+		c := m.CPU(0)
+		// Dozens of distinct leaf nodes: one real per-page value every 512
+		// pages (setRange expands down to a leaf; LockPage+Set on an empty
+		// tree would install folded values instead).
+		for i := uint64(0); i < 64; i++ {
+			vpn := i * span(1)
+			setRange(tr, c, vpn, vpn+1, &val{x: int(i)})
+		}
+		return m, tr
+	}
+
+	mE, trE := build()
+	cE := mE.CPU(0)
+	before := cE.Now()
+	trE.Fork(cE, func(_, _ uint64, _, _ *val) {})
+	eager := cE.Now() - before
+
+	mL, trL := build()
+	cL := mL.CPU(0)
+	before = cL.Now()
+	child := trL.ForkLazy(cL)
+	lazy := cL.Now() - before
+
+	if lazy*10 > eager {
+		t.Fatalf("lazy fork cost %d cycles, eager %d: want >= 10x cheaper", lazy, eager)
+	}
+	// The deferred copies are billed at divergence: the child's first write
+	// into a shared subtree pays the path-copy, later writes to the same
+	// leaf are steady-state cheap.
+	before = cL.Now()
+	r := child.LockPage(cL, 0)
+	r.Entry(0).Value().x = -1
+	r.Unlock()
+	first := cL.Now() - before
+	before = cL.Now()
+	r = child.LockPage(cL, 0)
+	r.Entry(0).Value().x = -2
+	r.Unlock()
+	second := cL.Now() - before
+	if first < second+ForkNodeCost(mL.Config().PageZero, 0) {
+		t.Fatalf("first write after lazy fork cost %d cycles, second %d: divergence billing missing", first, second)
+	}
+}
+
+// TestLazyForkRangeAtomicity is the regression promised in fork.go's
+// package comment: a multi-node range write racing a lazy fork must be
+// observed by the child entirely or not at all, even across node
+// boundaries — the whole-tree snapshot atomicity the eager sweep's
+// hand-over-hand protocol cannot provide (its cross-boundary tear is
+// documented and exercised in TestForkVsConcurrentLockRange). The written
+// range straddles the leaf-node boundary at page 512.
+func TestLazyForkRangeAtomicity(t *testing.T) {
+	m, rc, tr := newCopyTree(2)
+	c0, c1 := m.CPU(0), m.CPU(1)
+	const lo, hi = 504, 520 // 8 pages in one leaf node, 8 in the next
+	seed := func(c *hw.CPU, x int) {
+		r := tr.LockRange(c, lo, hi)
+		v := val{x: x}
+		for i := range r.Entries() {
+			r.Entry(i).SetClone(&v)
+		}
+		r.Unlock()
+	}
+	seed(c0, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for k := 0; k < 200; k++ {
+			seed(c1, 10+k)
+			rc.Maintain(c1)
+		}
+	}()
+	for k := 0; k < 60; k++ {
+		child := tr.ForkLazy(c0)
+		first := child.Lookup(c0, lo)
+		if first == nil {
+			t.Fatalf("fork %d: seeded page missing", k)
+		}
+		for vpn := uint64(lo + 1); vpn < hi; vpn++ {
+			got := child.Lookup(c0, vpn)
+			if got == nil || got.x != first.x {
+				t.Fatalf("fork %d: torn snapshot at %d: %v vs page %d's %v", k, vpn, got, lo, first)
+			}
+		}
+		child.Release(c0)
+		rc.Maintain(c0)
+	}
+	<-done
+}
+
+// TestLazyForkFootprint: FootprintBytes charges shared nodes to the tree
+// that created them, so a fresh lazy child's footprint is one root header —
+// not a copy of the parent's whole metadata — and diverging a single page
+// grows it by at most one path of nodes.
+func TestLazyForkFootprint(t *testing.T) {
+	m, _, tr := newCopyTree(1)
+	c := m.CPU(0)
+	for i := uint64(0); i < 64; i++ {
+		vpn := i * span(1)
+		setRange(tr, c, vpn, vpn+1, &val{x: int(i)})
+	}
+	parentFP := tr.FootprintBytes()
+	parentNodes := tr.NodesLive()
+	child := tr.ForkLazy(c)
+	if got := tr.FootprintBytes(); got != parentFP {
+		t.Fatalf("parent footprint changed across lazy fork: %d -> %d", parentFP, got)
+	}
+	if got := child.NodesLive(); got != 1 {
+		t.Fatalf("fresh lazy child owns %d nodes, want 1 (the root copy)", got)
+	}
+	rootOnly := child.FootprintBytes()
+	if rootOnly*8 > parentFP {
+		t.Fatalf("fresh lazy child footprint %d bytes, parent %d: child must be O(one node)", rootOnly, parentFP)
+	}
+	// Diverge one leaf path: the child pays for at most Levels-1 more nodes
+	// (the path copies), a handful of node headers — not O(tree).
+	r := child.LockPage(c, 0)
+	r.Entry(0).Value().x = -1
+	r.Unlock()
+	if got := child.NodesLive(); got > int64(Levels) {
+		t.Fatalf("one-page divergence left the child owning %d nodes, want <= %d", got, Levels)
+	}
+	diverged := child.FootprintBytes()
+	if diverged*2 >= parentFP {
+		t.Fatalf("child footprint %d not << parent %d after one divergence", diverged, parentFP)
+	}
+	if parentNodes != tr.NodesLive() {
+		t.Fatalf("parent node count changed %d -> %d without a parent write", parentNodes, tr.NodesLive())
+	}
+}
+
+// TestLazyForkReleaseBalance: every value copy the fork family creates is
+// released exactly once. onDiverge fires per deferred copy, onRelease per
+// dropped value; after both trees are torn down the books must balance:
+// releases = diverged copies + the parent's original values.
+func TestLazyForkReleaseBalance(t *testing.T) {
+	m, rc, tr := newCopyTree(1)
+	c := m.CPU(0)
+	var diverged, released atomic.Int64
+	tr.OnDiverge(func(_ *hw.CPU, lo, hi uint64, _, _ *val) { diverged.Add(int64(hi - lo)) })
+	tr.OnRelease(func(_ *hw.CPU, lo, hi uint64, _ *val) { released.Add(int64(hi - lo)) })
+
+	const pages = 8
+	for i := uint64(0); i < pages; i++ {
+		setRange(tr, c, 100+i, 101+i, &val{x: int(i)})
+	}
+	child := tr.ForkLazy(c)
+	// Diverge two pages in the child, one in the parent.
+	for _, vpn := range []uint64{100, 101} {
+		r := child.LockPage(c, vpn)
+		r.Entry(0).Value().x = -1
+		r.Unlock()
+	}
+	r := tr.LockPage(c, 102)
+	r.Entry(0).Value().x = -2
+	r.Unlock()
+
+	child.Release(c)
+	// The parent still sees everything after the child exits.
+	for i := uint64(0); i < pages; i++ {
+		want := int(i)
+		if i == 102-100 {
+			want = -2
+		}
+		if got := tr.Lookup(c, 100+i); got == nil || got.x != want {
+			t.Fatalf("parent page %d after child release: %+v, want x=%d", 100+i, got, want)
+		}
+	}
+	tr.Release(c)
+	quiesce(rc)
+	if released.Load() != diverged.Load()+pages {
+		t.Fatalf("release balance: %d released, want %d diverged + %d originals",
+			released.Load(), diverged.Load(), pages)
+	}
+}
+
+// TestLazyForkConcurrent races several cores lazily forking one parent and
+// diverging their children simultaneously — the spawn-server pattern. Every
+// child must see exactly the parent's mappings, divergences stay private,
+// and teardown keeps the tree usable.
+func TestLazyForkConcurrent(t *testing.T) {
+	const forkers = 4
+	m, rc, tr := newCopyTree(forkers)
+	seedC := m.CPU(0)
+	for f := 0; f < forkers; f++ {
+		for p := 0; p < 4; p++ {
+			vpn := uint64(f+1)*span(1) + uint64(p)
+			setRange(tr, seedC, vpn, vpn+1, &val{x: f*100 + p})
+		}
+	}
+	var wg sync.WaitGroup
+	for f := 0; f < forkers; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			c := m.CPU(f)
+			for k := 0; k < 10; k++ {
+				child := tr.ForkLazy(c)
+				for ff := 0; ff < forkers; ff++ {
+					for p := 0; p < 4; p++ {
+						vpn := uint64(ff+1)*span(1) + uint64(p)
+						got := child.Lookup(c, vpn)
+						if got == nil || got.x != ff*100+p {
+							t.Errorf("forker %d child %d vpn %d: got %+v, want x=%d", f, k, vpn, got, ff*100+p)
+							return
+						}
+					}
+				}
+				// Diverge a private page, then throw the child away.
+				r := child.LockPage(c, uint64(f+1)*span(1))
+				r.Entry(0).Value().x = -f
+				r.Unlock()
+				child.Release(c)
+				rc.Maintain(c)
+			}
+		}(f)
+	}
+	wg.Wait()
+	for f := 0; f < forkers; f++ {
+		for p := 0; p < 4; p++ {
+			vpn := uint64(f+1)*span(1) + uint64(p)
+			got := tr.Lookup(seedC, vpn)
+			if got == nil || got.x != f*100+p {
+				t.Fatalf("parent vpn %d after the fork storm: %+v, want x=%d", vpn, got, f*100+p)
+			}
+		}
+	}
+	// Every bit is free: a whole-space range lock goes through.
+	r := tr.LockRange(seedC, 1, MaxVPN-1)
+	r.Unlock()
+}

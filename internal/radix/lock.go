@@ -69,6 +69,7 @@ type Entry[V any] struct {
 // bit into the freshly allocated child.
 func (t *Tree[V]) LockRange(cpu *hw.CPU, lo, hi uint64) *Range[V] {
 	checkRange(lo, hi)
+	t.opEnter(cpu)
 	r := t.getRange(cpu, lo, hi)
 	t.lockIn(r, t.root, lo, hi)
 	return r
@@ -95,6 +96,14 @@ func (t *Tree[V]) lockIn(r *Range[V], n *node[V], lo, hi uint64) {
 				child := t.loadChild(cpu, n, idx, st)
 				if child == nil {
 					continue // dead child cleaned; re-read
+				}
+				if t.foreign(child) {
+					// Snapshot-shared subtree: path-copy it before
+					// locking inside (metadata COW, see lazy.go).
+					child = t.divergeChild(cpu, n, idx, child)
+					if child == nil {
+						continue // slot changed under us; re-read
+					}
 				}
 				r.pins = append(r.pins, child)
 				t.lockIn(r, child, clipLo, clipHi)
@@ -150,6 +159,13 @@ func (t *Tree[V]) expand(cpu *hw.CPU, n *node[V], idx int, st *slotState[V]) *no
 	child := t.newNode(cpu, n.level-1, n.slotBase(idx), fill, used, true)
 	child.parent = n
 	child.parentIdx = idx
+	// The child inherits the parent *node's* generation, not the tree's
+	// current one: an op that validated n as native can race a concurrent
+	// ForkLazy gen bump, and a child stamped with the newer generation
+	// would look native to this tree while being reachable from the
+	// snapshot through n — the snapshot could then observe in-place writes.
+	// Stamping n.gen keeps the child exactly as foreign as its parent.
+	child.gen = n.gen
 	n.slot(idx).Store(&slotState[V]{child: child.obj})
 	cpu.Write(n.line(idx))
 	if st == nil {
@@ -194,6 +210,7 @@ func (t *Tree[V]) lockedDescend(r *Range[V], n *node[V], lo, hi uint64) {
 // serializes against concurrent mmaps of the region).
 func (t *Tree[V]) LockPage(cpu *hw.CPU, vpn uint64) *Range[V] {
 	checkRange(vpn, vpn+1)
+	t.opEnter(cpu)
 	r := t.getRange(cpu, vpn, vpn+1)
 	n := t.root
 	for {
@@ -205,6 +222,12 @@ func (t *Tree[V]) LockPage(cpu *hw.CPU, vpn uint64) *Range[V] {
 			child := t.loadChild(cpu, n, idx, st)
 			if child == nil {
 				continue
+			}
+			if t.foreign(child) {
+				child = t.divergeChild(cpu, n, idx, child)
+				if child == nil {
+					continue
+				}
 			}
 			r.pins = append(r.pins, child)
 			n = child
@@ -276,6 +299,7 @@ func (r *Range[V]) Unlock() {
 	r.entries = r.entries[:0]
 	r.pins = r.pins[:0]
 	r.busy = false
+	r.t.opExit(r.cpu)
 }
 
 // Value returns the entry's current value (nil if unmapped). For a folded

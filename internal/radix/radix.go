@@ -51,6 +51,7 @@ package radix
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -121,6 +122,33 @@ type Tree[V any] struct {
 	pools    []nodePool[V]
 	ranges   []*Range[V]
 	carriers []carrierPool[V]
+
+	// gen is the tree's current generation. Nodes record the generation
+	// they were created (or last adopted) under; a node whose gen differs
+	// from the tree's — or that belongs to another tree outright — is
+	// *foreign*: shared with a lazily forked snapshot and copied on first
+	// write (see lazy.go). Eager trees never bump gen, so every node stays
+	// native and the foreign check is a never-taken branch on hot paths.
+	gen atomic.Uint64
+
+	// onDiverge and onRelease are the lazy-fork value hooks, inherited by
+	// ForkLazy children. onDiverge plays the role of Fork's visit callback,
+	// invoked at divergence time when a shared node is path-copied;
+	// onRelease is invoked for each value dropped when a subtree's last
+	// referencing tree releases it (Tree.Release or divergence unlink).
+	onDiverge func(cpu *hw.CPU, lo, hi uint64, src, dst *V)
+	onRelease func(cpu *hw.CPU, lo, hi uint64, v *V)
+
+	// holds and lazyForks form the quiescence gate that gives ForkLazy its
+	// whole-tree snapshot atomicity (see lazy.go): every LockRange/LockPage
+	// publishes a per-CPU hold flag for the duration of its critical
+	// section (own cache line, no shared-line traffic, no virtual-time
+	// cost), and ForkLazy — alone — raises lazyForks and drains all holds
+	// before taking its snapshot, so no locked operation ever straddles
+	// the generation bump. Eager trees never raise lazyForks, so the
+	// reader side is a single uncontended load per lock operation.
+	holds     []opHold
+	lazyForks atomic.Int32
 
 	nodesLive        atomic.Int64
 	nodesEver        atomic.Int64
@@ -207,6 +235,15 @@ type node[V any] struct {
 	parent    *node[V]
 	parentIdx int
 	obj       *refcache.Obj // counts used slots + traversal pins
+
+	// gen is the tree generation this node was created (or last adopted)
+	// under; compared against tree.gen to detect foreign (snapshot-shared)
+	// nodes. links counts how many parent slots — across all trees sharing
+	// this node — currently reference it; the last dropLink releases the
+	// node's contents (see lazy.go). Both are written only while the node
+	// is private or under its parent slot's lock bit.
+	gen   uint64
+	links atomic.Int32
 
 	// uniSt is the slot state every unmaterialized slot holds (nil for an
 	// empty node). It is written only while the node is unpublished and
@@ -603,6 +640,48 @@ func treeShell[V any](m *hw.Machine, rc *refcache.Refcache, clone func(*V) *V, k
 		pools:    make([]nodePool[V], m.NCores()),
 		ranges:   make([]*Range[V], m.NCores()),
 		carriers: make([]carrierPool[V], m.NCores()),
+		holds:    make([]opHold, m.NCores()),
+	}
+}
+
+// opHold is one CPU's slot in the lazy-fork quiescence gate. depth is
+// owner-goroutine state (each CPU's operations run on its own goroutine,
+// like the node pools); flag is the published in-critical-section marker
+// ForkLazy scans. The pad keeps neighboring CPUs' flags off one line.
+type opHold struct {
+	depth int32
+	flag  atomic.Int32
+	_     [56]byte
+}
+
+// opEnter marks cpu as inside a locked operation on t. If a ForkLazy is
+// draining, the operation waits for it to finish before entering — the
+// writer side of a per-CPU reader/writer gate. Nested ranges on one CPU
+// just deepen the existing hold.
+func (t *Tree[V]) opEnter(cpu *hw.CPU) {
+	h := &t.holds[cpu.ID()]
+	h.depth++
+	if h.depth > 1 {
+		return
+	}
+	for {
+		h.flag.Store(1)
+		if t.lazyForks.Load() == 0 {
+			return
+		}
+		h.flag.Store(0)
+		for t.lazyForks.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// opExit ends cpu's hold (when the outermost range unlocks).
+func (t *Tree[V]) opExit(cpu *hw.CPU) {
+	h := &t.holds[cpu.ID()]
+	h.depth--
+	if h.depth == 0 {
+		h.flag.Store(0)
 	}
 }
 
@@ -645,6 +724,8 @@ func (t *Tree[V]) newNode(cpu *hw.CPU, level int, base uint64, fill *V, used int
 	}
 	n.uni = uniformGates{}
 	n.forkBusy, n.forkForks = 0, 0
+	n.gen = t.gen.Load()
+	n.links.Store(1)
 	if locked {
 		// Lock-bit propagation (§3.4) in bulk: set all 512 bits with 8
 		// word stores and record the priming instant; the node is
@@ -740,6 +821,11 @@ func (t *Tree[V]) Bytes() uint64 { return uint64(t.nodesLive.Load()) * NodeBytes
 // pointer for its dense groupDir entry). Uniform and singly-diverged nodes
 // cost a small fraction of NodeBytes; only fully diverged nodes approach
 // the eager representation's size.
+//
+// Nodes shared with a lazily forked snapshot are charged to the tree that
+// created them (nodesLive is a creating-tree counter), so parent and child
+// never double-count a shared node: a fresh ForkLazy child's footprint is
+// one root header, growing only as divergence path-copies nodes into it.
 func (t *Tree[V]) FootprintBytes() uint64 {
 	return uint64(t.nodesLive.Load())*uint64(unsafe.Sizeof(node[V]{})) +
 		uint64(t.groupsLive.Load())*uint64(unsafe.Sizeof(slotGroup[V]{})+unsafe.Sizeof(uintptr(0)))
@@ -773,6 +859,27 @@ func (t *Tree[V]) loadChild(cpu *hw.CPU, n *node[V], idx int, st *slotState[V]) 
 func (t *Tree[V]) unpin(cpu *hw.CPU, n *node[V]) {
 	t.rc.Dec(cpu, n.obj)
 }
+
+// foreign reports whether n is shared with a lazily forked snapshot and
+// must be path-copied before t writes under it: either n belongs to another
+// tree outright (a ForkLazy child still linking parent nodes) or n predates
+// t's current generation (the parent side after ForkLazy bumped it). Eager
+// trees never bump gen and never share nodes, so this stays false for them.
+func (t *Tree[V]) foreign(n *node[V]) bool {
+	return n.tree != t || n.gen != t.gen.Load()
+}
+
+// OnDiverge registers the lazy-fork divergence hook: fn is invoked once per
+// distinct value copied when a snapshot-shared node is path-copied on first
+// write, with the VPN range the value covers — the deferred equivalent of
+// Fork's visit callback. Inherited by ForkLazy children.
+func (t *Tree[V]) OnDiverge(fn func(cpu *hw.CPU, lo, hi uint64, src, dst *V)) { t.onDiverge = fn }
+
+// OnRelease registers the lazy-fork release hook: fn is invoked once per
+// distinct value dropped when the last tree referencing a shared subtree
+// releases it (Tree.Release, or a divergence unlinking the old copy).
+// Inherited by ForkLazy children.
+func (t *Tree[V]) OnRelease(fn func(cpu *hw.CPU, lo, hi uint64, v *V)) { t.onRelease = fn }
 
 // Lookup returns the value covering vpn, or nil if unmapped. It takes no
 // locks: interior nodes are only read, so concurrent lookups of disjoint

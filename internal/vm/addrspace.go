@@ -1,6 +1,8 @@
 package vm
 
 import (
+	"sync/atomic"
+
 	"radixvm/internal/counter"
 	"radixvm/internal/hw"
 	"radixvm/internal/mem"
@@ -62,6 +64,22 @@ type AddressSpace struct {
 	// written once and read-only afterwards, so no padding is needed.
 	tmpls []*Mapping
 
+	// forkEager selects Fork's metadata strategy: true (the default) is
+	// the hand-over-hand O(tree) sweep whose virtual-time billing the
+	// gated figures were frozen under; false is the O(1) generation fork
+	// (radix.Tree.ForkLazy) that defers node copies and COW arming to
+	// first divergence. Inherited by children — a fork family is
+	// all-eager or all-lazy (see SetForkEager).
+	forkEager bool
+
+	// forkGen counts lazy forks of this space. The fault path reads it on
+	// entry and re-validates after installing a translation: a bump in
+	// between means the fork's wholesale invalidation may already have
+	// swept this core, so the just-installed translation — derived from
+	// possibly pre-divergence metadata — is undone and the fault retried.
+	// Never bumped in eager mode, so the check is a never-taken branch.
+	forkGen atomic.Uint64
+
 	active ActiveSet
 }
 
@@ -72,18 +90,45 @@ func New(m *hw.Machine, rc *refcache.Refcache, alloc *mem.Allocator, mmu MMU) *A
 	if mmu == nil {
 		mmu = NewPerCoreMMU(m)
 	}
-	return &AddressSpace{
+	as := &AddressSpace{
 		m:     m,
 		rc:    rc,
 		alloc: alloc,
 		// A Mapping needs no deep clone, so NewCopy lets folded-slot
 		// expansion slab-allocate the 512 per-page copies and Mmap write
 		// its metadata through recycled value carriers.
-		tree:  radix.NewCopy[Mapping](m, rc),
-		mmu:   mmu,
-		tmpls: make([]*Mapping, m.NCores()),
+		tree:      radix.NewCopy[Mapping](m, rc),
+		mmu:       mmu,
+		tmpls:     make([]*Mapping, m.NCores()),
+		forkEager: true,
 	}
+	as.wireTree()
+	return as
 }
+
+// wireTree registers the lazy-fork hooks on as.tree: divergence COW-arms
+// the copied mappings (the deferred half of the eager fork's visit) and
+// release drops their frame references (the teardown half of unmapLocked).
+// Registered on every address space — Exit relies on the release hook even
+// in eager mode, and ForkLazy children re-wire to their own binding.
+func (as *AddressSpace) wireTree() {
+	as.tree.OnDiverge(as.divergeMapping)
+	as.tree.OnRelease(as.releaseMapping)
+}
+
+// SetForkEager selects Fork's metadata strategy (default true): the eager
+// hand-over-hand sweep, or — with false — the O(1) generation fork, which
+// returns in O(touched nodes) and bills the same radix.ForkNodeCost at
+// first divergence instead of at fork time. Must be chosen before the
+// first Fork and is inherited by children: mixing modes within one fork
+// family is unsupported, because the eager sweep COW-arms source values in
+// place, which must never happen on a node shared with a lazy snapshot.
+// On a SharedMMU the lazy request silently falls back to the eager sweep
+// (see Fork).
+func (as *AddressSpace) SetForkEager(eager bool) { as.forkEager = eager }
+
+// ForkEager reports the current fork strategy.
+func (as *AddressSpace) ForkEager() bool { return as.forkEager }
 
 // Name implements System.
 func (as *AddressSpace) Name() string { return "radixvm" }
@@ -280,19 +325,35 @@ func (as *AddressSpace) fault(cpu *hw.CPU, vpn uint64, k Kind, trapped bool) err
 	cpu.Stats().PageFaults++
 	cpu.Tick(FaultCost)
 	as.noteActive(cpu)
+	for {
+		err, retry := as.faultOnce(cpu, vpn, k, trapped)
+		if !retry {
+			return err
+		}
+	}
+}
 
+// faultOnce runs one optimistic fault attempt under the fork epoch read at
+// entry. retry is true when a lazy fork's epoch bump raced the attempt: the
+// installed translation may have been derived from pre-divergence metadata
+// and missed by the fork's wholesale invalidation, so it is undone (a
+// self-targeted shootdown of the page) and the fault re-runs under the new
+// epoch — whose LockPage descent then diverges the metadata first. In
+// eager mode forkGen never changes and the validation never fires.
+func (as *AddressSpace) faultOnce(cpu *hw.CPU, vpn uint64, k Kind, trapped bool) (error, bool) {
+	gen := as.forkGen.Load()
 	r := as.tree.LockPage(cpu, vpn)
 	defer r.Unlock()
 	e := r.Entry(0)
 	v := e.Value()
 	if v == nil {
-		return ErrSegv // unmapped, or munmap got the lock first (§3.4)
+		return ErrSegv, false // unmapped, or munmap got the lock first (§3.4)
 	}
 	if !v.Prot.Permits(k) {
 		if !trapped {
 			cpu.Stats().ProtFaults++
 		}
-		return ErrProt // mapped, but the mapping forbids this access
+		return ErrProt, false // mapped, but the mapping forbids this access
 	}
 	switch {
 	case v.Frame == nil:
@@ -319,7 +380,15 @@ func (as *AddressSpace) fault(cpu *hw.CPU, vpn uint64, k Kind, trapped bool) err
 	as.mmu.Fill(cpu, vpn, v.Frame.PFN, v.permBits())
 	v.TLBCores.Add(cpu.ID())
 	e.Set(v)
-	return nil
+	if as.forkGen.Load() != gen {
+		// A lazy fork's invalidation raced this fault; the translation
+		// just installed may be stale. Undo it locally and retry.
+		var self hw.CoreSet
+		self.Add(cpu.ID())
+		as.mmu.Shootdown(cpu, vpn, vpn+1, self, self)
+		return nil, true
+	}
+	return nil, false
 }
 
 // Access implements System: a user-level memory access. TLB hit, then

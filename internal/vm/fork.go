@@ -38,11 +38,24 @@ func (as *AddressSpace) Fork(cpu *hw.CPU) (System, error) {
 	as.noteActive(cpu)
 
 	child := &AddressSpace{
-		m:     as.m,
-		rc:    as.rc,
-		alloc: as.alloc,
-		mmu:   as.newChildMMU(),
-		tmpls: make([]*Mapping, as.m.NCores()),
+		m:         as.m,
+		rc:        as.rc,
+		alloc:     as.alloc,
+		mmu:       as.newChildMMU(),
+		tmpls:     make([]*Mapping, as.m.NCores()),
+		forkEager: as.forkEager,
+	}
+
+	if !as.forkEager {
+		if _, shared := as.mmu.(*SharedMMU); !shared {
+			as.forkLazy(cpu, child)
+			return child, nil
+		}
+		// A shared page table leaves a window where another core keeps
+		// using a stale writable PTE between the snapshot and a shared-
+		// table rewrite (per-core tables are swapped out whole, each
+		// owner's walks fenced by its own TLB mutex); fall back to the
+		// eager sweep, which write-protects under the slot locks.
 	}
 
 	// Contiguous runs of faulted, writable, newly-COW pages, write-
@@ -95,7 +108,108 @@ func (as *AddressSpace) Fork(cpu *hw.CPU) (System, error) {
 		}
 		runs = runs[:0]
 	})
+	child.wireTree()
 	return child, nil
+}
+
+// forkLazy is the O(1) generation fork (ROADMAP direction 4): the radix
+// tree is snapshotted by a root-only link copy plus a generation bump
+// (radix.Tree.ForkLazy), and instead of the eager sweep's per-node
+// write-protect rounds the parent's translations are invalidated wholesale
+// (MMU.Reset — O(active cores), independent of tree size). Every later
+// access on either side re-faults through the metadata, whose locking
+// descent path-copies the touched shared nodes first; the divergence hook
+// COW-arms the copied pages at that point, so the eager fork's per-page
+// work — IncRef, COW flagging, share counting — happens per *touched*
+// node, not per existing node.
+//
+// Ordering: the tree snapshot (which bumps the tree generation under the
+// root's held bits) comes first, then the fork epoch bump, then the
+// invalidation. A fault that read the old epoch before the snapshot is
+// either swept by the Reset or caught by its post-fill epoch validation; a
+// fault that reads the new epoch necessarily locks metadata after the
+// generation bump and therefore diverges before deriving a translation.
+// Frame *contents* snapshot at Reset completion — a racing core may write
+// through a pre-fork translation until its table is swept, exactly as a
+// write that beat the fork — while the metadata snapshot is atomic at the
+// generation bump (whole-tree, not node-granular: see radix/lazy.go).
+func (as *AddressSpace) forkLazy(cpu *hw.CPU, child *AddressSpace) {
+	child.tree = as.tree.ForkLazy(cpu)
+	child.wireTree()
+	as.forkGen.Add(1)
+	as.mmu.Reset(cpu, as.activeSet())
+}
+
+// divergeMapping is the radix tree's onDiverge hook: the deferred per-page
+// half of the eager fork's visit, run when a snapshot-shared node is
+// path-copied on first touch. src is the shared mapping, dst the copy that
+// becomes private to the diverging tree. The COW share count follows the
+// eager fork's arithmetic, just deferred: the first divergence counts the
+// shared original and the copy (2), later divergences add their copy (1) —
+// writing src.COW is legal here because the hook runs under every slot bit
+// of src's node, the same discipline the eager visit mutates sources under.
+// The original's share and reference drop when its node's last link goes
+// away (releaseMapping), so however a fork family diverges and exits, k
+// surviving mappings of a frame hold exactly k references, and breakCOW's
+// sole-share ownership test stays exact.
+//
+// No write-protect rounds run here: the forking side's translations were
+// invalidated wholesale at fork time and shared nodes never supply new
+// ones (every locking descent diverges first), so no stale writable
+// translation for these pages can exist anywhere.
+func (as *AddressSpace) divergeMapping(cpu *hw.CPU, lo, hi uint64, src, dst *Mapping) {
+	dst.TLBCores = hw.CoreSet{} // no translation derives from a shared node
+	if src.Frame == nil {
+		return // metadata-only copy
+	}
+	as.alloc.IncRef(cpu, src.Frame) // the diverged copy's reference
+	if src.altCtr != nil {
+		src.altCtr.Inc(cpu)
+	}
+	if src.Back.File != nil {
+		return // file pages stay shared and writable on both sides
+	}
+	dst.COW = true
+	if src.COW {
+		src.Frame.AddCOWShares(cpu, 1)
+		return
+	}
+	src.COW = true
+	src.Frame.AddCOWShares(cpu, 2) // the shared original and this copy
+}
+
+// releaseMapping is the radix tree's onRelease hook: the teardown half of
+// unmapLocked, run for each mapping dropped when a subtree's last
+// referencing tree releases it — Exit, or a divergence unlinking the
+// shared original after both sides copied it. No shootdown runs here: a
+// shared node's pages have no translations (see divergeMapping), and Exit
+// resets the dying space's MMU wholesale.
+func (as *AddressSpace) releaseMapping(cpu *hw.CPU, lo, hi uint64, v *Mapping) {
+	if v.Frame == nil {
+		return
+	}
+	if v.COW {
+		v.Frame.DropCOWShare(cpu)
+	}
+	as.alloc.DecRef(cpu, v.Frame)
+	if v.altCtr != nil {
+		v.altCtr.Dec(cpu)
+	}
+}
+
+// Exit tears the address space down whole: the tree releases its root —
+// dropping links on snapshot-shared subtrees and releasing outright-owned
+// ones, frame references draining through releaseMapping — and the MMU's
+// translations are invalidated wholesale. For a lazily forked child this
+// is O(its own divergences) instead of the O(tree) unmap sweep teardown
+// would otherwise cost, which is what keeps the template-clone fleet shape
+// (fork, touch a little, exit) cheap end to end. The address space must
+// not be used after Exit, and no concurrent operations may be in flight.
+func (as *AddressSpace) Exit(cpu *hw.CPU) {
+	cpu.Tick(RadixSyscallCost)
+	as.noteActive(cpu)
+	as.tree.Release(cpu)
+	as.mmu.Reset(cpu, as.activeSet())
 }
 
 // newChildMMU builds a fresh MMU of the same design as the parent's, so a

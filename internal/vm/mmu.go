@@ -1,8 +1,11 @@
 package vm
 
 import (
+	"sync/atomic"
+
 	"radixvm/internal/hw"
 	"radixvm/internal/pagetable"
+	"radixvm/internal/radix"
 	"radixvm/internal/tlb"
 )
 
@@ -107,6 +110,14 @@ type MMU interface {
 	// instead of a fault. Targeting mirrors Shootdown: per-core tables
 	// interrupt precise, shared tables broadcast to active.
 	Protect(cpu *hw.CPU, lo, hi uint64, perm pagetable.Perm, precise, active hw.CoreSet)
+	// Reset wholesale-invalidates every translation of the address space:
+	// each active core's page table is dropped (rebuilt on demand by later
+	// faults) and its TLB flushed. This is the lazy fork's one up-front
+	// hardware cost — O(active cores), independent of the tree size —
+	// standing in for the eager sweep's per-node write-protect rounds:
+	// with no surviving translations, every later access re-faults through
+	// the metadata, which diverges and COW-arms the touched pages first.
+	Reset(cpu *hw.CPU, active hw.CoreSet)
 	// Bytes reports page-table memory (Table 2 / §5.4 accounting).
 	Bytes() uint64
 }
@@ -115,8 +126,12 @@ type MMU interface {
 // knows exactly which cores may cache each page and munmap interrupts only
 // those — zero IPIs when a region never left its core (§3.3).
 type PerCoreMMU struct {
-	m    *hw.Machine
-	pts  []*pagetable.PageTable
+	m *hw.Machine
+	// pts entries are swapped atomically: a lazy fork's Reset replaces a
+	// core's whole table with nil from the forking goroutine while the
+	// owner may be walking or filling it, and walkers re-load the pointer
+	// (Revalidate) after their TLB insert to detect the swap.
+	pts  []atomic.Pointer[pagetable.PageTable]
 	tlbs []*tlb.TLB
 }
 
@@ -125,7 +140,7 @@ type PerCoreMMU struct {
 // small fraction of the address space per core.
 func NewPerCoreMMU(m *hw.Machine) *PerCoreMMU {
 	mmu := &PerCoreMMU{m: m}
-	mmu.pts = make([]*pagetable.PageTable, m.NCores())
+	mmu.pts = make([]atomic.Pointer[pagetable.PageTable], m.NCores())
 	mmu.tlbs = make([]*tlb.TLB, m.NCores())
 	for i := range mmu.tlbs {
 		mmu.tlbs[i] = tlb.New(0)
@@ -137,10 +152,15 @@ func NewPerCoreMMU(m *hw.Machine) *PerCoreMMU {
 func (mmu *PerCoreMMU) Name() string { return "percore" }
 
 func (mmu *PerCoreMMU) pt(id int) *pagetable.PageTable {
-	if mmu.pts[id] == nil {
-		mmu.pts[id] = pagetable.New(mmu.m)
+	for {
+		if pt := mmu.pts[id].Load(); pt != nil {
+			return pt
+		}
+		pt := pagetable.New(mmu.m)
+		if mmu.pts[id].CompareAndSwap(nil, pt) {
+			return pt
+		}
 	}
-	return mmu.pts[id]
 }
 
 // Fill implements MMU: only the faulting core's table is written, so
@@ -152,15 +172,19 @@ func (mmu *PerCoreMMU) Fill(cpu *hw.CPU, vpn, pfn uint64, perm pagetable.Perm) {
 
 // Lookup implements MMU.
 func (mmu *PerCoreMMU) Lookup(cpu *hw.CPU, vpn uint64) (pagetable.PTE, bool) {
-	if mmu.pts[cpu.ID()] == nil {
+	pt := mmu.pts[cpu.ID()].Load()
+	if pt == nil {
 		return pagetable.PTE{}, false
 	}
-	return mmu.pt(cpu.ID()).Lookup(cpu, vpn)
+	return pt.Lookup(cpu, vpn)
 }
 
-// Revalidate implements MMU.
+// Revalidate implements MMU. Re-loading the table pointer is what makes
+// Reset's wholesale swap visible to a walk that raced it: the walk's TLB
+// insert is ordered after Reset's flush by the TLB mutex, so this load
+// observes the nil (or replacement) table and fails the revalidation.
 func (mmu *PerCoreMMU) Revalidate(cpu *hw.CPU, vpn, pfn uint64, perm pagetable.Perm) bool {
-	pt := mmu.pts[cpu.ID()]
+	pt := mmu.pts[cpu.ID()].Load()
 	return pt != nil && revalidate(pt, vpn, pfn, perm)
 }
 
@@ -214,12 +238,34 @@ func (mmu *PerCoreMMU) Protect(cpu *hw.CPU, lo, hi uint64, perm pagetable.Perm, 
 	})
 }
 
+// Reset implements MMU: each active core's table is swapped out whole and
+// its TLB flushed. The swap happens *before* the flush so that a concurrent
+// walk — whose TLB insert and Revalidate are ordered behind the flush by
+// the TLB mutex — observes the empty table and retries as a fault; a fault
+// concurrently filling the old table is caught by the caller's fork-epoch
+// validation (see AddressSpace.fault).
+func (mmu *PerCoreMMU) Reset(cpu *hw.CPU, active hw.CoreSet) {
+	self := cpu.ID()
+	mmu.pts[self].Store(nil)
+	mmu.tlbs[self].FlushAll()
+	active.Remove(self)
+	if active.Empty() {
+		return
+	}
+	cpu.Stats().Shootdowns++
+	cpu.SendIPIs(active, func(t *hw.CPU) {
+		// Executed by proxy; cost charged to the target by SendIPIs.
+		mmu.pts[t.ID()].Store(nil)
+		mmu.tlbs[t.ID()].FlushAll()
+	})
+}
+
 // Bytes implements MMU: the sum over per-core tables — the memory overhead
 // §5.4 quantifies.
 func (mmu *PerCoreMMU) Bytes() uint64 {
 	var b uint64
-	for _, pt := range mmu.pts {
-		if pt != nil {
+	for i := range mmu.pts {
+		if pt := mmu.pts[i].Load(); pt != nil {
 			b += pt.Bytes()
 		}
 	}
@@ -309,6 +355,26 @@ func (mmu *SharedMMU) ShootdownTLBOnly(cpu *hw.CPU, lo, hi uint64, active hw.Cor
 	cpu.Stats().Shootdowns++
 	cpu.SendIPIs(active, func(t *hw.CPU) {
 		mmu.tlbs[t.ID()].FlushRange(lo, hi)
+	})
+}
+
+// Reset implements MMU: the shared table is cleared once and every active
+// core's TLB flushed. Present for interface completeness — the lazy fork
+// path never runs on a SharedMMU (it falls back to the eager sweep; see
+// AddressSpace.Fork), because a shared table leaves a window where another
+// core could keep using a stale writable PTE between the snapshot and the
+// table rewrite.
+func (mmu *SharedMMU) Reset(cpu *hw.CPU, active hw.CoreSet) {
+	mmu.pt.UnmapRange(cpu, 0, radix.MaxVPN)
+	self := cpu.ID()
+	mmu.tlbs[self].FlushAll()
+	active.Remove(self)
+	if active.Empty() {
+		return
+	}
+	cpu.Stats().Shootdowns++
+	cpu.SendIPIs(active, func(t *hw.CPU) {
+		mmu.tlbs[t.ID()].FlushAll()
 	})
 }
 

@@ -121,13 +121,24 @@ type System interface {
 	// snapshots the parent's mapping metadata, shares every already
 	// faulted anonymous frame read-only with the parent (the first write
 	// on either side copies the frame), and shares file-backed frames
-	// outright. Write permission on shared frames is revoked in both
-	// parent and child before Fork returns — installed translations are
-	// downgraded and stale TLB entries shot down — so neither side can
-	// write a shared frame behind the other's back.
+	// outright. No stale writable translation for a shared frame survives
+	// Fork's return: the eager strategy downgrades installed translations
+	// and shoots down stale TLB entries per node, the lazy strategy
+	// (radixvm with SetForkEager(false)) invalidates the parent's
+	// translations wholesale — so neither side can write a shared frame
+	// behind the other's back.
 	Fork(cpu *hw.CPU) (System, error)
 	// PageTableBytes reports current hardware page table memory.
 	PageTableBytes() uint64
+}
+
+// Exiter is the optional whole-address-space teardown operation. A system
+// implementing it can retire an address space without an O(address space)
+// unmap sweep — RadixVM's generation fork makes child exit O(the child's
+// own divergences) — and workloads prefer it over per-region Munmaps when
+// present. The space must not be used after Exit.
+type Exiter interface {
+	Exit(cpu *hw.CPU)
 }
 
 // Per-operation software overheads in cycles, chosen so the shapes and the

@@ -389,6 +389,69 @@ func Spawn(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Re
 	return run(env, "spawn", sys, cores, warm, body)
 }
 
+// Clone runs the template-clone microbenchmark, the fan-out pattern the
+// O(1) generation fork exists for (a zygote/posix_spawn template server):
+// every core has faulted in a large slice of one shared template address
+// space; per round, each core forks its own child of the template — with
+// no barrier between the forks — COW-touches a handful of pages in its own
+// slice, and exits the child. The fork-to-exit cycle, not the touches, is
+// the measured work: the touch count is fixed and small while the template
+// is large, so the figure isolates how fork and exit cost scale with the
+// size of the address space being cloned.
+//
+// On RadixVM in lazy mode the fork copies one root node and bumps a
+// generation, each touch pays its path copy at divergence, and exit
+// releases only the child's own divergences — the whole cycle is O(pages
+// the child actually touched). The eager sweep (and both baselines) walk
+// metadata proportional to the whole template per fork, and the baselines
+// additionally pay an exit_mmap munmap sweep per child because they lack a
+// whole-space teardown. Children exit through vm.Exiter when the system
+// provides it, else per-region munmaps.
+func Clone(env *Env, sys vm.System, cores int, iters int, slicePages, touchPages uint64) Result {
+	bar := hw.NewBarrier(cores)
+	round := func(c *hw.CPU, g *hw.Gang) uint64 {
+		id := c.ID()
+		lo := spread(id)
+		ch, err := sys.Fork(c)
+		mustNil(err)
+		var writes uint64
+		for v := lo; v < lo+touchPages; v++ {
+			mustNil(ch.Access(c, v, true)) // COW break in the child's slice
+			writes++
+		}
+		if ex, ok := ch.(vm.Exiter); ok {
+			ex.Exit(c)
+		} else {
+			for other := 0; other < cores; other++ { // exit_mmap-style sweep
+				mustNil(ch.Munmap(c, spread(other), slicePages))
+			}
+		}
+		return writes
+	}
+	warm := func(c *hw.CPU, g *hw.Gang) uint64 {
+		// The template: each core maps and write-faults its own large slice,
+		// then one throwaway round settles first-fork one-time costs.
+		lo := spread(c.ID())
+		mustNil(sys.Mmap(c, lo, slicePages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+		for v := lo; v < lo+slicePages; v++ {
+			mustNil(sys.Access(c, v, true))
+		}
+		bar.Wait(c, g) // the whole template exists before the first fork
+		round(c, g)
+		return 0
+	}
+	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+		var writes uint64
+		for k := 0; k < iters; k++ {
+			writes += round(c, g)
+			env.RC.Maintain(c)
+			g.Sync(c)
+		}
+		return writes
+	}
+	return run(env, "clone", sys, cores, warm, body)
+}
+
 func mustNil(err error) {
 	if err != nil {
 		panic(err)

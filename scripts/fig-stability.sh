@@ -20,7 +20,12 @@
 #     gate byte-exact), and
 #   - the 64-core scale smoke's fork/spawn rows' multi-core columns (the
 #     same frame-metadata line races as the fork figure, now across
-#     sockets; all mprotect rows and all 1-core columns still gate).
+#     sockets; all mprotect rows and all 1-core columns still gate), and
+#   - the clone figure's multi-core columns (like spawn, every core forks
+#     the shared template concurrently with no barrier, so the forks race
+#     for tree locks under real scheduling; the 1-core column gates
+#     byte-exact — TestLazyForkDeterministic in internal/radix pins the
+#     lazy fork's deferred billing as deterministic single-core).
 #
 # The 64-core scale smoke runs under a wall-clock budget (default 300 s
 # per generation, override with FIG_SMOKE_BUDGET) so a simulator-side
@@ -41,11 +46,15 @@ gen() {
   go run ./cmd/radixbench -exp table2 >"$out/table2.txt"
   go run ./cmd/radixbench -exp mprotect -quick >"$out/mprotect.txt"
   go run ./cmd/radixbench -exp fork -quick >"$out/fork.txt"
+  go run ./cmd/radixbench -exp clone -quick >"$out/clone.txt"
   timeout "$budget" go run ./cmd/radixbench -exp scale -quick >"$out/scale.txt"
   # Mask fig8's shared@8 cell (the quick sweep's last column).
   sed -E -i 's/^(shared.*[[:space:]])[0-9]+\.[0-9]+$/\1 JITTER/' "$out/fig8.txt"
   # Mask fork's multi-core columns; the 1-core column still gates.
   sed -E -i 's/^((radixvm|bonsai|linux)[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$out/fork.txt"
+  # Mask clone's multi-core columns; the 1-core column still gates (it
+  # covers the lazy generation fork's deterministic deferred billing).
+  sed -E -i 's/^((radixvm|radixvm-eager|bonsai|linux)[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$out/clone.txt"
   # Mask fig7's writer rows' multi-core columns; `0 writers` and the
   # 1-core column still gate.
   sed -E -i 's/^(([1-9][0-9]* writers)[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$out/fig7.txt"
@@ -71,3 +80,16 @@ mask_scale figures/scale.txt >"$dir/scale_committed_masked.txt"
 mask_scale "$dir/scale_full.txt" >"$dir/scale_full_masked.txt"
 diff -u "$dir/scale_committed_masked.txt" "$dir/scale_full_masked.txt"
 echo "committed figures/scale.txt regenerates byte-identically"
+
+# Same gate for the committed template-clone figure (figures/clone.txt),
+# the generation fork's headline: the 1-core column must regenerate
+# byte-exactly (the lazy fork's deferred billing is deterministic), the
+# concurrent multi-core columns are masked like the smoke's.
+mask_clone() {
+  sed -E 's/^((radixvm|radixvm-eager|bonsai|linux)[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$1"
+}
+timeout "$budget" go run ./cmd/radixbench -exp clone >"$dir/clone_full.txt"
+mask_clone figures/clone.txt >"$dir/clone_committed_masked.txt"
+mask_clone "$dir/clone_full.txt" >"$dir/clone_full_masked.txt"
+diff -u "$dir/clone_committed_masked.txt" "$dir/clone_full_masked.txt"
+echo "committed figures/clone.txt regenerates byte-identically"
