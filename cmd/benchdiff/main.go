@@ -28,13 +28,11 @@
 // wildcards series, 0 wildcards cores; series may contain "/", as the
 // scale figure's system/workload series do) naming cells whose run-to-run
 // jitter is known and benign; they are excluded from warnings and the fail
-// gate and marked ~ in the tables. The default covers Figure 8's shared
-// counter at 8 cores, whose contention resolution has been
-// real-scheduling-dependent (<1% jitter) since the seed, the scale
-// figure's fork/spawn rows (frame-metadata line races, same class as the
-// fork figure's fig-stability mask), and the clone figure's multi-core
-// columns (concurrent template forks race for tree locks; the 1-core
-// column is deterministic and stays gated).
+// gate and marked ~ in the tables. The default is empty: the simulator is
+// deterministic (mailbox IPI delivery plus the deterministic gang
+// schedule), so same-commit reruns are byte-identical and every cell
+// gates. The flag remains for bisecting a deliberately nondeterministic
+// experiment branch.
 package main
 
 import (
@@ -78,6 +76,11 @@ type key struct {
 	exp, title, series string
 	cores              int
 }
+
+// defaultAllowJitter is the default -allow-jitter value. It is empty — and
+// must stay empty: the simulator is deterministic, so no figure cell has
+// benign run-to-run jitter. TestDefaultAllowlistEmpty pins this.
+const defaultAllowJitter = ""
 
 // allowEntry is one parsed -allow-jitter triple: a cell (or wildcarded set
 // of cells) whose run-to-run jitter is known and benign.
@@ -286,12 +289,8 @@ func main() {
 	lastN := flag.Int("last", 10, "with -trend, show at most this many previous runs")
 	warnPct := flag.Float64("warn", 10, "emit ::warning:: annotations for regressions beyond this percent (0 disables)")
 	failPct := flag.Float64("fail", 0, "exit non-zero on regressions beyond this percent (0 disables)")
-	allowFlag := flag.String("allow-jitter",
-		"fig8/shared/8,"+
-			"scale/radixvm/fork/0,scale/bonsai/fork/0,scale/linux/fork/0,"+
-			"scale/radixvm/spawn/0,scale/bonsai/spawn/0,scale/linux/spawn/0,"+
-			"clone/*/4,clone/*/8",
-		"comma-separated exp/series/cores cells with known benign run-to-run jitter, excluded from warnings and the fail gate (\"*\" wildcards series, 0 wildcards cores); the default covers fig8's shared counter, the scale figure's fork/spawn rows, whose frame-metadata line races resolve in real arrival order, and the clone figure's multi-core columns (concurrent forks race for tree locks; its deterministic 1-core column stays gated)")
+	allowFlag := flag.String("allow-jitter", defaultAllowJitter,
+		"comma-separated exp/series/cores cells with known benign run-to-run jitter, excluded from warnings and the fail gate (\"*\" wildcards series, 0 wildcards cores); empty by default — the simulator is deterministic, so every cell gates")
 	flag.Parse()
 	allow, err := parseAllow(*allowFlag)
 	if err != nil {

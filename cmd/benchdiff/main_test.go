@@ -38,3 +38,14 @@ func TestParseAllowJitter(t *testing.T) {
 		t.Errorf("empty allowlist: %v, %d entries", err, len(list))
 	}
 }
+
+// The default allowlist must stay empty: the simulator is deterministic
+// (mailbox IPI delivery + the deterministic gang schedule), so no figure
+// cell has benign run-to-run jitter any more. Growing this default again
+// means a real-time dependency leaked back in — fix the simulator, don't
+// re-mask the cell.
+func TestDefaultAllowlistEmpty(t *testing.T) {
+	if defaultAllowJitter != "" {
+		t.Errorf("default -allow-jitter = %q, want empty", defaultAllowJitter)
+	}
+}

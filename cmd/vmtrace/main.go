@@ -86,9 +86,9 @@ func main() {
 			s.Transfers, s.ColdMisses, s.IPIsSent, s.IPIsReceived())
 	}
 	t := r.Stats
-	fmt.Printf("\ntotals: %d mmaps, %d munmaps, %d mprotects, %d forks, %d faults (%d fills, %d prot, %d cow), %d transfers (%d cross-socket), %d shootdown rounds, %d IPIs (%d cross-socket), %d pages zeroed\n",
+	fmt.Printf("\ntotals: %d mmaps, %d munmaps, %d mprotects, %d forks, %d faults (%d fills, %d prot, %d cow), %d transfers (%d cross-socket), %d shootdown rounds, %d IPIs (%d cross-socket, mailbox depth <= %d), %d pages zeroed\n",
 		t.Mmaps, t.Munmaps, t.Mprotects, t.Forks, t.PageFaults, t.FillFaults, t.ProtFaults,
-		t.COWBreaks, t.Transfers, t.CrossSocket, t.Shootdowns, t.IPIsSent, t.IPIsRemote, t.PagesZeroed)
+		t.COWBreaks, t.Transfers, t.CrossSocket, t.Shootdowns, t.IPIsSent, t.IPIsRemote, t.IPIMboxMax, t.PagesZeroed)
 	fmt.Printf("page tables: %d KB\n", sys.PageTableBytes()/1024)
 }
 

@@ -260,9 +260,9 @@ func FigFork(o Options) *Table {
 // its parent-side COW breaks are targeted; the baselines serialize every
 // fork and parent break on one address-space lock and broadcast per
 // parent break. Each series is a VM system; the metric matches Figure
-// 5's. Concurrent forks race for the tree locks under real scheduling,
-// so unlike the single-forker figures this one is not bit-stable
-// run-to-run; the scaling shape is.
+// 5's. Under the deterministic gang schedule the concurrent forks
+// resolve in virtual-time order, so the figure is bit-stable run-to-run
+// and gated byte-for-byte (figures/spawn.txt).
 func FigSpawn(o Options) *Table {
 	t := &Table{Title: "spawn: concurrent per-core fork/exit (M page writes/sec)"}
 	for _, f := range factories() {
@@ -286,9 +286,10 @@ func FigSpawn(o Options) *Table {
 // touched) regardless of template size. radixvm-eager is the same system
 // with the default per-node sweep, and the baselines additionally pay an
 // exit_mmap munmap sweep per child — both walk metadata proportional to
-// the whole template per cycle. Like FigSpawn, the concurrent forks race
-// for tree locks under real scheduling, so only the 1-core column is
-// bit-stable run-to-run; the scaling shape is.
+// the whole template per cycle. Like FigSpawn, the concurrent forks
+// contend for tree locks, but the deterministic gang schedule resolves
+// them in virtual-time order, so every column is bit-stable run-to-run
+// and gated byte-for-byte (figures/clone.txt).
 func FigClone(o Options) *Table {
 	t := &Table{Title: "clone: template fork fan-out (K clones/sec)"}
 	series := []sysFactory{
@@ -442,7 +443,7 @@ func structureBench(title string, o Options, writerCounts []int, build func(m *h
 			var lookups [hw.MaxCores]uint64
 			var readersDone atomic.Int64
 			m.ResetStats()
-			hw.RunGang(m, n, 3000, func(c *hw.CPU, g *hw.Gang) {
+			hw.RunGangDet(m, n, 3000, func(c *hw.CPU, g *hw.Gang) {
 				r := rand.New(rand.NewSource(int64(c.ID() + 7)))
 				if c.ID() < readers {
 					// Warm: two passes over the key space.
@@ -514,7 +515,7 @@ func Fig8(o Options) *Table {
 			var ops [hw.MaxCores]uint64
 			e.M.ResetStats()
 			start := e.M.MaxClock()
-			hw.RunGang(e.M, n, 4000, func(c *hw.CPU, g *hw.Gang) {
+			hw.RunGangDet(e.M, n, 4000, func(c *hw.CPU, g *hw.Gang) {
 				lo := uint64(c.ID()*4+4) << 18
 				for k := 0; k < iters; k++ {
 					mustNil(as.Mmap(c, lo, 1, vm.MapOpts{Prot: vm.ProtRead, File: file}))

@@ -17,6 +17,10 @@ type Barrier struct {
 	release [2]uint64 // per-generation alignment targets (double-buffered:
 	// a waiter of generation g always wakes before generation g+2 can
 	// complete, since it must itself arrive at g+1)
+
+	// detWaiters lists the members parked here under a deterministic
+	// gang's schedule (guarded by that schedule's mutex, not b.mu).
+	detWaiters []int
 }
 
 // NewBarrier creates a barrier for n members.
@@ -32,6 +36,10 @@ func NewBarrier(n int) *Barrier {
 // core parked at the barrier pins the gang's minimum clock and cores still
 // ahead of it deadlock in Sync.
 func (b *Barrier) Wait(cpu *CPU, g *Gang) {
+	if g != nil && g.det != nil {
+		g.det.barrier(cpu, b)
+		return
+	}
 	if g != nil {
 		g.Leave(cpu)
 		defer g.Join(cpu)

@@ -1,0 +1,217 @@
+package hw
+
+import "sync"
+
+// detSched runs a gang's members as a sequential discrete-event schedule:
+// exactly one member executes at a time, and at every yield point (Sync,
+// Barrier.Wait, Block) the scheduler hands the token to the runnable member
+// with the lowest (virtual clock, core ID). Virtual-time arithmetic is
+// untouched — members still overlap in virtual time exactly as under the
+// parallel gang — but the *real* order in which overlapping operations
+// resolve (home-node gate folds, seqlock outcomes, mailbox enqueues)
+// becomes a pure function of virtual time. That is what makes figure
+// outputs byte-stable across runs: the parallel gang bounds virtual skew
+// but still lets the Go scheduler pick which of two virtually-concurrent
+// line transfers folds first, and the gate's answer depends on that order.
+//
+// The parallel gang (RunGang) remains the way unit and stress tests drive
+// the simulator, so the functional code keeps real-concurrency coverage
+// under the race detector; figures use RunGangDet so the paper's numbers
+// are reproducible bit-for-bit.
+//
+// Members may hold no hw.Lock or other real mutex across a yield point
+// (Sync/Barrier/Block) — all workloads yield only at top level, between
+// operations — so the running member never blocks on a lock held by a
+// parked one.
+type detSched struct {
+	mu     sync.Mutex
+	n      int
+	state  []int8
+	clocks []uint64        // last reported virtual clock per member
+	target []uint64        // advanceTo on next resume (barrier release)
+	resume []chan struct{} // buffered(1) wakeup per member
+}
+
+const (
+	detReady    int8 = iota // runnable, waiting for the token
+	detRunning              // holds the token
+	detBarrier              // parked at a Barrier
+	detExternal             // inside Block (off-schedule, really blocked)
+	detDone                 // fn returned
+)
+
+func newDetSched(m *Machine, ncores int) *detSched {
+	d := &detSched{
+		n:      ncores,
+		state:  make([]int8, ncores),
+		clocks: make([]uint64, ncores),
+		target: make([]uint64, ncores),
+		resume: make([]chan struct{}, ncores),
+	}
+	for i := 0; i < ncores; i++ {
+		d.state[i] = detReady
+		d.clocks[i] = m.CPU(i).Now()
+		d.resume[i] = make(chan struct{}, 1)
+	}
+	return d
+}
+
+// pickLocked returns the ready member with the lowest (clock, ID), or -1.
+// Ties resolve by core ID, so the choice — and therefore the entire
+// schedule — is deterministic. Callers hold d.mu.
+func (d *detSched) pickLocked() int {
+	next := -1
+	var best uint64
+	for j := 0; j < d.n; j++ {
+		if d.state[j] == detReady && (next == -1 || d.clocks[j] < best) {
+			next, best = j, d.clocks[j]
+		}
+	}
+	return next
+}
+
+// handoffLocked grants the token to the best ready member. If that is the
+// caller itself, it keeps running; otherwise the caller wakes the winner
+// and, when park is true, sleeps until regranted. Callers hold d.mu, which
+// is released.
+func (d *detSched) handoffLocked(id int, park bool) {
+	next := d.pickLocked()
+	if next == id {
+		d.state[id] = detRunning
+		d.mu.Unlock()
+		return
+	}
+	if next >= 0 {
+		d.state[next] = detRunning
+		d.mu.Unlock()
+		d.resume[next] <- struct{}{}
+	} else {
+		// Everyone else is parked or off-schedule; a Block return will
+		// claim the token itself (see reenter).
+		d.mu.Unlock()
+	}
+	if park {
+		<-d.resume[id]
+	}
+}
+
+// enter is each member goroutine's first scheduling step: wait until the
+// schedule grants the token. The launcher grants the initial token before
+// any member starts (see RunGangDet), so no goroutine may self-grant here —
+// a late starter that finds itself the best *ready* member while another
+// member already runs must still wait its turn.
+func (d *detSched) enter(c *CPU) {
+	<-d.resume[c.ID()]
+}
+
+// yield is the det-mode Sync: report the clock and hand the token to the
+// lowest-clock runnable member (possibly ourselves).
+func (d *detSched) yield(c *CPU) {
+	now := c.Now()
+	id := c.ID()
+	d.mu.Lock()
+	d.state[id] = detReady
+	d.clocks[id] = now
+	d.handoffLocked(id, true)
+}
+
+// barrier is the det-mode Barrier.Wait: park until all b.n members arrive,
+// then release everyone aligned to the latest arrival. The released
+// members re-enter the schedule with equal clocks, so the post-barrier
+// order is core-ID order — deterministic.
+func (d *detSched) barrier(c *CPU, b *Barrier) {
+	now := c.Now()
+	id := c.ID()
+	d.mu.Lock()
+	if now > b.maxT {
+		b.maxT = now
+	}
+	b.detWaiters = append(b.detWaiters, id)
+	if len(b.detWaiters) == b.n {
+		t := b.maxT
+		b.maxT = 0
+		for _, w := range b.detWaiters {
+			d.state[w] = detReady
+			d.clocks[w] = t
+			d.target[w] = t
+		}
+		b.detWaiters = b.detWaiters[:0]
+	} else {
+		d.state[id] = detBarrier
+	}
+	d.handoffLocked(id, true)
+	if t := d.target[id]; t != 0 {
+		d.target[id] = 0
+		c.advanceTo(t)
+	}
+}
+
+// blockStart takes the member off the schedule before a really-blocking
+// operation (see Gang.Block) and hands the token on.
+func (d *detSched) blockStart(c *CPU) {
+	id := c.ID()
+	d.mu.Lock()
+	d.state[id] = detExternal
+	d.handoffLocked(id, false)
+}
+
+// reenter rejoins the schedule after a Block. If no member holds the token
+// (everyone else is parked on us), claim it directly; otherwise queue as
+// ready and wait to be picked at the next yield.
+//
+// Note the one determinism caveat in det mode: the real moment a Block
+// return rejoins races with the running member's yields, so workloads that
+// need bit-stable output must synchronize through Sync and Barrier only.
+// The committed figure workloads do; Pipeline (channel hand-offs) does not
+// and is gated only at 1 core.
+func (d *detSched) reenter(c *CPU) {
+	id := c.ID()
+	d.mu.Lock()
+	d.state[id] = detReady
+	d.clocks[id] = c.clock // c is off-schedule; its clock is its own
+	for j := 0; j < d.n; j++ {
+		if d.state[j] == detRunning {
+			d.mu.Unlock()
+			<-d.resume[id]
+			return
+		}
+	}
+	// Idle schedule: the best ready member (us or another re-enterer that
+	// queued first) takes over.
+	d.handoffLocked(id, true)
+}
+
+// finish retires a member whose fn returned and hands the token on.
+func (d *detSched) finish(c *CPU) {
+	id := c.ID()
+	d.mu.Lock()
+	d.state[id] = detDone
+	d.handoffLocked(id, false)
+}
+
+// RunGangDet runs fn(cpu) on cores [0, ncores) of m like RunGang, but under
+// the deterministic sequential schedule: same fn signature, same virtual-
+// time semantics for Sync/Block/Barrier, bit-identical output across runs.
+// The quantum is accepted for signature parity with RunGang and ignored —
+// the schedule's lowest-clock-first policy bounds skew to one inter-Sync
+// chunk by construction.
+func RunGangDet(m *Machine, ncores int, quantum uint64, fn func(cpu *CPU, g *Gang)) {
+	g := NewGang(quantum)
+	g.det = newDetSched(m, ncores)
+	// Grant the initial token before any member starts: the lowest
+	// (clock, ID) member runs first, deterministically.
+	first := g.det.pickLocked()
+	g.det.state[first] = detRunning
+	g.det.resume[first] <- struct{}{}
+	var wg sync.WaitGroup
+	for i := 0; i < ncores; i++ {
+		wg.Add(1)
+		go func(c *CPU) {
+			defer wg.Done()
+			g.det.enter(c)
+			fn(c, g)
+			g.det.finish(c)
+		}(m.CPU(i))
+	}
+	wg.Wait()
+}

@@ -71,6 +71,11 @@ import (
 type Gang struct {
 	quantum uint64 // configured skew bound (the floor)
 
+	// det, when non-nil, replaces the parallel skew-window machinery with
+	// the deterministic sequential schedule (see detgang.go): Sync and
+	// Block become token hand-offs and the fields below go unused.
+	det *detSched
+
 	// Socket layer. regMu serializes sub-gang creation; a published
 	// sockGang and the socks list snapshot are immutable afterwards.
 	regMu   sync.Mutex
@@ -185,6 +190,9 @@ func (g *Gang) socketFor(cpu *CPU) *sockGang {
 // Join registers cpu as an active member. Call before the core's loop
 // starts (and before any member can block on it).
 func (g *Gang) Join(cpu *CPU) {
+	if g.det != nil {
+		return // membership is fixed under the deterministic schedule
+	}
 	now := cpu.Now()
 	obs := cpu.stats.Transfers + cpu.stats.IPIsReceived()
 	s := g.socketFor(cpu)
@@ -204,6 +212,10 @@ func (g *Gang) Join(cpu *CPU) {
 // current effective quantum ahead of the slowest active member anywhere in
 // the gang.
 func (g *Gang) Sync(cpu *CPU) {
+	if g.det != nil {
+		g.det.yield(cpu)
+		return
+	}
 	now := cpu.Now()
 	// Contention signal, sampled outside the lock: Transfers is owned by
 	// the calling goroutine, ipisRecv is atomic.
@@ -367,6 +379,9 @@ func (g *Gang) EffectiveQuantumFor(cpu *CPU) uint64 {
 
 // Leave removes cpu from the gang so other members no longer wait for it.
 func (g *Gang) Leave(cpu *CPU) {
+	if g.det != nil {
+		return // membership is fixed under the deterministic schedule
+	}
 	s := g.sockets[cpu.Socket()].Load()
 	if s == nil {
 		return
@@ -413,6 +428,12 @@ func RunGang(m *Machine, ncores int, quantum uint64, fn func(cpu *CPU, g *Gang))
 // hand-off queue freezes the gang's minimum clock and its producer
 // deadlocks in Sync.
 func (g *Gang) Block(cpu *CPU, fn func()) {
+	if g.det != nil {
+		g.det.blockStart(cpu)
+		fn()
+		g.det.reenter(cpu)
+		return
+	}
 	g.Leave(cpu)
 	fn()
 	g.Join(cpu)

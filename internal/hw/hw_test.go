@@ -201,20 +201,118 @@ func TestLineHomeSerialization(t *testing.T) {
 	}
 }
 
-func TestTickAndChargeRemote(t *testing.T) {
+func TestTickAndDeliverAt(t *testing.T) {
 	m := testMachine(t, 2)
 	c := m.CPU(0)
 	c.Tick(100)
 	if c.Now() != 100 {
 		t.Fatalf("Now = %d", c.Now())
 	}
-	c.ChargeRemote(50)
+	// A message stamped in the past folds immediately.
+	c.DeliverAt(80, 50)
 	if c.Now() != 150 {
-		t.Fatalf("Now after remote charge = %d", c.Now())
+		t.Fatalf("Now after due delivery = %d, want 150", c.Now())
 	}
-	// Pending must fold exactly once.
+	// Each message folds exactly once.
 	if c.Now() != 150 {
-		t.Fatalf("pending folded twice")
+		t.Fatalf("message folded twice")
+	}
+	// A message stamped in the future is invisible until the clock
+	// crosses its stamp...
+	c.DeliverAt(1000, 50)
+	if c.Now() != 150 {
+		t.Fatalf("future message folded early: %d", c.Now())
+	}
+	// ...and a Tick across the stamp preempts at the stamp: local work
+	// runs to 1000, the 50-cycle handler runs, the rest follows.
+	c.Tick(900)
+	if c.Now() != 1100 {
+		t.Fatalf("Tick across stamp = %d, want 1100", c.Now())
+	}
+}
+
+// TestMailboxFoldAtStamp is the regression test for the latent
+// ChargeRemote-vs-advanceTo ordering bug the mailbox replaces: a
+// line-transfer advanceTo could jump the clock past pending remote charges
+// and then fold them on top, double-counting wait time. Mailbox semantics:
+// the cost folds at max(clock, stamp), so handler time that overlaps a wait
+// is absorbed by the wait — never stacked on top of a later advance.
+func TestMailboxFoldAtStamp(t *testing.T) {
+	m := testMachine(t, 2)
+	c := m.CPU(0)
+	c.Tick(1000)
+	c.DeliverAt(5000, 1000)
+	// The wait to 10000 covers the 5000..6000 handler window entirely.
+	c.AdvanceTo(10000)
+	if c.Now() != 10000 {
+		t.Fatalf("absorbed handler: Now = %d, want 10000 (not 11000)", c.Now())
+	}
+
+	// A handler that starts inside the wait but finishes after it pushes
+	// the clock only to its own end, not wait+cost.
+	c.DeliverAt(10500, 1000)
+	c.AdvanceTo(11000)
+	if c.Now() != 11500 {
+		t.Fatalf("tail handler: Now = %d, want 11500", c.Now())
+	}
+
+	// A message stamped beyond the advance target stays queued.
+	c.DeliverAt(20000, 1000)
+	c.AdvanceTo(12000)
+	if c.Now() != 12000 {
+		t.Fatalf("future message folded by advance: Now = %d, want 12000", c.Now())
+	}
+	c.AdvanceTo(20000)
+	if c.Now() != 21000 {
+		t.Fatalf("due message after advance: Now = %d, want 21000", c.Now())
+	}
+}
+
+// TestMailboxStampOrder: messages fold in stamp order regardless of
+// enqueue order, and folding one message can make the next one due.
+func TestMailboxStampOrder(t *testing.T) {
+	m := testMachine(t, 2)
+	c := m.CPU(0)
+	c.DeliverAt(3000, 500)
+	c.DeliverAt(1000, 500)
+	c.DeliverAt(2000, 500)
+	c.AdvanceTo(1000)
+	// 1000 -> 1500; stamps 2000 and 3000 are still in the future.
+	if c.Now() != 1500 {
+		t.Fatalf("first fold: Now = %d, want 1500", c.Now())
+	}
+	c.Tick(400) // to 1900, still before 2000
+	if c.Now() != 1900 {
+		t.Fatalf("Now = %d, want 1900", c.Now())
+	}
+	c.Tick(200) // crosses 2000: 100 local, 500 handler, 100 local => 2600
+	if c.Now() != 2600 {
+		t.Fatalf("second fold: Now = %d, want 2600", c.Now())
+	}
+	// Now() alone never advances past a future stamp.
+	if depth := c.mboxLen.Load(); depth != 1 {
+		t.Fatalf("queued = %d, want 1", depth)
+	}
+	c.Tick(400) // to 3000, handler runs => 3500
+	if c.Now() != 3500 {
+		t.Fatalf("third fold: Now = %d, want 3500", c.Now())
+	}
+	if ts := m.TotalStats(); ts.IPIMboxMax != 3 {
+		t.Errorf("IPIMboxMax = %d, want 3", ts.IPIMboxMax)
+	}
+}
+
+// TestMailboxCascade: folding a due message advances the clock, which can
+// make a later-stamped message due in the same drain.
+func TestMailboxCascade(t *testing.T) {
+	m := testMachine(t, 2)
+	c := m.CPU(0)
+	c.DeliverAt(100, 500)
+	c.DeliverAt(400, 500)
+	c.AdvanceTo(100)
+	// 100 -> 600 (first handler), stamp 400 <= 600 -> 1100.
+	if c.Now() != 1100 {
+		t.Fatalf("cascade: Now = %d, want 1100", c.Now())
 	}
 }
 
@@ -329,8 +427,15 @@ func TestSendIPIs(t *testing.T) {
 	if m.CPU(1).Stats().IPIsReceived() != 1 {
 		t.Errorf("target 1 IPIsReceived = %d", m.CPU(1).Stats().IPIsReceived())
 	}
-	if m.CPU(1).Now() < cfg.IPIHandler {
-		t.Errorf("target clock not charged: %d", m.CPU(1).Now())
+	// The charge is stamped with its virtual arrival time: invisible
+	// until the target's clock crosses the stamp, then folded on top.
+	if m.CPU(1).Now() != 0 {
+		t.Errorf("target clock charged before stamp: %d", m.CPU(1).Now())
+	}
+	stamp1 := cfg.IPIBase + cfg.IPIPerTarget // core 1 is the first target
+	m.CPU(1).AdvanceTo(stamp1)
+	if got, want := m.CPU(1).Now(), stamp1+cfg.IPIHandler; got != want {
+		t.Errorf("target clock after crossing stamp = %d, want %d", got, want)
 	}
 	want := cfg.IPIBase + 2*cfg.IPIPerTarget + 2*cfg.IPIAckWait
 	if sender.Now() < want {

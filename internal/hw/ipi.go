@@ -4,11 +4,17 @@ import "sync/atomic"
 
 // SendIPIs models a TLB-shootdown interrupt round from core c to targets.
 // For each target core the handler function is executed (by this goroutine,
-// by proxy — see DESIGN.md) and the handler cost is charged to the target's
-// virtual clock. The sender pays the APIC initiation cost, a serialized
-// per-target delivery cost (the paper observes that "the protocol used by
-// the APIC hardware to transmit the inter-processor interrupts ... appears
-// to be non-scalable", §5.3), and an acknowledgment wait.
+// by proxy — functional effects are synchronous, which keeps page-table and
+// TLB state coherent for the ack that follows) while the handler *cost* is
+// mailed to the target stamped with its virtual arrival time: the sender's
+// send time plus the serialized per-target delivery latency accumulated in
+// ascending core-ID order. The target folds the cost into its own clock
+// when its virtual time crosses the stamp (see CPU.DeliverAt), so where the
+// cycles land depends only on virtual-time order, not goroutine scheduling.
+// The sender pays the APIC initiation cost, a serialized per-target
+// delivery cost (the paper observes that "the protocol used by the APIC
+// hardware to transmit the inter-processor interrupts ... appears to be
+// non-scalable", §5.3), and an acknowledgment wait.
 //
 // Delivery cost is two-tier, like line transfers: a target on the sender's
 // socket is reached over the on-chip interconnect, a remote target over
@@ -38,11 +44,21 @@ func (c *CPU) SendIPIs(targets CoreSet, handler func(target *CPU)) int {
 		}
 	})
 	nNear := uint64(n) - nFar
+	start := c.Now()
 	c.Tick(cfg.IPIBase + nNear*cfg.IPIPerTarget + nFar*cfg.IPIPerTargetRemote)
+	// Each target's interrupt arrives when the serialized APIC protocol
+	// reaches it: initiation plus the delivery costs of every earlier
+	// target in core-ID order.
+	stamp := start + cfg.IPIBase
 	targets.ForEach(func(id int) {
 		t := c.m.CPU(id)
+		if t.Socket() != sock {
+			stamp += cfg.IPIPerTargetRemote
+		} else {
+			stamp += cfg.IPIPerTarget
+		}
 		handler(t)
-		t.ChargeRemote(cfg.IPIHandler)
+		t.DeliverAt(stamp, cfg.IPIHandler)
 		atomic.AddUint64(&t.stats.ipisRecv, 1)
 	})
 	// Wait for acknowledgments; acks arrive roughly in parallel but each

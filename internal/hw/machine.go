@@ -22,6 +22,7 @@ package hw
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -170,6 +171,7 @@ type Stats struct {
 	IPIsSent       uint64 // shootdown interrupts issued by this core
 	IPIsRemote     uint64 // subset of IPIsSent that crossed a socket boundary
 	ipisRecv       uint64 // accessed atomically (written by remote senders)
+	IPIMboxMax     uint64 // high-water mark of queued mailbox messages (written by senders under mboxMu)
 	Shootdowns     uint64 // munmap-triggered shootdown rounds
 	PageFaults     uint64
 	FillFaults     uint64 // faults that only filled a PTE (page existed)
@@ -194,6 +196,9 @@ func (t *Stats) add(s *Stats) {
 	t.IPIsSent += s.IPIsSent
 	t.IPIsRemote += s.IPIsRemote
 	t.ipisRecv += atomic.LoadUint64(&s.ipisRecv)
+	if s.IPIMboxMax > t.IPIMboxMax {
+		t.IPIMboxMax = s.IPIMboxMax
+	}
 	t.Shootdowns += s.Shootdowns
 	t.PageFaults += s.PageFaults
 	t.FillFaults += s.FillFaults
@@ -207,18 +212,32 @@ func (t *Stats) add(s *Stats) {
 	t.RefcacheEvicts += s.RefcacheEvicts
 }
 
+// ipiMsg is one timestamped remote charge: cost cycles of handler work that
+// arrives at this core at virtual time stamp.
+type ipiMsg struct {
+	stamp uint64 // sender's virtual send time + modeled delivery latency
+	cost  uint64 // handler cycles to fold into the receiver's clock
+}
+
 // CPU is the execution context of one simulated core. Exactly one goroutine
 // may drive a CPU at a time (the "thread running on that core"); all methods
-// except ChargeRemote must be called only from that goroutine.
+// except DeliverAt must be called only from that goroutine.
 type CPU struct {
 	id    int
 	m     *Machine
 	clock uint64 // virtual cycles; owned by the driving goroutine
 
-	// pending accumulates cycles charged to this core by other cores
-	// (IPI handler work executed by proxy). It is folded into clock at
-	// the next Now/Tick. See DESIGN.md "Remote execution by proxy".
-	pending atomic.Uint64
+	// The mailbox holds remote charges (IPI handler work executed by
+	// proxy) stamped with their virtual arrival time. Senders enqueue
+	// under mboxMu via DeliverAt; the owning goroutine drains due
+	// messages in stamp order at every Now/Tick/advanceTo boundary,
+	// folding each cost at max(clock, stamp) — so where remote cycles
+	// land in virtual time is a function of the op stream's virtual-time
+	// order, never of goroutine scheduling. mboxLen mirrors len(mbox) so
+	// the empty-mailbox fast path is a single atomic load.
+	mboxLen atomic.Int32
+	mboxMu  sync.Mutex
+	mbox    []ipiMsg // sorted by stamp, ascending; guarded by mboxMu
 
 	stats Stats
 }
@@ -235,23 +254,61 @@ func (c *CPU) Socket() int { return c.m.Socket(c.id) }
 // Stats returns this core's statistics counters for inspection.
 func (c *CPU) Stats() *Stats { return &c.stats }
 
-// Now returns the core's current virtual time, folding in any pending
-// remotely-charged cycles. The fast path is a single atomic load: pending
-// is almost always zero (remote charges only arrive during shootdowns), and
-// an XCHG on every clock read showed up as ~9% of flat CPU in the radix hot
-// paths.
+// Now returns the core's current virtual time, folding in any mailbox
+// messages whose stamp has already been reached. The fast path is a single
+// atomic load: the mailbox is almost always empty (messages only arrive
+// during shootdowns), and heavier synchronization on every clock read showed
+// up as ~9% of flat CPU in the radix hot paths.
 func (c *CPU) Now() uint64 {
-	if c.pending.Load() != 0 {
-		c.clock += c.pending.Swap(0)
+	if c.mboxLen.Load() != 0 {
+		c.drainDue()
 	}
 	return c.clock
 }
 
+// drainDue folds every message whose stamp the clock has already reached.
+// Folding a cost advances the clock, which can make the next message due in
+// turn, so the loop re-tests against the moving clock.
+func (c *CPU) drainDue() {
+	c.mboxMu.Lock()
+	i := 0
+	for ; i < len(c.mbox) && c.mbox[i].stamp <= c.clock; i++ {
+		c.clock += c.mbox[i].cost
+	}
+	c.popMail(i)
+	c.mboxMu.Unlock()
+}
+
 // Tick advances the core's virtual clock by cycles of local computation.
 func (c *CPU) Tick(cycles uint64) {
-	if c.pending.Load() != 0 {
-		c.clock += c.pending.Swap(0)
+	if c.mboxLen.Load() != 0 {
+		c.tickSlow(cycles)
+		return
 	}
+	c.clock += cycles
+}
+
+// tickSlow interleaves mailbox deliveries with cycles of local work: a
+// message stamped inside the window preempts at its stamp, runs its handler,
+// and the remaining local work continues after it.
+func (c *CPU) tickSlow(cycles uint64) {
+	c.mboxMu.Lock()
+	i := 0
+	for ; i < len(c.mbox); i++ {
+		m := c.mbox[i]
+		if m.stamp <= c.clock {
+			c.clock += m.cost
+			continue
+		}
+		run := m.stamp - c.clock
+		if run > cycles {
+			break
+		}
+		cycles -= run
+		c.clock = m.stamp + m.cost
+	}
+	c.popMail(i)
+	c.mboxMu.Unlock()
 	c.clock += cycles
 }
 
@@ -263,14 +320,71 @@ func (c *CPU) AdvanceTo(t uint64) { c.advanceTo(t) }
 // advanceTo moves the clock forward to at least t (used by line transfers
 // that had to wait for the line's home-node queue).
 func (c *CPU) advanceTo(t uint64) {
-	if now := c.Now(); t > now {
+	if c.mboxLen.Load() != 0 {
+		c.advanceSlow(t)
+		return
+	}
+	if t > c.clock {
 		c.clock = t
 	}
 }
 
-// ChargeRemote adds cycles to this core's clock on behalf of another core
-// (e.g. the cost of handling a shootdown IPI). Safe to call from any
-// goroutine.
-func (c *CPU) ChargeRemote(cycles uint64) {
-	c.pending.Add(cycles)
+// advanceSlow folds every message stamped at or before max(clock, t) at its
+// own arrival time — max(clock, stamp) + cost — before maxing with t.
+// Handler time that overlaps a wait is absorbed by the wait, never stacked
+// on top of it; the clock only exceeds t if the folds themselves pushed it
+// past. (The old pending-accumulator model got this wrong: an advanceTo
+// could jump past pending charges and then fold them on top, double-
+// counting wait time relative to virtual causality.)
+func (c *CPU) advanceSlow(t uint64) {
+	c.mboxMu.Lock()
+	i := 0
+	for ; i < len(c.mbox); i++ {
+		m := c.mbox[i]
+		lim := c.clock
+		if t > lim {
+			lim = t
+		}
+		if m.stamp > lim {
+			break
+		}
+		if m.stamp > c.clock {
+			c.clock = m.stamp
+		}
+		c.clock += m.cost
+	}
+	c.popMail(i)
+	c.mboxMu.Unlock()
+	if t > c.clock {
+		c.clock = t
+	}
+}
+
+// popMail removes the first n (already folded) messages. Caller holds
+// mboxMu.
+func (c *CPU) popMail(n int) {
+	if n == 0 {
+		return
+	}
+	c.mbox = append(c.mbox[:0], c.mbox[n:]...)
+	c.mboxLen.Store(int32(len(c.mbox)))
+}
+
+// DeliverAt enqueues cost cycles of remote work (e.g. a shootdown IPI
+// handler) arriving at this core at virtual time stamp. Safe to call from
+// any goroutine; the owning goroutine folds it into the clock when its own
+// virtual time crosses the stamp. Messages with equal stamps commute under
+// the fold-at-max rule, so insertion order between them does not matter.
+func (c *CPU) DeliverAt(stamp, cost uint64) {
+	c.mboxMu.Lock()
+	c.mbox = append(c.mbox, ipiMsg{stamp, cost})
+	for i := len(c.mbox) - 1; i > 0 && c.mbox[i-1].stamp > c.mbox[i].stamp; i-- {
+		c.mbox[i-1], c.mbox[i] = c.mbox[i], c.mbox[i-1]
+	}
+	n := int32(len(c.mbox))
+	c.mboxLen.Store(n)
+	if d := uint64(n); d > c.stats.IPIMboxMax {
+		c.stats.IPIMboxMax = d
+	}
+	c.mboxMu.Unlock()
 }

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+
+	"radixvm/internal/hw"
+	"radixvm/internal/mem"
+	"radixvm/internal/refcache"
+	"radixvm/internal/vm"
+)
+
+// newDetEnv builds a fresh machine + refcache + RadixVM system with the
+// figure harness's cost model (DefaultConfig, not TestConfig, so the test
+// reproduces the figures' exact arithmetic).
+func newDetEnv(ncores int) (*Env, vm.System) {
+	m := hw.NewMachine(hw.DefaultConfig(ncores))
+	rc := refcache.New(m)
+	alloc := mem.NewAllocator(m, rc)
+	return &Env{M: m, RC: rc}, vm.New(m, rc, alloc, vm.NewPerCoreMMU(m))
+}
+
+// snapshot captures everything a deterministic run must reproduce: the
+// figure-level result, every per-core final virtual clock, and every
+// per-core Stats counter.
+type snapshot struct {
+	res    Result
+	clocks []uint64
+	stats  []hw.Stats
+}
+
+func snap(env *Env, res Result) snapshot {
+	s := snapshot{res: res}
+	for i := 0; i < env.M.NCores(); i++ {
+		c := env.M.CPU(i)
+		s.clocks = append(s.clocks, c.Now())
+		s.stats = append(s.stats, *c.Stats())
+	}
+	return s
+}
+
+func compare(t *testing.T, name string, a, b snapshot) {
+	t.Helper()
+	if a.res.PageWrites != b.res.PageWrites || a.res.Cycles != b.res.Cycles {
+		t.Errorf("%s: result diverged: writes %d/%d cycles %d/%d",
+			name, a.res.PageWrites, b.res.PageWrites, a.res.Cycles, b.res.Cycles)
+	}
+	if a.res.Stats != b.res.Stats {
+		t.Errorf("%s: total stats diverged:\n run1: %+v\n run2: %+v", name, a.res.Stats, b.res.Stats)
+	}
+	for i := range a.clocks {
+		if a.clocks[i] != b.clocks[i] {
+			t.Errorf("%s: core %d final clock %d != %d", name, i, a.clocks[i], b.clocks[i])
+		}
+		if a.stats[i] != b.stats[i] {
+			t.Errorf("%s: core %d stats diverged:\n run1: %+v\n run2: %+v", name, i, a.stats[i], b.stats[i])
+		}
+	}
+}
+
+// TestWorkloadsDeterministic runs each concurrent gang workload twice
+// in-process with identical inputs and asserts per-core final virtual
+// clocks and all Stats counters are identical. This is the regression gate
+// for the deterministic schedule: figure cells are byte-gated in CI, and
+// this test catches a reintroduced real-time dependency at the source,
+// under -race, without generating figures.
+func TestWorkloadsDeterministic(t *testing.T) {
+	const cores = 8
+	cases := []struct {
+		name string
+		run  func(env *Env, sys vm.System) Result
+	}{
+		{"fork", func(env *Env, sys vm.System) Result { return Fork(env, sys, cores, 4, 8) }},
+		{"spawn", func(env *Env, sys vm.System) Result { return Spawn(env, sys, cores, 4, 4) }},
+		{"clone", func(env *Env, sys vm.System) Result { return Clone(env, sys, cores, 4, 64, 4) }},
+		{"mprotect", func(env *Env, sys vm.System) Result { return Protect(env, sys, cores, 4, 8) }},
+		{"local", func(env *Env, sys vm.System) Result { return Local(env, sys, cores, 4, 4) }},
+		{"global", func(env *Env, sys vm.System) Result { return Global(env, sys, cores, 2, 4) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env1, sys1 := newDetEnv(cores)
+			s1 := snap(env1, tc.run(env1, sys1))
+			env2, sys2 := newDetEnv(cores)
+			s2 := snap(env2, tc.run(env2, sys2))
+			compare(t, tc.name, s1, s2)
+		})
+	}
+}
+
+// TestSpawnDeterministicManyCores exercises the cross-socket shape of the
+// scale figure's spawn row, where concurrent forks contend hardest on the
+// address-space structures.
+func TestSpawnDeterministicManyCores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-core double run")
+	}
+	const cores = 64
+	env1, sys1 := newDetEnv(cores)
+	s1 := snap(env1, Spawn(env1, sys1, cores, 2, 2))
+	env2, sys2 := newDetEnv(cores)
+	s2 := snap(env2, Spawn(env2, sys2, cores, 2, 2))
+	compare(t, "spawn@64", s1, s2)
+}

@@ -64,14 +64,18 @@ func spread(id int) uint64 { return uint64(id*4+4) << 18 }
 // stats. warm runs once per core before measurement.
 func run(env *Env, name string, sys vm.System, cores int, warm, body func(c *hw.CPU, g *hw.Gang) uint64) Result {
 	var writes [hw.MaxCores]uint64
+	// Figures run under the deterministic sequential gang so every cell is
+	// a pure function of the op stream — byte-stable across runs and
+	// byte-gateable in CI. The parallel gang (hw.RunGang) remains the
+	// harness for tests, which want real concurrency under -race.
 	if warm != nil {
-		hw.RunGang(env.M, cores, 4000, func(c *hw.CPU, g *hw.Gang) {
+		hw.RunGangDet(env.M, cores, 4000, func(c *hw.CPU, g *hw.Gang) {
 			warm(c, g)
 		})
 	}
 	env.M.ResetStats()
 	start := env.M.MaxClock()
-	hw.RunGang(env.M, cores, 4000, func(c *hw.CPU, g *hw.Gang) {
+	hw.RunGangDet(env.M, cores, 4000, func(c *hw.CPU, g *hw.Gang) {
 		writes[c.ID()] = body(c, g)
 	})
 	var total uint64

@@ -14,8 +14,8 @@
 // and shared cache lines are serialization resources with modeled
 // coherence costs. The data structures are really concurrent — only time
 // is simulated — so the library reproduces both the semantics and the
-// scalability curves of the paper on any host. See DESIGN.md for the full
-// substitution argument.
+// scalability curves of the paper on any host. README.md ("The simulated
+// machine") gives the full substitution argument.
 //
 // # Quick start
 //

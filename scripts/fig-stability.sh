@@ -1,41 +1,29 @@
 #!/usr/bin/env bash
-# Figure-stability gate: the virtual-time figures must be byte-identical
-# across two back-to-back runs, so "figures are bit-stable" is a CI check
-# rather than a claim in PR descriptions. Two kinds of cells are masked
-# before diffing, both with <1% run-to-run jitter from real-scheduling-
-# dependent contention resolution (see ROADMAP "Open items"):
+# Figure-stability gate: every virtual-time figure must be byte-identical
+# across two back-to-back runs, with no masked cells. The simulator is
+# deterministic end-to-end: remote IPI cycle charges travel through
+# virtual-time-stamped per-core mailboxes (drained in stamp order at clock
+# crossings), and figure workloads run under the deterministic sequential
+# gang schedule (hw.RunGangDet), which resolves virtually-concurrent
+# operations in (virtual clock, core ID) order instead of whatever order
+# the Go scheduler happens to pick. Any new real-time dependency — a
+# map-iteration-order leak, an unstamped cycle charge, a raced lock fold —
+# breaks this gate.
 #
-#   - fig8's `shared` series at 8 cores (the shared-counter baseline's
-#     contention resolution; jittery since the seed),
-#   - the fork figure's multi-core columns (the forking core writes every
-#     region owner's frame-metadata lines, so line-transfer resolution and
-#     barrier-time IPI folds race; the 1-core column still gates, as do
-#     fork's IPI/shootdown counts in the test suite), and
-#   - fig7's writer rows' multi-core columns (writers and lookup cores race
-#     for the same slot lines; the home-node queue serializes them in real
-#     seqlock-arrival order within the skew window, which the tree
-#     barrier's per-socket wakeups no longer replay identically — the flat
-#     barrier's thundering-herd wake order happened to. Last digit only;
-#     the contention-free `0 writers` row and all 1-core columns still
-#     gate byte-exact), and
-#   - the 64-core scale smoke's fork/spawn rows' multi-core columns (the
-#     same frame-metadata line races as the fork figure, now across
-#     sockets; all mprotect rows and all 1-core columns still gate), and
-#   - the clone figure's multi-core columns (like spawn, every core forks
-#     the shared template concurrently with no barrier, so the forks race
-#     for tree locks under real scheduling; the 1-core column gates
-#     byte-exact — TestLazyForkDeterministic in internal/radix pins the
-#     lazy fork's deferred billing as deterministic single-core).
-#
-# The 64-core scale smoke runs under a wall-clock budget (default 300 s
-# per generation, override with FIG_SMOKE_BUDGET) so a simulator-side
-# real-time scaling regression fails this job instead of hanging it.
+# The 64-core scale smoke runs under a wall-clock budget (default 300 s,
+# override with FIG_SMOKE_BUDGET) so a simulator-side real-time scaling
+# regression fails this job instead of hanging it. The full committed-
+# figure regenerations get twice that: the full spawn sweep (80 cores,
+# concurrent forks) legitimately takes ~3 minutes of near-serial
+# deterministic schedule, so 300 s leaves too little headroom on a loaded
+# runner while 2x still catches a real scaling regression.
 #
 # Usage: scripts/fig-stability.sh <scratch-dir>
 set -euo pipefail
 
 dir="${1:?usage: fig-stability.sh <scratch-dir>}"
 budget="${FIG_SMOKE_BUDGET:-300}"
+full_budget=$((budget * 2))
 
 gen() {
   out="$1"
@@ -46,21 +34,9 @@ gen() {
   go run ./cmd/radixbench -exp table2 >"$out/table2.txt"
   go run ./cmd/radixbench -exp mprotect -quick >"$out/mprotect.txt"
   go run ./cmd/radixbench -exp fork -quick >"$out/fork.txt"
+  go run ./cmd/radixbench -exp spawn -quick >"$out/spawn.txt"
   go run ./cmd/radixbench -exp clone -quick >"$out/clone.txt"
   timeout "$budget" go run ./cmd/radixbench -exp scale -quick >"$out/scale.txt"
-  # Mask fig8's shared@8 cell (the quick sweep's last column).
-  sed -E -i 's/^(shared.*[[:space:]])[0-9]+\.[0-9]+$/\1 JITTER/' "$out/fig8.txt"
-  # Mask fork's multi-core columns; the 1-core column still gates.
-  sed -E -i 's/^((radixvm|bonsai|linux)[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$out/fork.txt"
-  # Mask clone's multi-core columns; the 1-core column still gates (it
-  # covers the lazy generation fork's deterministic deferred billing).
-  sed -E -i 's/^((radixvm|radixvm-eager|bonsai|linux)[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$out/clone.txt"
-  # Mask fig7's writer rows' multi-core columns; `0 writers` and the
-  # 1-core column still gate.
-  sed -E -i 's/^(([1-9][0-9]* writers)[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$out/fig7.txt"
-  # Mask the scale smoke's fork/spawn multi-core columns; every mprotect
-  # row and all 1-core columns still gate.
-  sed -E -i 's/^(((radixvm|bonsai|linux)\/(fork|spawn))[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$out/scale.txt"
 }
 
 gen "$dir/run1"
@@ -68,28 +44,14 @@ gen "$dir/run2"
 diff -ru "$dir/run1" "$dir/run2"
 echo "figure outputs are byte-identical across two runs"
 
-# The committed full-resolution scalability figure (figures/scale.txt) must
-# also regenerate byte-identically, modulo the same fork/spawn mask — this
-# is the gate on the paper's central claim (radixvm's slope holds to 64
-# cores while the broadcast baselines flatten).
-mask_scale() {
-  sed -E 's/^(((radixvm|bonsai|linux)\/(fork|spawn))[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$1"
-}
-timeout "$budget" go run ./cmd/radixbench -exp scale >"$dir/scale_full.txt"
-mask_scale figures/scale.txt >"$dir/scale_committed_masked.txt"
-mask_scale "$dir/scale_full.txt" >"$dir/scale_full_masked.txt"
-diff -u "$dir/scale_committed_masked.txt" "$dir/scale_full_masked.txt"
-echo "committed figures/scale.txt regenerates byte-identically"
-
-# Same gate for the committed template-clone figure (figures/clone.txt),
-# the generation fork's headline: the 1-core column must regenerate
-# byte-exactly (the lazy fork's deferred billing is deterministic), the
-# concurrent multi-core columns are masked like the smoke's.
-mask_clone() {
-  sed -E 's/^((radixvm|radixvm-eager|bonsai|linux)[[:space:]]+[0-9]+\.[0-9]+).*$/\1 JITTER/' "$1"
-}
-timeout "$budget" go run ./cmd/radixbench -exp clone >"$dir/clone_full.txt"
-mask_clone figures/clone.txt >"$dir/clone_committed_masked.txt"
-mask_clone "$dir/clone_full.txt" >"$dir/clone_full_masked.txt"
-diff -u "$dir/clone_committed_masked.txt" "$dir/clone_full_masked.txt"
-echo "committed figures/clone.txt regenerates byte-identically"
+# The committed full-resolution figures must also regenerate byte-for-byte:
+#   - figures/scale.txt — the paper's central claim (radixvm's slope holds
+#     to 64 cores while the broadcast baselines flatten),
+#   - figures/clone.txt — the O(1) generation fork's headline,
+#   - figures/spawn.txt — concurrent fork-vs-fork serialization, the
+#     workload most sensitive to scheduling nondeterminism.
+for fig in scale clone spawn; do
+  timeout "$full_budget" go run ./cmd/radixbench -exp "$fig" >"$dir/${fig}_full.txt"
+  diff -u "figures/${fig}.txt" "$dir/${fig}_full.txt"
+  echo "committed figures/${fig}.txt regenerates byte-identically"
+done
