@@ -8,11 +8,13 @@
 //	radixbench -quick                      # fast smoke sweep (1,4,8 cores)
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, mprotect,
-// fork, spawn, clone, scale, table2, memory.
+// fork, spawn, clone, scale, fleet, table2, memory.
 //
-// The scale experiment sweeps 1..64 cores (1,8,64 with -quick) across all
-// three systems and workloads; the other figure experiments keep the
-// paper's 1,10,20,40,80 hardware-thread axis scaled to the default sweep.
+// The scale and fleet experiments sweep 1..64 cores (1,8,64 with -quick)
+// across all three systems; fleet additionally sweeps the live-address-
+// space axis 64..4096 (64,256 with -quick). The other figure experiments
+// keep the paper's 1,10,20,40,80 hardware-thread axis scaled to the
+// default sweep.
 package main
 
 import (
@@ -35,7 +37,7 @@ type jsonExp struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|fork|spawn|clone|scale|table2|memory")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|fork|spawn|clone|scale|fleet|table2|memory")
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,20,40,80; scale: 1,4,8,16,32,64)")
 	iters := flag.Int("iters", 0, "per-core iterations (default per experiment)")
 	quick := flag.Bool("quick", false, "fast smoke sweep (1,4,8 cores; scale: 1,8,64)")
@@ -45,9 +47,11 @@ func main() {
 
 	o := harness.DefaultOptions()
 	so := harness.ScaleOptions()
+	lives := harness.FleetLives
 	if *quick {
 		o = harness.QuickOptions()
 		so = harness.ScaleQuickOptions()
+		lives = harness.FleetQuickLives
 	}
 	if *coresFlag != "" {
 		o.Cores = nil
@@ -94,6 +98,8 @@ func main() {
 			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigClone(o)}}
 		case "scale":
 			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigScale(so)}}
+		case "fleet":
+			return jsonExp{Name: name, Tables: harness.FigFleet(so, lives)}
 		case "table2":
 			return jsonExp{Name: name, Text: harness.Table2()}
 		case "memory":
@@ -113,7 +119,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "fork", "spawn", "clone", "scale", "table2", "memory"}
+		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "fork", "spawn", "clone", "scale", "fleet", "table2", "memory"}
 	}
 
 	var results []jsonExp

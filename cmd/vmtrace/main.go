@@ -24,7 +24,7 @@ import (
 
 func main() {
 	sysName := flag.String("sys", "radixvm", "vm system: radixvm|radixvm-shared|linux|bonsai")
-	wl := flag.String("workload", "local", "workload: local|pipeline|global|protect|fork|spawn")
+	wl := flag.String("workload", "local", "workload: local|pipeline|global|protect|fork|spawn|fleet")
 	cores := flag.Int("cores", 8, "simulated cores")
 	iters := flag.Int("iters", 200, "iterations per core")
 	pages := flag.Uint64("pages", 1, "region pages (local/pipeline) or piece pages (global)")
@@ -51,7 +51,19 @@ func main() {
 	}
 
 	var r workload.Result
+	var fr *workload.FleetResult
 	switch *wl {
+	case "fleet":
+		cfg := workload.DefaultFleetConfig()
+		if *iters != 200 {
+			cfg.Procs = *iters
+			if cfg.MaxLive > *iters {
+				cfg.MaxLive = *iters
+			}
+		}
+		res := workload.Fleet(env, sys, *cores, cfg)
+		fr = &res
+		r = res.Result
 	case "local":
 		r = workload.Local(env, sys, *cores, *iters, *pages)
 	case "pipeline":
@@ -76,6 +88,14 @@ func main() {
 	fmt.Printf("%s on %s, %d cores, %d iters\n\n", *wl, sys.Name(), *cores, *iters)
 	fmt.Printf("throughput: %.2fM page writes/sec over %.3f virtual ms\n\n",
 		r.PerSecond()/1e6, float64(r.Cycles)/2.4e6)
+	if fr != nil {
+		fmt.Printf("fleet: %d spawns (%.1fK spawns/s), first-touch latency p50 %d p99 %d cycles\n",
+			fr.Spawns, fr.SpawnsPerSec()/1e3, fr.P50, fr.P99)
+		fmt.Printf("fleet: live spaces high %d end %d, %d LRU evictions, run-queue depth high-water %d, %d deferred arrivals\n",
+			fr.LiveHigh, fr.LiveEnd, len(fr.Evictions), fr.RunQHigh, fr.Deferred)
+		fmt.Printf("fleet: refcache reviews %d, review-queue high-water %d\n\n",
+			fr.Reviews, fr.ReviewQHigh)
+	}
 	fmt.Printf("%4s %14s %10s %10s %10s %8s %8s %8s %8s\n",
 		"core", "cycles", "faults", "fills", "hits", "xfers", "cold", "ipiTX", "ipiRX")
 	for i := 0; i < *cores; i++ {

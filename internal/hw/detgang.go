@@ -4,8 +4,8 @@ import "sync"
 
 // detSched runs a gang's members as a sequential discrete-event schedule:
 // exactly one member executes at a time, and at every yield point (Sync,
-// Barrier.Wait, Block) the scheduler hands the token to the runnable member
-// with the lowest (virtual clock, core ID). Virtual-time arithmetic is
+// Barrier.Wait, idle parking) the scheduler hands the token to the runnable
+// member with the lowest (virtual clock, core ID). Virtual-time arithmetic is
 // untouched — members still overlap in virtual time exactly as under the
 // parallel gang — but the *real* order in which overlapping operations
 // resolve (home-node gate folds, seqlock outcomes, mailbox enqueues)
@@ -20,9 +20,12 @@ import "sync"
 // are reproducible bit-for-bit.
 //
 // Members may hold no hw.Lock or other real mutex across a yield point
-// (Sync/Barrier/Block) — all workloads yield only at top level, between
+// (Sync/Barrier/idle park) — all workloads yield only at top level, between
 // operations — so the running member never blocks on a lock held by a
-// parked one.
+// parked one. There are no off-schedule points: every way a member can
+// wait, including a scheduled proc waiting on another proc (hw.Sched's
+// park/wake protocol), goes through the token machinery, so the entire
+// run is a pure function of virtual time.
 type detSched struct {
 	mu     sync.Mutex
 	n      int
@@ -33,11 +36,11 @@ type detSched struct {
 }
 
 const (
-	detReady    int8 = iota // runnable, waiting for the token
-	detRunning              // holds the token
-	detBarrier              // parked at a Barrier
-	detExternal             // inside Block (off-schedule, really blocked)
-	detDone                 // fn returned
+	detReady   int8 = iota // runnable, waiting for the token
+	detRunning             // holds the token
+	detBarrier             // parked at a Barrier
+	detIdle                // idle worker core: clock frozen until woken
+	detDone                // fn returned
 )
 
 func newDetSched(m *Machine, ncores int) *detSched {
@@ -85,9 +88,18 @@ func (d *detSched) handoffLocked(id int, park bool) {
 		d.state[next] = detRunning
 		d.mu.Unlock()
 		d.resume[next] <- struct{}{}
+	} else if park {
+		// Nobody is runnable and the caller is about to sleep: every
+		// member is at a barrier, idle, or done, and with no runner left
+		// nothing can ever wake one. That is a workload bug (a barrier
+		// that cannot fill, a park with no waker), not a recoverable
+		// state.
+		d.mu.Unlock()
+		panic("hw: deterministic gang deadlock: no runnable member")
 	} else {
-		// Everyone else is parked or off-schedule; a Block return will
-		// claim the token itself (see reenter).
+		// Caller is finishing with everyone else parked-or-done; if any
+		// parked member remains, its waker retired without waking it,
+		// which the scheduler layer above rules out.
 		d.mu.Unlock()
 	}
 	if park {
@@ -146,39 +158,56 @@ func (d *detSched) barrier(c *CPU, b *Barrier) {
 	}
 }
 
-// blockStart takes the member off the schedule before a really-blocking
-// operation (see Gang.Block) and hands the token on.
-func (d *detSched) blockStart(c *CPU) {
+// parkIdle parks the caller as an idle worker: clock recorded and frozen,
+// token handed on, resumed only when a wakeIdle* call marks it ready and
+// the schedule picks it again. This is how hw.Sched worker cores with
+// nothing runnable leave the schedule without distorting virtual time.
+func (d *detSched) parkIdle(c *CPU) {
 	id := c.ID()
 	d.mu.Lock()
-	d.state[id] = detExternal
-	d.handoffLocked(id, false)
+	d.state[id] = detIdle
+	d.clocks[id] = c.Now()
+	d.handoffLocked(id, true)
 }
 
-// reenter rejoins the schedule after a Block. If no member holds the token
-// (everyone else is parked on us), claim it directly; otherwise queue as
-// ready and wait to be picked at the next yield.
-//
-// Note the one determinism caveat in det mode: the real moment a Block
-// return rejoins races with the running member's yields, so workloads that
-// need bit-stable output must synchronize through Sync and Barrier only.
-// The committed figure workloads do; Pipeline (channel hand-offs) does not
-// and is gated only at 1 core.
-func (d *detSched) reenter(c *CPU) {
-	id := c.ID()
+// wakeIdleCore marks core id ready again if it is idle-parked. Callers
+// must hold the token (be the running member), so the marked member is
+// picked at a future hand-off, never raced.
+func (d *detSched) wakeIdleCore(id int) {
 	d.mu.Lock()
-	d.state[id] = detReady
-	d.clocks[id] = c.clock // c is off-schedule; its clock is its own
+	if d.state[id] == detIdle {
+		d.state[id] = detReady
+	}
+	d.mu.Unlock()
+}
+
+// wakeIdleOne wakes the idle member with the lowest (clock, ID) — the one
+// the deterministic schedule would run first — if any is idle.
+func (d *detSched) wakeIdleOne() {
+	d.mu.Lock()
+	best := -1
+	var bc uint64
 	for j := 0; j < d.n; j++ {
-		if d.state[j] == detRunning {
-			d.mu.Unlock()
-			<-d.resume[id]
-			return
+		if d.state[j] == detIdle && (best == -1 || d.clocks[j] < bc) {
+			best, bc = j, d.clocks[j]
 		}
 	}
-	// Idle schedule: the best ready member (us or another re-enterer that
-	// queued first) takes over.
-	d.handoffLocked(id, true)
+	if best >= 0 {
+		d.state[best] = detReady
+	}
+	d.mu.Unlock()
+}
+
+// wakeIdleAll marks every idle member ready (fleet termination: idle
+// workers must wake to observe that there is nothing left and exit).
+func (d *detSched) wakeIdleAll() {
+	d.mu.Lock()
+	for j := 0; j < d.n; j++ {
+		if d.state[j] == detIdle {
+			d.state[j] = detReady
+		}
+	}
+	d.mu.Unlock()
 }
 
 // finish retires a member whose fn returned and hands the token on.
@@ -189,17 +218,18 @@ func (d *detSched) finish(c *CPU) {
 	d.handoffLocked(id, false)
 }
 
-// RunGangDet runs fn(cpu) on cores [0, ncores) of m like RunGang, but under
-// the deterministic sequential schedule: same fn signature, same virtual-
-// time semantics for Sync/Block/Barrier, bit-identical output across runs.
-// The quantum is accepted for signature parity with RunGang and ignored —
-// the schedule's lowest-clock-first policy bounds skew to one inter-Sync
-// chunk by construction.
-func RunGangDet(m *Machine, ncores int, quantum uint64, fn func(cpu *CPU, g *Gang)) {
+// newDetGang builds a gang wired to a fresh deterministic schedule over
+// cores [0, ncores) of m.
+func newDetGang(m *Machine, ncores int, quantum uint64) *Gang {
 	g := NewGang(quantum)
 	g.det = newDetSched(m, ncores)
-	// Grant the initial token before any member starts: the lowest
-	// (clock, ID) member runs first, deterministically.
+	return g
+}
+
+// runDet launches fn on every member of a det gang and waits. The initial
+// token goes to the lowest (clock, ID) member before any member starts,
+// so the first runner — and the whole schedule — is deterministic.
+func runDet(g *Gang, m *Machine, ncores int, fn func(cpu *CPU, g *Gang)) {
 	first := g.det.pickLocked()
 	g.det.state[first] = detRunning
 	g.det.resume[first] <- struct{}{}
@@ -214,4 +244,14 @@ func RunGangDet(m *Machine, ncores int, quantum uint64, fn func(cpu *CPU, g *Gan
 		}(m.CPU(i))
 	}
 	wg.Wait()
+}
+
+// RunGangDet runs fn(cpu) on cores [0, ncores) of m like RunGang, but under
+// the deterministic sequential schedule: same fn signature, same virtual-
+// time semantics for Sync/Barrier, bit-identical output across runs.
+// The quantum is accepted for signature parity with RunGang and ignored —
+// the schedule's lowest-clock-first policy bounds skew to one inter-Sync
+// chunk by construction.
+func RunGangDet(m *Machine, ncores int, quantum uint64, fn func(cpu *CPU, g *Gang)) {
+	runDet(newDetGang(m, ncores, quantum), m, ncores, fn)
 }

@@ -72,8 +72,8 @@ type Gang struct {
 	quantum uint64 // configured skew bound (the floor)
 
 	// det, when non-nil, replaces the parallel skew-window machinery with
-	// the deterministic sequential schedule (see detgang.go): Sync and
-	// Block become token hand-offs and the fields below go unused.
+	// the deterministic sequential schedule (see detgang.go): Sync becomes
+	// a token hand-off and the fields below go unused.
 	det *detSched
 
 	// Socket layer. regMu serializes sub-gang creation; a published
@@ -83,10 +83,27 @@ type Gang struct {
 	socks   atomic.Pointer[[]*sockGang]        // sockets ever populated
 
 	// Global layer: touched only when a member must park on a remote
-	// socket's progress.
+	// socket's progress. Each parked waiter publishes the bound it needs
+	// (the global minimum that releases it) so a laggard advance wakes
+	// only the waiters it actually releases — not the whole herd.
 	gmu      sync.Mutex
-	gcond    *sync.Cond
-	gwaiters atomic.Int64
+	gwait    []*gWaiter
+	gwaiters atomic.Int64 // len(gwait) mirror, read without gmu as a fast path
+
+	// Wakeup accounting for the targeted-wake invariant (diagnostics and
+	// tests): every remote park is matched by exactly one wake.
+	remoteParks atomic.Uint64
+	remoteWakes atomic.Uint64
+}
+
+// gWaiter is one member parked at the global layer. need is the global
+// minimum that releases it under the effective quantum it saw when it
+// parked; it is also released if its own socket becomes the laggard
+// (progress then broadcasts locally, so it must go back to waiting there).
+type gWaiter struct {
+	need uint64
+	sock *sockGang
+	ch   chan struct{}
 }
 
 // sockGang is one socket's sub-gang: the members on that socket, their
@@ -146,7 +163,6 @@ func NewGang(quantum uint64) *Gang {
 		quantum = DefaultQuantum
 	}
 	g := &Gang{quantum: quantum}
-	g.gcond = sync.NewCond(&g.gmu)
 	empty := []*sockGang{}
 	g.socks.Store(&empty)
 	return g
@@ -284,20 +300,62 @@ func (g *Gang) Sync(cpu *CPU) {
 // waitRemote parks the caller at the global layer until the global minimum
 // allows it to proceed or its own socket becomes the laggard (in which
 // case Sync's loop goes back to waiting locally). Callers hold no socket
-// lock; socket advances broadcast gcond whenever gwaiters is nonzero.
+// lock. The waiter registers the bound that releases it (need = now - eff
+// at registration time), so a laggard advance wakes exactly the waiters it
+// released. A woken waiter re-checks with fresh eff — the bound may have
+// tightened while it slept — and re-registers if it must still wait.
 func (g *Gang) waitRemote(s *sockGang, now uint64) {
-	g.gmu.Lock()
-	g.gwaiters.Add(1)
+	w := &gWaiter{sock: s, ch: make(chan struct{}, 1)}
 	for {
+		g.gmu.Lock()
 		gmin, _ := g.globalMin()
-		if now <= gmin+s.eff.Load() || s.min.Load() <= gmin {
-			break
+		eff := s.eff.Load()
+		if now <= gmin+eff || s.min.Load() <= gmin {
+			g.gmu.Unlock()
+			return
 		}
-		g.gcond.Wait()
+		w.need = now - eff
+		g.gwait = append(g.gwait, w)
+		g.gwaiters.Store(int64(len(g.gwait)))
+		g.remoteParks.Add(1)
+		g.gmu.Unlock()
+		<-w.ch
 	}
-	g.gwaiters.Add(-1)
+}
+
+// wakeReleased scans the global waiter list and wakes only the waiters the
+// new global minimum gmin releases: those whose registered bound it meets,
+// plus those whose own socket now holds (or ties) the laggard role and
+// must therefore resume waiting locally. Everyone else keeps sleeping —
+// this is the targeted replacement for the old broadcast, which woke every
+// remote waiter on every laggard advance only for most to re-park.
+func (g *Gang) wakeReleased(gmin uint64) {
+	g.gmu.Lock()
+	kept := g.gwait[:0]
+	for _, w := range g.gwait {
+		if gmin >= w.need || w.sock.min.Load() <= gmin {
+			w.ch <- struct{}{}
+			g.remoteWakes.Add(1)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(g.gwait); i++ {
+		g.gwait[i] = nil
+	}
+	g.gwait = kept
+	g.gwaiters.Store(int64(len(kept)))
 	g.gmu.Unlock()
 }
+
+// RemoteParks reports how many times a member parked at the global layer.
+func (g *Gang) RemoteParks() uint64 { return g.remoteParks.Load() }
+
+// RemoteWakes reports how many targeted wakeups the global layer issued.
+// With targeted wakeups every park is matched by exactly one wake, so
+// RemoteWakes == RemoteParks once the gang is quiescent; the retired
+// broadcast design woke every waiter on every laggard advance instead.
+func (g *Gang) RemoteWakes() uint64 { return g.remoteWakes.Load() }
 
 // globalMin returns the minimum over every socket's published minimum and
 // the socket holding it. An empty gang reports emptyMin so nobody blocks.
@@ -316,9 +374,10 @@ func (g *Gang) globalMin() (uint64, int) {
 // exist AND this socket's advance could have raised the global minimum —
 // i.e. its previous published minimum was at or below the new global one.
 // A non-laggard socket's advance leaves the global minimum untouched, so
-// skipping the broadcast there cannot strand a waiter, and it is what
-// keeps a contended 64+-core gang from waking every remote waiter
-// O(sockets) times per virtual step. Callers hold s.mu.
+// skipping the wake scan there cannot strand a waiter. Even then, only the
+// waiters the new minimum actually releases are woken (see wakeReleased);
+// the rest keep sleeping through however many advances it takes to reach
+// their published bound. Callers hold s.mu.
 func (s *sockGang) advanceLocked() {
 	old := s.min.Load()
 	s.recompute()
@@ -326,9 +385,7 @@ func (s *sockGang) advanceLocked() {
 	s.cond.Broadcast()
 	if s.g.gwaiters.Load() > 0 {
 		if gmin, _ := s.g.globalMin(); old <= gmin {
-			s.g.gmu.Lock()
-			s.g.gcond.Broadcast()
-			s.g.gmu.Unlock()
+			s.g.wakeReleased(gmin)
 		}
 	}
 }
@@ -420,21 +477,4 @@ func RunGang(m *Machine, ncores int, quantum uint64, fn func(cpu *CPU, g *Gang))
 		}(m.CPU(i))
 	}
 	wg.Wait()
-}
-
-// Block runs fn (typically a blocking channel operation) with cpu
-// suspended from the gang, so other members do not wait on a core that is
-// itself waiting for one of them. Without this, a consumer parked on a
-// hand-off queue freezes the gang's minimum clock and its producer
-// deadlocks in Sync.
-func (g *Gang) Block(cpu *CPU, fn func()) {
-	if g.det != nil {
-		g.det.blockStart(cpu)
-		fn()
-		g.det.reenter(cpu)
-		return
-	}
-	g.Leave(cpu)
-	fn()
-	g.Join(cpu)
 }

@@ -208,6 +208,85 @@ func BenchmarkGangSyncCalm(b *testing.B) {
 	}
 }
 
+// TestGangRemoteWakeTargeted pins the targeted global-wakeup protocol: a
+// laggard socket forces fast remote members to park at the global layer,
+// and every park must be matched by exactly one wake once the gang is
+// quiescent — the retired broadcast design woke every waiter on every
+// laggard advance, so wakes outnumbered parks by an unbounded factor.
+func TestGangRemoteWakeTargeted(t *testing.T) {
+	const quantum = 500
+	cfg := TestConfig(8)
+	cfg.CoresPerSocket = 2 // sockets {0,1} {2,3} {4,5} {6,7}
+	m := NewMachine(cfg)
+	var l Line
+	var gg *Gang
+	RunGang(m, 8, quantum, func(c *CPU, g *Gang) {
+		if c.ID() == 0 {
+			gg = g
+		}
+		// Everyone writes one shared line, so contention stays live and no
+		// socket widens its bound; core 0 crawls while the rest sprint, so
+		// remote sockets exhaust their window against socket 0's published
+		// minimum and must park globally.
+		if c.ID() == 0 {
+			for k := 0; k < 2000; k++ {
+				c.Write(&l)
+				c.Tick(50)
+				g.Sync(c)
+			}
+		} else {
+			for k := 0; k < 200; k++ {
+				c.Write(&l)
+				c.Tick(500)
+				g.Sync(c)
+			}
+		}
+	})
+	parks, wakes := gg.RemoteParks(), gg.RemoteWakes()
+	if parks == 0 {
+		t.Fatalf("laggard run never parked a member at the global layer")
+	}
+	if wakes != parks {
+		t.Errorf("RemoteWakes = %d, RemoteParks = %d: targeted wakeups must match parks one-to-one", wakes, parks)
+	}
+}
+
+// BenchmarkGangSyncLaggard measures the real-time cost of gang scheduling
+// when one member lags the whole machine — the shape that used to trigger
+// the broadcast thundering herd at the global layer: every laggard advance
+// woke all ~127 remote waiters only for most to re-park. With targeted
+// wakeups, a laggard advance wakes only the waiters its new minimum
+// actually releases. The reported wakes/op metric is the herd size.
+func BenchmarkGangSyncLaggard(b *testing.B) {
+	const ncores = 128
+	m := NewMachine(TestConfig(ncores))
+	iters := b.N/ncores + 1
+	var l Line
+	var gg *Gang
+	b.ResetTimer()
+	RunGang(m, ncores, 1000, func(c *CPU, g *Gang) {
+		if c.ID() == 0 {
+			gg = g
+		}
+		if c.ID() == 0 {
+			// The laggard: same virtual span in 10x the syncs.
+			for k := 0; k < iters*10; k++ {
+				c.Write(&l)
+				c.Tick(100)
+				g.Sync(c)
+			}
+		} else {
+			for k := 0; k < iters; k++ {
+				c.Write(&l)
+				c.Tick(1000)
+				g.Sync(c)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(gg.RemoteWakes())/float64(b.N), "wakes/op")
+}
+
 // TestGangTreeCrossSocketSkew is the multi-socket regression for the tree
 // barrier: with every socket contended, no member may run beyond the
 // configured quantum of the *global* minimum, and no socket's adaptive
@@ -313,7 +392,8 @@ func TestGangTreeJoinLeaveChurn(t *testing.T) {
 			c.Tick(100)
 			g.Sync(c)
 			if (k+7*c.ID())%17 == 0 {
-				g.Block(c, func() {}) // leave + rejoin mid-sync
+				g.Leave(c) // leave + rejoin mid-sync
+				g.Join(c)
 			}
 		}
 	})

@@ -61,6 +61,11 @@ type coreStateData struct {
 	review    []reviewEntry
 	epoch     uint64 // last epoch this core flushed in
 	lastFlush uint64 // virtual time of the last flush
+	// Review-pressure diagnostics (no virtual-time cost): objects this
+	// core has examined in review passes, and the deepest its review
+	// queue has been when a pass began.
+	reviews    uint64
+	reviewHigh int
 }
 
 // coreState pads coreStateData to a whole multiple of the cache-line size,
@@ -303,6 +308,9 @@ func (rc *Refcache) reviewCore(cpu *hw.CPU) {
 	cs := &rc.cores[cpu.ID()]
 	now := rc.epoch.Load()
 	q := cs.review
+	if len(q) > cs.reviewHigh {
+		cs.reviewHigh = len(q)
+	}
 	w := 0
 	i := 0
 	for ; i < len(q); i++ {
@@ -335,6 +343,7 @@ func (rc *Refcache) reviewCore(cpu *hw.CPU) {
 		}
 		o.mu.Unlock()
 	}
+	cs.reviews += uint64(i)
 	w += copy(q[w:], q[i:])
 	clear(q[w:]) // drop freed-object references for the GC
 	kept := q[:w]
@@ -350,6 +359,29 @@ func (rc *Refcache) reviewCore(cpu *hw.CPU) {
 
 // Epoch returns the current global epoch (diagnostic).
 func (rc *Refcache) Epoch() uint64 { return rc.epoch.Load() }
+
+// Reviews sums the objects every core has examined in review passes — the
+// fleet figures' "review pressure" metric. Quiescent diagnostic: call only
+// while no core is inside Maintain.
+func (rc *Refcache) Reviews() uint64 {
+	var n uint64
+	for i := range rc.cores {
+		n += rc.cores[i].reviews
+	}
+	return n
+}
+
+// ReviewQueueHighWater reports the deepest any core's review queue has
+// been at the start of a review pass. Quiescent diagnostic.
+func (rc *Refcache) ReviewQueueHighWater() int {
+	high := 0
+	for i := range rc.cores {
+		if rc.cores[i].reviewHigh > high {
+			high = rc.cores[i].reviewHigh
+		}
+	}
+	return high
+}
 
 // FlushAll drives one full epoch on behalf of every core: flush, barrier,
 // review. It is a quiescent-state helper for tests and teardown; no core

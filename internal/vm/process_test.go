@@ -1,0 +1,116 @@
+package vm
+
+import (
+	"reflect"
+	"testing"
+
+	"radixvm/internal/hw"
+)
+
+func TestProcessLifecycle(t *testing.T) {
+	p := NewProcess(7, nil, 100, 2, nil)
+	if got := p.State(); got != ProcEmbryo {
+		t.Fatalf("new process state = %v, want embryo", got)
+	}
+	p.NoteRun(0, 3, 250, 4)
+	if got := p.State(); got != ProcActive {
+		t.Fatalf("state after NoteRun = %v, want active", got)
+	}
+	if ts := p.Thread(0); ts.LastCore != 3 || ts.LastClock != 250 || ts.Touches != 4 {
+		t.Fatalf("thread state = %+v", ts)
+	}
+	p.NoteFirstTouch(180)
+	p.NoteFirstTouch(300) // later touch must not move the first
+	if got := p.FirstTouchLatency(); got != 80 {
+		t.Fatalf("first-touch latency = %d, want 80", got)
+	}
+}
+
+func TestPoolEvictsLRUDormantOnly(t *testing.T) {
+	m := hw.NewMachine(hw.TestConfig(1))
+	c := m.CPU(0)
+	var torn []int
+	td := func(_ *hw.CPU, p *Process) { torn = append(torn, p.ID) }
+
+	pl := NewPool(2, 0)
+	mk := func(id int) *Process { return NewProcess(id, nil, 0, 1, td) }
+
+	p0, p1, p2 := mk(0), mk(1), mk(2)
+	pl.Admit(c, p0)
+	pl.Admit(c, p1)
+	// Both still embryonic (never ran): nothing is evictable, so admitting
+	// a third overshoots rather than tearing down live work.
+	pl.Admit(c, p2)
+	if pl.Live() != 3 || len(torn) != 0 {
+		t.Fatalf("live=%d torn=%v, want overshoot with no evictions", pl.Live(), torn)
+	}
+
+	// p1 turns dormant first (earlier lastRun), then p0: pressure reclaims
+	// p1 — least recently run — and only p1.
+	p1.NoteRun(0, 0, 500, 0)
+	pl.ThreadDone(c, p1, 500)
+	if pl.Live() != 2 || !reflect.DeepEqual(torn, []int{1}) {
+		t.Fatalf("live=%d torn=%v, want p1 evicted", pl.Live(), torn)
+	}
+	p0.NoteRun(0, 0, 900, 0)
+	pl.ThreadDone(c, p0, 900)
+	if pl.Live() != 2 || len(torn) != 1 {
+		t.Fatalf("within bounds but evicted: live=%d torn=%v", pl.Live(), torn)
+	}
+	if pl.LiveHighWater() != 3 {
+		t.Fatalf("high-water = %d, want 3", pl.LiveHighWater())
+	}
+	if p1.State() != ProcExited || p0.State() != ProcDormant {
+		t.Fatalf("states: p1=%v p0=%v", p1.State(), p0.State())
+	}
+}
+
+func TestPoolCeilingEviction(t *testing.T) {
+	m := hw.NewMachine(hw.TestConfig(1))
+	c := m.CPU(0)
+	var torn []int
+	td := func(_ *hw.CPU, p *Process) { torn = append(torn, p.ID) }
+
+	pl := NewPool(0, 10*4096) // byte ceiling only
+	for id := 0; id < 4; id++ {
+		p := NewProcess(id, nil, 0, 1, td)
+		pl.Admit(c, p)
+		pl.Charge(c, p, 4*4096)
+		p.NoteRun(0, 0, uint64(100*(id+1)), 4)
+		pl.ThreadDone(c, p, uint64(100*(id+1)))
+	}
+	// 4*4 pages charged against a 10-page ceiling: the two oldest dormant
+	// processes must have been reclaimed, in LRU order.
+	if !reflect.DeepEqual(torn, []int{0, 1}) {
+		t.Fatalf("torn=%v, want [0 1]", torn)
+	}
+	if got := pl.Bytes(); got != 8*4096 {
+		t.Fatalf("bytes=%d, want %d", got, 8*4096)
+	}
+	if pl.Live() != 2 {
+		t.Fatalf("live=%d, want 2", pl.Live())
+	}
+}
+
+func TestPoolEvictionTiebreakByID(t *testing.T) {
+	m := hw.NewMachine(hw.TestConfig(1))
+	c := m.CPU(0)
+	var torn []int
+	td := func(_ *hw.CPU, p *Process) { torn = append(torn, p.ID) }
+
+	pl := NewPool(3, 0)
+	for _, id := range []int{2, 0, 1} {
+		p := NewProcess(id, nil, 0, 1, td)
+		pl.Admit(c, p)
+		p.NoteRun(0, 0, 400, 0) // identical lastRun for all
+		pl.ThreadDone(c, p, 400)
+	}
+	pl.Admit(c, NewProcess(9, nil, 0, 1, td))
+	pl.Admit(c, NewProcess(10, nil, 0, 1, td))
+	if !reflect.DeepEqual(torn, []int{0, 1}) {
+		t.Fatalf("torn=%v, want lowest IDs first on equal lastRun", torn)
+	}
+	if got := pl.Evictions(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("eviction sequence=%v", got)
+	}
+}

@@ -87,6 +87,73 @@ func TestWorkloadsDeterministic(t *testing.T) {
 	}
 }
 
+// fleetDet runs the fleet on a fresh radixvm environment under the figure
+// cost model and returns (snapshot, full fleet result).
+func fleetDet(cores int, cfg FleetConfig) (snapshot, FleetResult) {
+	env, sys := newDetEnv(cores)
+	r := Fleet(env, sys, cores, cfg)
+	return snap(env, r.Result), r
+}
+
+func compareFleet(t *testing.T, name string, a, b FleetResult) {
+	t.Helper()
+	if a.P50 != b.P50 || a.P99 != b.P99 {
+		t.Errorf("%s: latency percentiles diverged: p50 %d/%d p99 %d/%d",
+			name, a.P50, b.P50, a.P99, b.P99)
+	}
+	if a.LiveHigh != b.LiveHigh || a.LiveEnd != b.LiveEnd {
+		t.Errorf("%s: residency diverged: high %d/%d end %d/%d",
+			name, a.LiveHigh, b.LiveHigh, a.LiveEnd, b.LiveEnd)
+	}
+	if a.RunQHigh != b.RunQHigh || a.Deferred != b.Deferred {
+		t.Errorf("%s: scheduler pressure diverged: runq %d/%d deferred %d/%d",
+			name, a.RunQHigh, b.RunQHigh, a.Deferred, b.Deferred)
+	}
+	if len(a.Evictions) != len(b.Evictions) {
+		t.Fatalf("%s: eviction counts diverged: %d/%d", name, len(a.Evictions), len(b.Evictions))
+	}
+	for i := range a.Evictions {
+		if a.Evictions[i] != b.Evictions[i] {
+			t.Fatalf("%s: LRU eviction sequence diverged at %d: proc %d != %d",
+				name, i, a.Evictions[i], b.Evictions[i])
+		}
+	}
+}
+
+// TestFleetDeterministic is the scheduled-machine extension of the
+// determinism gate: a 512-process fleet — Poisson arrivals, migratable
+// multithreaded procs, admission control, LRU pool eviction — run twice at
+// 8 cores must reproduce not just clocks and stats but the latency
+// percentiles and the exact LRU eviction sequence. Dispatch order is a
+// pure function of (virtual clock, core ID, arrival seq), so any real-time
+// dependency sneaking into the scheduler shows up here.
+func TestFleetDeterministic(t *testing.T) {
+	const cores = 8
+	cfg := DefaultFleetConfig()
+	s1, r1 := fleetDet(cores, cfg)
+	s2, r2 := fleetDet(cores, cfg)
+	compare(t, "fleet", s1, s2)
+	compareFleet(t, "fleet", r1, r2)
+	if len(r1.Evictions) == 0 {
+		t.Errorf("fleet run recorded no evictions; the LRU-sequence assertion is vacuous")
+	}
+}
+
+// TestFleetDeterministicManyCores runs the fleet across every socket of
+// the big machine, where idle-worker arrival adoption and cross-socket
+// proc migration get the most room to reorder events.
+func TestFleetDeterministicManyCores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-core double fleet run")
+	}
+	const cores = 64
+	cfg := DefaultFleetConfig()
+	s1, r1 := fleetDet(cores, cfg)
+	s2, r2 := fleetDet(cores, cfg)
+	compare(t, "fleet@64", s1, s2)
+	compareFleet(t, "fleet@64", r1, r2)
+}
+
 // TestSpawnDeterministicManyCores exercises the cross-socket shape of the
 // scale figure's spawn row, where concurrent forks contend hardest on the
 // address-space structures.

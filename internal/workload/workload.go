@@ -59,25 +59,37 @@ func (r Result) String() string {
 // disjoint arenas.
 func spread(id int) uint64 { return uint64(id*4+4) << 18 }
 
-// run executes body on the first cores cores under a gang with per-
-// iteration Refcache maintenance, measures virtual time, and gathers
-// stats. warm runs once per core before measurement.
-func run(env *Env, name string, sys vm.System, cores int, warm, body func(c *hw.CPU, g *hw.Gang) uint64) Result {
+// run executes body as a fleet of cores processes, one pinned per core,
+// on the process scheduler, with per-iteration Refcache maintenance,
+// measures virtual time, and gathers stats. warm runs once per core
+// before measurement.
+//
+// A fixed gang is the degenerate fleet: the scheduler dispatches each
+// core's single pinned proc at the same virtual instants the old per-
+// workload gang loops synced at (Ctx.Yield is where the bodies called
+// g.Sync), charges no switch cost for redispatching the same proc, and
+// therefore reproduces the pre-scheduler figures byte-for-byte. Figures
+// run under the deterministic sequential gang so every cell is a pure
+// function of the op stream — byte-stable across runs and byte-gateable
+// in CI. The parallel gang (hw.RunGang) remains the harness for tests,
+// which want real concurrency under -race.
+func run(env *Env, name string, sys vm.System, cores int, warm, body func(tc *hw.Ctx) uint64) Result {
 	var writes [hw.MaxCores]uint64
-	// Figures run under the deterministic sequential gang so every cell is
-	// a pure function of the op stream — byte-stable across runs and
-	// byte-gateable in CI. The parallel gang (hw.RunGang) remains the
-	// harness for tests, which want real concurrency under -race.
 	if warm != nil {
-		hw.RunGangDet(env.M, cores, 4000, func(c *hw.CPU, g *hw.Gang) {
-			warm(c, g)
-		})
+		s := hw.NewSched(0)
+		for i := 0; i < cores; i++ {
+			s.Spawn(i, func(tc *hw.Ctx) { warm(tc) })
+		}
+		s.Run(env.M, cores, 4000)
 	}
 	env.M.ResetStats()
 	start := env.M.MaxClock()
-	hw.RunGangDet(env.M, cores, 4000, func(c *hw.CPU, g *hw.Gang) {
-		writes[c.ID()] = body(c, g)
-	})
+	s := hw.NewSched(0)
+	for i := 0; i < cores; i++ {
+		i := i
+		s.Spawn(i, func(tc *hw.Ctx) { writes[i] = body(tc) })
+	}
+	s.Run(env.M, cores, 4000)
 	var total uint64
 	for i := 0; i < cores; i++ {
 		total += writes[i]
@@ -96,7 +108,8 @@ func run(env *Env, name string, sys vm.System, cores int, warm, body func(c *hw.
 // of a regionPages-page private region per core (the paper uses one 4 KB
 // page to maximally stress the VM).
 func Local(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Result {
-	round := func(c *hw.CPU, g *hw.Gang) uint64 {
+	round := func(tc *hw.Ctx) uint64 {
+		c := tc.CPU()
 		lo := spread(c.ID())
 		var writes uint64
 		for k := 0; k < iters; k++ {
@@ -107,11 +120,12 @@ func Local(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Re
 			}
 			mustNil(sys.Munmap(c, lo, regionPages))
 			env.RC.Maintain(c)
-			g.Sync(c)
+			tc.Yield()
 		}
 		return writes
 	}
-	warm := func(c *hw.CPU, g *hw.Gang) uint64 {
+	warm := func(tc *hw.Ctx) uint64 {
+		c := tc.CPU()
 		lo := spread(c.ID())
 		for k := 0; k < 3; k++ {
 			mustNil(sys.Mmap(c, lo, regionPages, vm.MapOpts{Prot: vm.ProtWrite}))
@@ -131,15 +145,18 @@ func Local(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Re
 func Pipeline(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Result {
 	// Hand-off queues, one per receiving core. The handoff carries the
 	// producer's virtual time so the consumer observes proper causality.
+	// Delivery is the scheduler's park/wake protocol — the producer
+	// enqueues and Wakes the consumer's proc; a consumer with an empty
+	// inbox Parks, freezing its clock on-schedule until woken — which
+	// replaced the retired Gang.Block off-schedule channel hand-off.
 	type handoff struct {
 		lo uint64
 		t  uint64
 	}
-	chans := make([]chan handoff, cores)
-	for i := range chans {
-		chans[i] = make(chan handoff, 4)
-	}
-	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+	inbox := make([][]handoff, cores)
+	body := func(tc *hw.Ctx) uint64 {
+		c := tc.CPU()
+		s := tc.Sched()
 		id := c.ID()
 		next := (id + 1) % cores
 		// Each in-flight region gets a distinct address so producer
@@ -153,11 +170,13 @@ func Pipeline(env *Env, sys vm.System, cores int, iters int, regionPages uint64)
 				mustNil(sys.Access(c, v, true))
 				writes++
 			}
-			var in handoff
-			g.Block(c, func() {
-				chans[next] <- handoff{lo: lo, t: c.Now()}
-				in = <-chans[id]
-			})
+			inbox[next] = append(inbox[next], handoff{lo: lo, t: c.Now()})
+			s.Wake(s.Proc(uint64(next))) // run()'s pinned procs: seq == core ID
+			for len(inbox[id]) == 0 {
+				tc.Park()
+			}
+			in := inbox[id][0]
+			inbox[id] = inbox[id][:copy(inbox[id], inbox[id][1:])]
 			c.AdvanceTo(in.t + 200) // cross-core queue hand-off
 			for v := in.lo; v < in.lo+regionPages; v++ {
 				mustNil(sys.Access(c, v, true))
@@ -165,7 +184,7 @@ func Pipeline(env *Env, sys vm.System, cores int, iters int, regionPages uint64)
 			}
 			mustNil(sys.Munmap(c, in.lo, regionPages))
 			env.RC.Maintain(c)
-			g.Sync(c)
+			tc.Yield()
 		}
 		return writes
 	}
@@ -179,7 +198,8 @@ func Pipeline(env *Env, sys vm.System, cores int, iters int, regionPages uint64)
 func Global(env *Env, sys vm.System, cores int, iters int, piecePages uint64) Result {
 	const regionBase = uint64(3) << 32 // shared region, distinct from spreads
 	bar := hw.NewBarrier(cores)
-	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+	body := func(tc *hw.Ctx) uint64 {
+		c := tc.CPU()
 		id := c.ID()
 		rng := rand.New(rand.NewSource(int64(id + 1)))
 		total := piecePages * uint64(cores)
@@ -187,20 +207,20 @@ func Global(env *Env, sys vm.System, cores int, iters int, piecePages uint64) Re
 		for k := 0; k < iters; k++ {
 			mine := regionBase + uint64(id)*piecePages
 			mustNil(sys.Mmap(c, mine, piecePages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
-			bar.Wait(c, g)
+			tc.Wait(bar)
 			for _, off := range rng.Perm(int(total)) {
 				mustNil(sys.Access(c, regionBase+uint64(off), true))
 				writes++
-				// Sync every access: contended fill faults cost
+				// Yield every access: contended fill faults cost
 				// thousands of cycles each, so coarser syncs would
 				// let virtual clocks skew past the gang quantum and
 				// serialize the whole phase spuriously.
-				g.Sync(c)
+				tc.Yield()
 			}
-			bar.Wait(c, g)
+			tc.Wait(bar)
 			mustNil(sys.Munmap(c, mine, piecePages))
 			env.RC.Maintain(c)
-			bar.Wait(c, g)
+			tc.Wait(bar)
 		}
 		return writes
 	}
@@ -231,10 +251,11 @@ func Protect(env *Env, sys vm.System, cores int, iters int, regionPages uint64) 
 		}
 		return writes
 	}
-	warm := func(c *hw.CPU, g *hw.Gang) uint64 {
+	warm := func(tc *hw.Ctx) uint64 {
 		// Map and fault the region once (the structures it expands are
 		// shared setup, not the steady state being measured), then run
 		// one cycle so every line the loop touches has settled.
+		c := tc.CPU()
 		lo := spread(c.ID())
 		mustNil(sys.Mmap(c, lo, regionPages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
 		for v := lo; v < lo+regionPages; v++ {
@@ -243,12 +264,13 @@ func Protect(env *Env, sys vm.System, cores int, iters int, regionPages uint64) 
 		cycle(c)
 		return 0
 	}
-	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+	body := func(tc *hw.Ctx) uint64 {
+		c := tc.CPU()
 		var writes uint64
 		for k := 0; k < iters; k++ {
 			writes += cycle(c)
 			env.RC.Maintain(c)
-			g.Sync(c)
+			tc.Yield()
 		}
 		return writes
 	}
@@ -275,14 +297,15 @@ func Protect(env *Env, sys vm.System, cores int, iters int, regionPages uint64) 
 func Fork(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Result {
 	bar := hw.NewBarrier(cores)
 	var child vm.System // published by core 0, read by all after the barrier
-	round := func(c *hw.CPU, g *hw.Gang) uint64 {
+	round := func(tc *hw.Ctx) uint64 {
+		c := tc.CPU()
 		id := c.ID()
 		if id == 0 {
 			ch, err := sys.Fork(c)
 			mustNil(err)
 			child = ch
 		}
-		bar.Wait(c, g)
+		tc.Wait(bar)
 		ch := child
 		lo := spread(id)
 		var writes uint64
@@ -291,28 +314,30 @@ func Fork(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Res
 			writes++
 		}
 		mustNil(ch.Munmap(c, lo, regionPages))
-		bar.Wait(c, g) // child fully torn down before the next fork
+		tc.Wait(bar) // child fully torn down before the next fork
 		return writes
 	}
-	warm := func(c *hw.CPU, g *hw.Gang) uint64 {
+	warm := func(tc *hw.Ctx) uint64 {
 		// The parent: each core maps and write-faults its own region, so
 		// every page has a frame to share. One throwaway round pays the
 		// first fork's one-time write-protect shootdowns.
+		c := tc.CPU()
 		lo := spread(c.ID())
 		mustNil(sys.Mmap(c, lo, regionPages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
 		for v := lo; v < lo+regionPages; v++ {
 			mustNil(sys.Access(c, v, true))
 		}
-		bar.Wait(c, g)
-		round(c, g)
+		tc.Wait(bar)
+		round(tc)
 		return 0
 	}
-	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+	body := func(tc *hw.Ctx) uint64 {
+		c := tc.CPU()
 		var writes uint64
 		for k := 0; k < iters; k++ {
-			writes += round(c, g)
+			writes += round(tc)
 			env.RC.Maintain(c)
-			g.Sync(c)
+			tc.Yield()
 		}
 		return writes
 	}
@@ -349,7 +374,8 @@ func Fork(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Res
 // and parent page writes, as in the local benchmark.
 func Spawn(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Result {
 	bar := hw.NewBarrier(cores)
-	round := func(c *hw.CPU, g *hw.Gang) uint64 {
+	round := func(tc *hw.Ctx) uint64 {
+		c := tc.CPU()
 		lo := spread(c.ID())
 		ch, err := sys.Fork(c)
 		mustNil(err)
@@ -368,25 +394,27 @@ func Spawn(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Re
 		}
 		return writes
 	}
-	warm := func(c *hw.CPU, g *hw.Gang) uint64 {
+	warm := func(tc *hw.Ctx) uint64 {
 		// The parent: each core maps and write-faults its own region, then
 		// one throwaway round pays the first fork's one-time shootdowns and
 		// settles every line the loop touches.
+		c := tc.CPU()
 		lo := spread(c.ID())
 		mustNil(sys.Mmap(c, lo, regionPages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
 		for v := lo; v < lo+regionPages; v++ {
 			mustNil(sys.Access(c, v, true))
 		}
-		bar.Wait(c, g) // every region faulted before the first fork
-		round(c, g)
+		tc.Wait(bar) // every region faulted before the first fork
+		round(tc)
 		return 0
 	}
-	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+	body := func(tc *hw.Ctx) uint64 {
+		c := tc.CPU()
 		var writes uint64
 		for k := 0; k < iters; k++ {
-			writes += round(c, g)
+			writes += round(tc)
 			env.RC.Maintain(c)
-			g.Sync(c)
+			tc.Yield()
 		}
 		return writes
 	}
@@ -413,7 +441,8 @@ func Spawn(env *Env, sys vm.System, cores int, iters int, regionPages uint64) Re
 // provides it, else per-region munmaps.
 func Clone(env *Env, sys vm.System, cores int, iters int, slicePages, touchPages uint64) Result {
 	bar := hw.NewBarrier(cores)
-	round := func(c *hw.CPU, g *hw.Gang) uint64 {
+	round := func(tc *hw.Ctx) uint64 {
+		c := tc.CPU()
 		id := c.ID()
 		lo := spread(id)
 		ch, err := sys.Fork(c)
@@ -432,24 +461,26 @@ func Clone(env *Env, sys vm.System, cores int, iters int, slicePages, touchPages
 		}
 		return writes
 	}
-	warm := func(c *hw.CPU, g *hw.Gang) uint64 {
+	warm := func(tc *hw.Ctx) uint64 {
 		// The template: each core maps and write-faults its own large slice,
 		// then one throwaway round settles first-fork one-time costs.
+		c := tc.CPU()
 		lo := spread(c.ID())
 		mustNil(sys.Mmap(c, lo, slicePages, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
 		for v := lo; v < lo+slicePages; v++ {
 			mustNil(sys.Access(c, v, true))
 		}
-		bar.Wait(c, g) // the whole template exists before the first fork
-		round(c, g)
+		tc.Wait(bar) // the whole template exists before the first fork
+		round(tc)
 		return 0
 	}
-	body := func(c *hw.CPU, g *hw.Gang) uint64 {
+	body := func(tc *hw.Ctx) uint64 {
+		c := tc.CPU()
 		var writes uint64
 		for k := 0; k < iters; k++ {
-			writes += round(c, g)
+			writes += round(tc)
 			env.RC.Maintain(c)
-			g.Sync(c)
+			tc.Yield()
 		}
 		return writes
 	}

@@ -36,6 +36,7 @@ gen() {
   go run ./cmd/radixbench -exp fork -quick >"$out/fork.txt"
   go run ./cmd/radixbench -exp spawn -quick >"$out/spawn.txt"
   go run ./cmd/radixbench -exp clone -quick >"$out/clone.txt"
+  go run ./cmd/radixbench -exp fleet -quick >"$out/fleet.txt"
   timeout "$budget" go run ./cmd/radixbench -exp scale -quick >"$out/scale.txt"
 }
 
@@ -49,8 +50,11 @@ echo "figure outputs are byte-identical across two runs"
 #     to 64 cores while the broadcast baselines flatten),
 #   - figures/clone.txt — the O(1) generation fork's headline,
 #   - figures/spawn.txt — concurrent fork-vs-fork serialization, the
-#     workload most sensitive to scheduling nondeterminism.
-for fig in scale clone spawn; do
+#     workload most sensitive to scheduling nondeterminism,
+#   - figures/fleet.txt — the scheduled multi-address-space machine: even
+#     its latency percentiles and LRU-driven review pressure are pure
+#     functions of virtual time.
+for fig in scale clone spawn fleet; do
   timeout "$full_budget" go run ./cmd/radixbench -exp "$fig" >"$dir/${fig}_full.txt"
   diff -u "figures/${fig}.txt" "$dir/${fig}_full.txt"
   echo "committed figures/${fig}.txt regenerates byte-identically"
