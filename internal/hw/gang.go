@@ -304,19 +304,35 @@ func (g *Gang) Sync(cpu *CPU) {
 // at registration time), so a laggard advance wakes exactly the waiters it
 // released. A woken waiter re-checks with fresh eff — the bound may have
 // tightened while it slept — and re-registers if it must still wait.
+//
+// The waiter publishes itself BEFORE sampling the global minimum. The
+// advancer's order is the mirror image — store the new socket minimum,
+// then sample gwaiters without gmu (advanceLocked) — so one side must
+// observe the other: either the advancer sees the registration and its
+// wakeReleased scan (serialized behind gmu) covers this waiter, or the
+// advancer's store precedes the read below and the waiter de-registers
+// without sleeping. Checking first and publishing after opened a window
+// where an advance slipped between the two, saw zero waiters, skipped the
+// scan, and left the waiter blocked against a pre-advance bound forever.
 func (g *Gang) waitRemote(s *sockGang, now uint64) {
 	w := &gWaiter{sock: s, ch: make(chan struct{}, 1)}
 	for {
 		g.gmu.Lock()
-		gmin, _ := g.globalMin()
 		eff := s.eff.Load()
-		if now <= gmin+eff || s.min.Load() <= gmin {
-			g.gmu.Unlock()
-			return
-		}
 		w.need = now - eff
 		g.gwait = append(g.gwait, w)
 		g.gwaiters.Store(int64(len(g.gwait)))
+		gmin, _ := g.globalMin()
+		if now <= gmin+eff || s.min.Load() <= gmin {
+			// Released already: de-register — still the tail, since gmu has
+			// been held since the append — and run.
+			last := len(g.gwait) - 1
+			g.gwait[last] = nil
+			g.gwait = g.gwait[:last]
+			g.gwaiters.Store(int64(last))
+			g.gmu.Unlock()
+			return
+		}
 		g.remoteParks.Add(1)
 		g.gmu.Unlock()
 		<-w.ch
@@ -377,7 +393,10 @@ func (g *Gang) globalMin() (uint64, int) {
 // skipping the wake scan there cannot strand a waiter. Even then, only the
 // waiters the new minimum actually releases are woken (see wakeReleased);
 // the rest keep sleeping through however many advances it takes to reach
-// their published bound. Callers hold s.mu.
+// their published bound. The lock-free gwaiters sample is safe only
+// because it follows the min.Store and waitRemote registers before it
+// samples the minimum — see the ordering argument there. Callers hold
+// s.mu.
 func (s *sockGang) advanceLocked() {
 	old := s.min.Load()
 	s.recompute()

@@ -76,7 +76,7 @@ type Sched struct {
 	dispatches   uint64
 	switches     uint64
 	deferred     uint64 // arrivals whose fold was deferred by a full queue
-	lastDeferred uint64
+	lastDeferred uint64 // last seq counted in deferred; ^0 = none yet
 }
 
 // Proc states, guarded by Sched.mu.
@@ -180,7 +180,9 @@ func NewSched(queueCap int) *Sched {
 	if queueCap <= 0 {
 		queueCap = 1 << 30
 	}
-	return &Sched{queueCap: queueCap}
+	// ^0 is not a valid arrival seq, so a deferred first arrival (seq 0)
+	// still counts.
+	return &Sched{queueCap: queueCap, lastDeferred: ^uint64(0)}
 }
 
 // Spawn adds a proc. pin >= 0 pins it to that core ID; pin < 0 lets any

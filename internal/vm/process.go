@@ -183,8 +183,9 @@ func (pl *Pool) Admit(c *hw.CPU, p *Process) {
 	if len(pl.live) > pl.liveHigh {
 		pl.liveHigh = len(pl.live)
 	}
-	pl.evictLocked(c)
+	victims := pl.evictLocked()
 	pl.mu.Unlock()
+	runTeardowns(c, victims)
 }
 
 // Charge bills bytes of memory to p (COW breaks copying frames, page
@@ -195,8 +196,9 @@ func (pl *Pool) Charge(c *hw.CPU, p *Process, bytes uint64) {
 	p.footprint += bytes
 	p.mu.Unlock()
 	pl.bytes += bytes
-	pl.evictLocked(c)
+	victims := pl.evictLocked()
 	pl.mu.Unlock()
+	runTeardowns(c, victims)
 }
 
 // ThreadDone marks one of p's threads finished at virtual time now. When
@@ -213,13 +215,19 @@ func (pl *Pool) ThreadDone(c *hw.CPU, p *Process, now uint64) {
 		p.lastRun = now
 	}
 	p.mu.Unlock()
-	pl.evictLocked(c)
+	victims := pl.evictLocked()
 	pl.mu.Unlock()
+	runTeardowns(c, victims)
 }
 
 // evictLocked reclaims LRU dormant processes while the pool exceeds
-// either bound. Callers hold pl.mu.
-func (pl *Pool) evictLocked(c *hw.CPU) {
+// either bound, recording the eviction sequence and returning the victims
+// in that order. Callers hold pl.mu and must pass the victims to
+// runTeardowns after releasing it: a teardown may re-enter the pool
+// (Charge, ThreadDone, Live) and runs long simulated exit work that must
+// not serialize every other pool operation behind the mutex.
+func (pl *Pool) evictLocked() []*Process {
+	var victims []*Process
 	for len(pl.live) > pl.maxLive || (pl.ceiling > 0 && pl.bytes > pl.ceiling) {
 		vi := -1
 		var vRun uint64
@@ -236,19 +244,28 @@ func (pl *Pool) evictLocked(c *hw.CPU) {
 			}
 		}
 		if vi == -1 {
-			return // everything resident is still running: overshoot
+			break // everything resident is still running: overshoot
 		}
 		v := pl.live[vi]
 		pl.live = append(pl.live[:vi], pl.live[vi+1:]...)
 		v.mu.Lock()
 		v.state = ProcExited
 		fp := v.footprint
-		td := v.teardown
 		v.mu.Unlock()
 		pl.bytes -= fp
 		pl.evictions = append(pl.evictions, v.ID)
-		if td != nil {
-			td(c, v)
+		victims = append(victims, v)
+	}
+	return victims
+}
+
+// runTeardowns runs the victims' teardown callbacks on c in eviction
+// order. Callers must not hold pl.mu. teardown is set once at NewProcess
+// and never mutated, so reading it without p.mu is safe.
+func runTeardowns(c *hw.CPU, victims []*Process) {
+	for _, v := range victims {
+		if v.teardown != nil {
+			v.teardown(c, v)
 		}
 	}
 }

@@ -221,6 +221,11 @@ func Fleet(env *Env, sys vm.System, cores int, cfg FleetConfig) FleetResult {
 		lats = append(lats, p.FirstTouchLatency())
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var p50, p99 uint64
+	if len(lats) > 0 {
+		p50 = lats[len(lats)/2]
+		p99 = lats[len(lats)*99/100]
+	}
 	r := FleetResult{
 		Result: Result{
 			Name:       "fleet",
@@ -231,8 +236,8 @@ func Fleet(env *Env, sys vm.System, cores int, cfg FleetConfig) FleetResult {
 			Stats:      env.M.TotalStats(),
 		},
 		Spawns:      uint64(cfg.Procs),
-		P50:         lats[len(lats)/2],
-		P99:         lats[len(lats)*99/100],
+		P50:         p50,
+		P99:         p99,
 		LiveHigh:    pool.LiveHighWater(),
 		LiveEnd:     pool.Live(),
 		Evictions:   pool.Evictions(),
