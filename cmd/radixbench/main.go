@@ -8,11 +8,12 @@
 //	radixbench -quick                      # fast smoke sweep (1,4,8 cores)
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, fig9, mprotect,
-// fork, spawn, clone, scale, fleet, table2, memory.
+// fork, spawn, clone, scale, fleet, filemap, table2, memory.
 //
-// The scale and fleet experiments sweep 1..64 cores (1,8,64 with -quick)
-// across all three systems; fleet additionally sweeps the live-address-
-// space axis 64..4096 (64,256 with -quick). The other figure experiments
+// The scale, fleet, and filemap experiments sweep 1..64 cores (1,8,64
+// with -quick) across all three systems; fleet additionally sweeps the
+// live-address-space axis 64..4096 (64,256 with -quick), and filemap the
+// live-process axis 32..512 (32,128 with -quick). The other figure experiments
 // keep the paper's 1,10,20,40,80 hardware-thread axis scaled to the
 // default sweep.
 package main
@@ -37,7 +38,7 @@ type jsonExp struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|fork|spawn|clone|scale|fleet|table2|memory")
+	exp := flag.String("exp", "all", "experiment: all|table1|fig4|fig5|fig6|fig7|fig8|fig9|mprotect|fork|spawn|clone|scale|fleet|filemap|table2|memory")
 	coresFlag := flag.String("cores", "", "comma-separated core counts (default 1,10,20,40,80; scale: 1,4,8,16,32,64)")
 	iters := flag.Int("iters", 0, "per-core iterations (default per experiment)")
 	quick := flag.Bool("quick", false, "fast smoke sweep (1,4,8 cores; scale: 1,8,64)")
@@ -48,10 +49,12 @@ func main() {
 	o := harness.DefaultOptions()
 	so := harness.ScaleOptions()
 	lives := harness.FleetLives
+	fmLives := harness.FileMapLives
 	if *quick {
 		o = harness.QuickOptions()
 		so = harness.ScaleQuickOptions()
 		lives = harness.FleetQuickLives
+		fmLives = harness.FileMapQuickLives
 	}
 	if *coresFlag != "" {
 		o.Cores = nil
@@ -100,6 +103,8 @@ func main() {
 			return jsonExp{Name: name, Tables: []*harness.Table{harness.FigScale(so)}}
 		case "fleet":
 			return jsonExp{Name: name, Tables: harness.FigFleet(so, lives)}
+		case "filemap":
+			return jsonExp{Name: name, Tables: harness.FigFileMap(so, fmLives)}
 		case "table2":
 			return jsonExp{Name: name, Text: harness.Table2()}
 		case "memory":
@@ -119,7 +124,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "fork", "spawn", "clone", "scale", "fleet", "table2", "memory"}
+		names = []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "mprotect", "fork", "spawn", "clone", "scale", "fleet", "filemap", "table2", "memory"}
 	}
 
 	var results []jsonExp

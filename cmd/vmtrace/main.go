@@ -24,7 +24,7 @@ import (
 
 func main() {
 	sysName := flag.String("sys", "radixvm", "vm system: radixvm|radixvm-shared|linux|bonsai")
-	wl := flag.String("workload", "local", "workload: local|pipeline|global|protect|fork|spawn|fleet")
+	wl := flag.String("workload", "local", "workload: local|pipeline|global|protect|fork|spawn|fleet|filemap")
 	cores := flag.Int("cores", 8, "simulated cores")
 	iters := flag.Int("iters", 200, "iterations per core")
 	pages := flag.Uint64("pages", 1, "region pages (local/pipeline) or piece pages (global)")
@@ -52,7 +52,19 @@ func main() {
 
 	var r workload.Result
 	var fr *workload.FleetResult
+	var fsr *workload.FileServeResult
 	switch *wl {
+	case "filemap":
+		cfg := workload.DefaultFileServeConfig()
+		if *iters != 200 {
+			cfg.Procs = *iters
+			if cfg.MaxLive > *iters {
+				cfg.MaxLive = *iters
+			}
+		}
+		res := workload.FileServe(env, sys, *cores, alloc, cfg)
+		fsr = &res
+		r = res.Result
 	case "fleet":
 		cfg := workload.DefaultFleetConfig()
 		if *iters != 200 {
@@ -95,6 +107,23 @@ func main() {
 			fr.LiveHigh, fr.LiveEnd, len(fr.Evictions), fr.RunQHigh, fr.Deferred)
 		fmt.Printf("fleet: refcache reviews %d, review-queue high-water %d\n\n",
 			fr.Reviews, fr.ReviewQHigh)
+	}
+	if fsr != nil {
+		wbs := fsr.Writebacks + fsr.Truncates
+		perWB := func(n uint64) float64 {
+			if wbs == 0 {
+				return 0
+			}
+			return float64(n) / float64(wbs)
+		}
+		fmt.Printf("filemap: %.2fM faults/s, %d cache fills, %d pages cached at end\n",
+			fsr.FaultsPerSec()/1e6, fsr.CacheFills, fsr.CachePages)
+		fmt.Printf("filemap: %d writebacks + %d truncates revoked %d translations, %d shootdown IPIs (%.2f IPIs/writeback)\n",
+			fsr.Writebacks, fsr.Truncates, fsr.RevokedPages, fsr.WritebackIPIs, fsr.IPIsPerWriteback())
+		fmt.Printf("filemap: per-page sharer-set high-water %d, refcache reviews %d (%.2f reviews/writeback), review-queue high-water %d\n",
+			fsr.SharerHigh, fsr.Reviews, perWB(fsr.Reviews), fsr.ReviewQHigh)
+		fmt.Printf("filemap: live spaces high %d, run-queue depth high-water %d, %d deferred arrivals\n\n",
+			fsr.LiveHigh, fsr.RunQHigh, fsr.Deferred)
 	}
 	fmt.Printf("%4s %14s %10s %10s %10s %8s %8s %8s %8s\n",
 		"core", "cycles", "faults", "fills", "hits", "xfers", "cold", "ipiTX", "ipiRX")

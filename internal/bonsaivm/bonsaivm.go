@@ -49,6 +49,15 @@ type AddressSpace struct {
 	regions *bonsai.Tree[region]
 	mmu     *vm.SharedMMU
 
+	// fileRegs lists the files this space is registered with as a mapper,
+	// in registration order; anyFile gates the sync walk so anonymous-only
+	// spaces never pay it. Both guarded by lock. Because region updates
+	// republish structs rather than mutating them, membership is synced by
+	// diffing the current snapshot after each map/unmap (syncFileRegs)
+	// instead of counting individual insertions.
+	fileRegs []*vm.File
+	anyFile  bool
+
 	active vm.ActiveSet
 }
 
@@ -90,8 +99,50 @@ func (as *AddressSpace) Mmap(cpu *hw.CPU, vpn, npages uint64, opts vm.MapOpts) e
 		prot:  opts.Prot,
 		back:  vm.Backing{File: opts.File, Offset: opts.Offset},
 	})
+	if opts.File != nil {
+		as.anyFile = true
+	}
+	as.syncFileRegs(cpu)
 	cpu.Release(&as.lock)
 	return nil
+}
+
+// syncFileRegs reconciles this space's file-mapper registrations with the
+// regions currently published: register with files that gained a first
+// region, unregister from files that lost their last one. Walk order (and
+// so registration order) follows region keys, keeping the file's mapper
+// list deterministic. Caller holds the address-space lock; host-side
+// bookkeeping only, no virtual cost.
+func (as *AddressSpace) syncFileRegs(cpu *hw.CPU) {
+	if !as.anyFile {
+		return
+	}
+	cur := make(map[*vm.File]bool, 2)
+	var order []*vm.File
+	as.regions.Snapshot().Ascend(cpu, 0, func(_ uint64, v *region) bool {
+		if f := v.back.File; f != nil && !cur[f] {
+			cur[f] = true
+			order = append(order, f)
+		}
+		return true
+	})
+	old := make(map[*vm.File]bool, len(as.fileRegs))
+	kept := as.fileRegs[:0]
+	for _, f := range as.fileRegs {
+		old[f] = true
+		if cur[f] {
+			kept = append(kept, f)
+		} else {
+			f.UnregisterMapper(as)
+		}
+	}
+	as.fileRegs = kept
+	for _, f := range order {
+		if !old[f] {
+			as.fileRegs = append(as.fileRegs, f)
+			f.RegisterMapper(as)
+		}
+	}
 }
 
 // Munmap implements vm.System.
@@ -104,6 +155,7 @@ func (as *AddressSpace) Munmap(cpu *hw.CPU, vpn, npages uint64) error {
 	as.noteActive(cpu)
 	cpu.Acquire(&as.lock)
 	as.removeOverlapsLocked(cpu, vpn, vpn+npages)
+	as.syncFileRegs(cpu)
 	cpu.Release(&as.lock)
 	return nil
 }
@@ -267,7 +319,9 @@ func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, k vm.Kind, trapped bo
 	var frame *mem.Frame
 	if v.back.File != nil {
 		fr, _ := v.back.File.Page(cpu, v.back.Offset+(vpn-v.start))
-		as.alloc.IncRef(cpu, fr)
+		if fr == nil {
+			return vm.ErrSegv // past EOF: the offset was truncated away
+		}
 		frame = fr
 	} else {
 		frame = as.alloc.Alloc(cpu)
@@ -504,9 +558,62 @@ func (as *AddressSpace) Fork(cpu *hw.CPU) (vm.System, error) {
 		})
 		return true
 	})
+	// The child's file regions map the same cache pages, so it joins each
+	// file's mapper registry — without this, post-fork writebacks would
+	// leave the child's translations stale (the fork file-sharing fix).
+	child.anyFile = as.anyFile
+	child.syncFileRegs(cpu)
 	if revoked, lo, hi := vm.ForkCopyTranslations(cpu, as.alloc, as.mmu.PageTable(), child.mmu.PageTable(), anon); revoked {
 		// One conservative broadcast covers every downgraded page.
 		as.mmu.ShootdownTLBOnly(cpu, lo, hi, as.activeSet())
 	}
 	return child, nil
+}
+
+// RevokeFilePages implements vm.FileMapper the Bonsai way: like every
+// non-fault operation it serializes on the address-space lock, clears the
+// shared page table over each of f's regions intersecting [offLo, offHi),
+// and broadcasts one TLB flush to every core using the space — the shared
+// table, like Linux's, records no per-page sharer sets. Lock-free faults
+// may race the clear; a refill that slips in behind it is ordered before
+// the writeback, exactly the window the real Bonsai RCU protocol permits.
+func (as *AddressSpace) RevokeFilePages(cpu *hw.CPU, f *vm.File, offLo, offHi uint64) (int, int) {
+	cpu.Acquire(&as.lock)
+	defer cpu.Release(&as.lock)
+	var spans []vm.Span
+	as.regions.Snapshot().Ascend(cpu, 0, func(_ uint64, o *region) bool {
+		if o.back.File != f {
+			return true
+		}
+		oLo, oHi := o.back.Offset, o.back.Offset+(o.end-o.start)
+		cLo, cHi := max(oLo, offLo), min(oHi, offHi)
+		if cLo >= cHi {
+			return true
+		}
+		spans = append(spans, vm.Span{Lo: o.start + (cLo - oLo), Hi: o.start + (cHi - oLo)})
+		return true
+	})
+	if len(spans) == 0 {
+		return 0, 0
+	}
+	revoked := 0
+	lo, hi := spans[0].Lo, spans[0].Hi
+	var frames []*mem.Frame
+	for _, s := range spans {
+		lo, hi = min(lo, s.Lo), max(hi, s.Hi)
+		as.mmu.PageTable().UnmapRangeFunc(cpu, s.Lo, s.Hi, func(_, pfn uint64) {
+			revoked++
+			if fr := as.alloc.ByPFN(pfn); fr != nil {
+				frames = append(frames, fr)
+			}
+		})
+	}
+	// One conservative flush per mm, present PTEs or not — the region walk
+	// cannot prove absence of cached translations.
+	active := as.activeSet()
+	as.mmu.ShootdownTLBOnly(cpu, lo, hi, active)
+	for _, fr := range frames {
+		as.alloc.DecRef(cpu, fr)
+	}
+	return revoked, active.Count()
 }

@@ -58,6 +58,12 @@ type AddressSpace struct {
 	vmas *rbtree.Tree[*vma]
 	mmu  *vm.SharedMMU
 
+	// fileVMAs counts live VMAs per backing file, mirroring the kernel's
+	// i_mmap membership: this space registers with a file while at least
+	// one VMA maps it, so writebacks find exactly the current mappers.
+	// Guarded by lock (write mode at every update site).
+	fileVMAs map[*vm.File]int
+
 	active vm.ActiveSet
 }
 
@@ -88,6 +94,35 @@ func (as *AddressSpace) noteActive(cpu *hw.CPU) { as.active.Note(cpu.ID()) }
 
 func (as *AddressSpace) activeSet() hw.CoreSet { return as.active.Get() }
 
+// insertVMA inserts v and, for a file-backed region, joins the file's
+// mapper registry on the 0→1 VMA transition (i_mmap insertion). Caller
+// holds the write lock.
+func (as *AddressSpace) insertVMA(cpu *hw.CPU, v *vma) {
+	as.vmas.Insert(cpu, v.start, v)
+	if f := v.back.File; f != nil {
+		if as.fileVMAs == nil {
+			as.fileVMAs = make(map[*vm.File]int)
+		}
+		as.fileVMAs[f]++
+		if as.fileVMAs[f] == 1 {
+			f.RegisterMapper(as)
+		}
+	}
+}
+
+// deleteVMA removes v, leaving the file's registry on the last-VMA
+// transition. Caller holds the write lock.
+func (as *AddressSpace) deleteVMA(cpu *hw.CPU, v *vma) {
+	as.vmas.Delete(cpu, v.start)
+	if f := v.back.File; f != nil {
+		as.fileVMAs[f]--
+		if as.fileVMAs[f] == 0 {
+			delete(as.fileVMAs, f)
+			f.UnregisterMapper(as)
+		}
+	}
+}
+
 // Mmap implements vm.System: write-locks the address space, removes any
 // overlapping regions (clearing page tables and broadcasting shootdowns),
 // and inserts the new VMA.
@@ -100,7 +135,7 @@ func (as *AddressSpace) Mmap(cpu *hw.CPU, vpn, npages uint64, opts vm.MapOpts) e
 	as.noteActive(cpu)
 	cpu.WLock(&as.lock)
 	as.removeOverlapsLocked(cpu, vpn, vpn+npages)
-	as.vmas.Insert(cpu, vpn, &vma{
+	as.insertVMA(cpu, &vma{
 		start: vpn,
 		end:   vpn + npages,
 		prot:  opts.Prot,
@@ -152,9 +187,9 @@ func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
 		return
 	}
 	for _, o := range overlaps {
-		as.vmas.Delete(cpu, o.start)
+		as.deleteVMA(cpu, o)
 		if o.start < lo { // keep the left piece
-			as.vmas.Insert(cpu, o.start, &vma{
+			as.insertVMA(cpu, &vma{
 				start: o.start, end: lo, prot: o.prot, back: o.back, cow: o.cow,
 			})
 		}
@@ -163,7 +198,7 @@ func (as *AddressSpace) removeOverlapsLocked(cpu *hw.CPU, lo, hi uint64) {
 			if nb.File != nil {
 				nb.Offset += hi - o.start
 			}
-			as.vmas.Insert(cpu, hi, &vma{start: hi, end: o.end, prot: o.prot, back: nb, cow: o.cow})
+			as.insertVMA(cpu, &vma{start: hi, end: o.end, prot: o.prot, back: nb, cow: o.cow})
 		}
 	}
 	var frames []*mem.Frame
@@ -209,7 +244,7 @@ func (as *AddressSpace) Fork(cpu *hw.CPU) (vm.System, error) {
 		// Each duplicated VMA struct is billed by its logical size, the
 		// same rule that prices RadixVM's header-sized node clones.
 		cpu.Tick(vm.MetaCopyCost(pageZero, vm.VMACopyBytes))
-		child.vmas.Insert(cpu, o.start, &vma{
+		child.insertVMA(cpu, &vma{
 			start: o.start, end: o.end, prot: o.prot, back: o.back, cow: cow,
 		})
 		return true
@@ -264,13 +299,13 @@ func (as *AddressSpace) Mprotect(cpu *hw.CPU, vpn, npages uint64, prot vm.Prot) 
 			}
 			return nb
 		}
-		as.vmas.Delete(cpu, o.start)
+		as.deleteVMA(cpu, o)
 		if o.start < lo {
-			as.vmas.Insert(cpu, o.start, &vma{start: o.start, end: lo, prot: o.prot, back: o.back, cow: o.cow})
+			as.insertVMA(cpu, &vma{start: o.start, end: lo, prot: o.prot, back: o.back, cow: o.cow})
 		}
-		as.vmas.Insert(cpu, clipLo, &vma{start: clipLo, end: clipHi, prot: prot, back: shifted(clipLo), cow: o.cow})
+		as.insertVMA(cpu, &vma{start: clipLo, end: clipHi, prot: prot, back: shifted(clipLo), cow: o.cow})
 		if o.end > hi {
-			as.vmas.Insert(cpu, hi, &vma{start: hi, end: o.end, prot: o.prot, back: shifted(hi), cow: o.cow})
+			as.insertVMA(cpu, &vma{start: hi, end: o.end, prot: o.prot, back: shifted(hi), cow: o.cow})
 		}
 	}
 	if revoked {
@@ -364,7 +399,9 @@ func (as *AddressSpace) pageFault(cpu *hw.CPU, vpn uint64, k vm.Kind, trapped bo
 	fileBacked := v.back.File != nil
 	if fileBacked {
 		fr, _ := v.back.File.Page(cpu, v.back.Offset+(vpn-v.start))
-		as.alloc.IncRef(cpu, fr)
+		if fr == nil {
+			return vm.ErrSegv // past EOF: the offset was truncated away
+		}
 		frame = fr
 	} else {
 		frame = as.alloc.Alloc(cpu)
@@ -436,6 +473,59 @@ func (as *AddressSpace) breakCOWLocked(cpu *hw.CPU, vpn uint64, v *vma) bool {
 	as.mmu.ShootdownTLBOnly(cpu, vpn, vpn+1, as.activeSet())
 	as.mmu.TLB(cpu.ID()).Insert(vpn, vm.TLBEntryFor(nf.PFN, v.prot))
 	return true
+}
+
+// RevokeFilePages implements vm.FileMapper the Linux way
+// (unmap_mapping_range / invalidate_inode_pages2): write-lock the whole
+// address space, clear the shared page table over every region of f
+// overlapping [offLo, offHi), and flush with a broadcast to every core
+// using this mm — the hardware records no per-page sharer set, so one
+// core's cached translation costs an IPI to all of them. The reported
+// sharer width is that broadcast's span, which is what the filemap figure
+// contrasts with RadixVM's exact per-page counts.
+func (as *AddressSpace) RevokeFilePages(cpu *hw.CPU, f *vm.File, offLo, offHi uint64) (int, int) {
+	cpu.WLock(&as.lock)
+	defer cpu.WUnlock(&as.lock)
+	if as.fileVMAs[f] == 0 {
+		return 0, 0 // raced the last munmap: nothing maps f anymore
+	}
+	var spans []vm.Span
+	as.vmas.Ascend(cpu, 0, func(n *rbtree.Node[*vma]) bool {
+		o := n.Val
+		if o.back.File != f {
+			return true
+		}
+		oLo, oHi := o.back.Offset, o.back.Offset+(o.end-o.start)
+		cLo, cHi := max(oLo, offLo), min(oHi, offHi)
+		if cLo >= cHi {
+			return true
+		}
+		spans = append(spans, vm.Span{Lo: o.start + (cLo - oLo), Hi: o.start + (cHi - oLo)})
+		return true
+	})
+	if len(spans) == 0 {
+		return 0, 0
+	}
+	revoked := 0
+	lo, hi := spans[0].Lo, spans[0].Hi
+	var frames []*mem.Frame
+	for _, s := range spans {
+		lo, hi = min(lo, s.Lo), max(hi, s.Hi)
+		as.mmu.PageTable().UnmapRangeFunc(cpu, s.Lo, s.Hi, func(_, pfn uint64) {
+			revoked++
+			if fr := as.alloc.ByPFN(pfn); fr != nil {
+				frames = append(frames, fr)
+			}
+		})
+	}
+	// One conservative flush per mm, present PTEs or not — the rmap walk
+	// cannot prove absence of cached translations.
+	active := as.activeSet()
+	as.mmu.ShootdownTLBOnly(cpu, lo, hi, active)
+	for _, fr := range frames {
+		as.alloc.DecRef(cpu, fr)
+	}
+	return revoked, active.Count()
 }
 
 // Access implements vm.System.

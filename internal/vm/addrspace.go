@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"radixvm/internal/counter"
@@ -81,6 +82,20 @@ type AddressSpace struct {
 	forkGen atomic.Uint64
 
 	active ActiveSet
+
+	// fileMaps is the per-space registry of live file-backed spans — the
+	// inverse map a writeback needs to find this space's translations of a
+	// file page. Host-side bookkeeping under its own mutex: no virtual
+	// cost, and never touched by anonymous-only workloads.
+	fileMu   sync.Mutex
+	fileMaps []fileSpan
+
+	// revokeMu orders file-page revocations against Exit: a revoke holds
+	// the read side while it walks the tree, and Exit marks the space
+	// exited under the write side before releasing the tree, so a
+	// writeback can never walk freed radix nodes.
+	revokeMu sync.RWMutex
+	exited   bool
 }
 
 // New creates an address space on machine m. mmu selects the paper's
@@ -177,6 +192,10 @@ func (as *AddressSpace) Mmap(cpu *hw.CPU, vpn, npages uint64, opts MapOpts) erro
 		r.Entry(i).SetClone(tmpl)
 	}
 	r.Unlock()
+	as.fileForget(vpn, vpn+npages)
+	if opts.File != nil {
+		as.fileRecord(opts.File, vpn, npages, opts.Offset)
+	}
 	return nil
 }
 
@@ -205,6 +224,7 @@ func (as *AddressSpace) Munmap(cpu *hw.CPU, vpn, npages uint64) error {
 	r := as.tree.LockRange(cpu, vpn, vpn+npages)
 	as.unmapLocked(cpu, r)
 	r.Unlock()
+	as.fileForget(vpn, vpn+npages)
 	return nil
 }
 
@@ -359,7 +379,9 @@ func (as *AddressSpace) faultOnce(cpu *hw.CPU, vpn uint64, k Kind, trapped bool)
 	case v.Frame == nil:
 		if v.Back.File != nil {
 			fr, ctr := v.Back.File.Page(cpu, v.Back.Offset+(vpn-v.Start))
-			as.alloc.IncRef(cpu, fr)
+			if fr == nil {
+				return ErrSegv, false // past EOF: the offset was truncated away
+			}
 			if ctr != nil {
 				ctr.Inc(cpu)
 			}

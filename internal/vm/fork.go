@@ -46,6 +46,12 @@ func (as *AddressSpace) Fork(cpu *hw.CPU) (System, error) {
 		forkEager: as.forkEager,
 	}
 
+	// The child's mappings are more copies of the same file pages: it must
+	// join each file's mapper registry, or a post-fork writeback would miss
+	// its translations entirely (the bug this fixes — forked children used
+	// to keep stale file translations across writebacks).
+	defer as.fileShare(child)
+
 	if !as.forkEager {
 		if _, shared := as.mmu.(*SharedMMU); !shared {
 			as.forkLazy(cpu, child)
@@ -208,6 +214,13 @@ func (as *AddressSpace) releaseMapping(cpu *hw.CPU, lo, hi uint64, v *Mapping) {
 func (as *AddressSpace) Exit(cpu *hw.CPU) {
 	cpu.Tick(RadixSyscallCost)
 	as.noteActive(cpu)
+	// Fence file-page revocations: once exited is set no writeback walks
+	// this tree again, and any revoke already inside the tree finished
+	// before the write lock was granted.
+	as.revokeMu.Lock()
+	as.exited = true
+	as.revokeMu.Unlock()
+	as.fileDropAll()
 	as.tree.Release(cpu)
 	as.mmu.Reset(cpu, as.activeSet())
 }

@@ -187,13 +187,43 @@ func MetaCopyCost(pageZero, bytes uint64) uint64 {
 	return pageZero * bytes / MetaPageBytes
 }
 
-// File is a mappable object backed by the (simulated) page cache: all
-// mappings of the same file offset share one physical frame, which is what
-// makes the Figure 8 workload hammer a single reference count.
+// FileMapper is the hook a VM system registers with every file it maps: a
+// writeback or truncate of the file calls back into each registered address
+// space to invalidate its cached translations for the affected pages — each
+// system at its own precision. RadixVM's per-page mapping metadata shoots
+// down exactly each page's TLBCores sharer set; the baselines' shared
+// tables can only do the faithful invalidate_inode_pages-style broadcast
+// over every core using the address space.
+//
+// RevokeFilePages invalidates every cached translation this space holds for
+// f's pages in [offLo, offHi) (file page offsets), dropping the mappings'
+// frame references so a truncated page can die. It returns the number of
+// page translations revoked and the widest per-page sharer set it had to
+// interrupt (for the baselines: the broadcast width).
+type FileMapper interface {
+	RevokeFilePages(cpu *hw.CPU, f *File, offLo, offHi uint64) (revoked, maxSharers int)
+}
+
+// File is a mappable object backed by the simulated page cache
+// (mem.PageCache): all mappings of the same file offset share one physical
+// frame, which is what makes the Figure 8 workload hammer a single
+// reference count. Every address space that maps the file registers itself
+// as a FileMapper, so Writeback and Truncate can find and invalidate each
+// mapping's cached translations.
 type File struct {
-	alloc *mem.Allocator
-	mu    sync.Mutex
-	pages map[uint64]*mem.Frame
+	pc *mem.PageCache
+	id uint64
+
+	mu     sync.Mutex
+	length uint64 // pages; accesses at or past it fault (truncated tail)
+
+	// mappers is the file's mm registry, in registration order (which the
+	// deterministic schedule makes a pure function of virtual time).
+	mappers []FileMapper
+
+	writebacks uint64
+	truncates  uint64
+	revoked    uint64 // page translations invalidated across all mappers
 
 	// altNew, when set, attaches a baseline reference counter (shared or
 	// SNZI) to each page for the Figure 8 comparison; the frame's native
@@ -202,11 +232,17 @@ type File struct {
 	altCtr map[uint64]counter.Counter
 }
 
-// NewFile creates a file whose pages come from alloc.
+// NewFile creates a file in a fresh private page cache over alloc.
 func NewFile(alloc *mem.Allocator) *File {
+	return NewFileIn(mem.NewPageCache(alloc))
+}
+
+// NewFileIn creates a file in an existing (possibly shared) page cache.
+func NewFileIn(pc *mem.PageCache) *File {
 	return &File{
-		alloc:  alloc,
-		pages:  map[uint64]*mem.Frame{},
+		pc:     pc,
+		id:     pc.NewFileID(),
+		length: ^uint64(0), // unbounded until the first Truncate
 		altCtr: map[uint64]counter.Counter{},
 	}
 }
@@ -219,22 +255,162 @@ func NewFileWithCounter(alloc *mem.Allocator, newCtr func() counter.Counter) *Fi
 	return f
 }
 
-// Page returns the frame backing the file page at off, allocating it on
-// first use, plus the page's baseline counter if configured. The frame's
-// reference count is NOT incremented; the caller does that under its own
-// locking discipline.
+// Cache returns the page cache backing the file.
+func (f *File) Cache() *mem.PageCache { return f.pc }
+
+// Page returns the frame backing the file page at off — filling it from
+// the allocator on first use, sharing the cached frame afterwards — plus
+// the page's baseline counter if configured. The caller's reference is
+// taken here, under the file lock, so a concurrent Truncate can never see
+// the frame between the cache handing it out and the mapping holding it.
+// Returns nil for an offset at or past the file's length (truncated away):
+// the fault becomes ErrSegv, as an access beyond EOF of a mapping would.
 func (f *File) Page(cpu *hw.CPU, off uint64) (*mem.Frame, counter.Counter) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	fr, ok := f.pages[off]
-	if !ok {
-		fr = f.alloc.Alloc(cpu) // page cache holds the base reference
-		f.pages[off] = fr
-		if f.altNew != nil {
-			f.altCtr[off] = f.altNew()
+	if off >= f.length {
+		return nil, nil
+	}
+	fr, filled := f.pc.Page(cpu, mem.PageKey{File: f.id, Off: off})
+	if filled && f.altNew != nil {
+		f.altCtr[off] = f.altNew()
+	}
+	f.pc.Allocator().IncRef(cpu, fr)
+	return fr, f.altCtr[off]
+}
+
+// RegisterMapper records as as mapping the file (idempotent). Mmap and
+// Fork call it for every space that can hold translations of the file's
+// pages — including forked children that never called Mmap themselves —
+// so writeback shootdowns reach every sharer.
+func (f *File) RegisterMapper(m FileMapper) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, have := range f.mappers {
+		if have == m {
+			return
 		}
 	}
-	return fr, f.altCtr[off]
+	f.mappers = append(f.mappers, m)
+}
+
+// UnregisterMapper removes m from the file's mm registry (the space
+// unmapped its last mapping of the file, or exited).
+func (f *File) UnregisterMapper(m FileMapper) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, have := range f.mappers {
+		if have == m {
+			f.mappers = append(f.mappers[:i], f.mappers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Mappers returns the number of registered mapping address spaces.
+func (f *File) Mappers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.mappers)
+}
+
+// Len returns the file's length in pages (^uint64(0) until truncated).
+func (f *File) Len() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.length
+}
+
+// Extend grows the file back to n pages (a write past EOF): no
+// invalidation is needed to expose new pages, they simply fault in.
+func (f *File) Extend(n uint64) {
+	f.mu.Lock()
+	if n > f.length {
+		f.length = n
+	}
+	f.mu.Unlock()
+}
+
+// snapshotMappers returns the registry under the file lock; invalidation
+// passes run against the snapshot so mapper callbacks (which take address
+// space locks) never nest inside f.mu.
+func (f *File) snapshotMappers() []FileMapper {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FileMapper(nil), f.mappers...)
+}
+
+// Writeback flushes the file's pages in [off, off+n) to backing store,
+// revoking every mapping's cached translations for them so later accesses
+// refault through the page cache — the invalidate half of a real
+// writeback. The pages stay cached (clean), so refaults share the same
+// frames. Each registered mapper invalidates at its own precision:
+// RadixVM interrupts exactly each page's sharer set, the baselines
+// broadcast over every core using each mapping address space.
+func (f *File) Writeback(cpu *hw.CPU, off, n uint64) {
+	cpu.Tick(LinuxSyscallCost)
+	f.mu.Lock()
+	f.writebacks++
+	f.mu.Unlock()
+	for _, m := range f.snapshotMappers() {
+		revoked, sharers := m.RevokeFilePages(cpu, f, off, off+n)
+		f.noteRevoke(revoked, sharers)
+	}
+}
+
+// Truncate shrinks the file to newLen pages: the tail pages leave the
+// cache (their base references drop; remaining mapping references keep
+// each frame alive until its last sharer unmaps), every mapping's
+// translations for them are revoked, and later faults past the new EOF
+// return ErrSegv.
+func (f *File) Truncate(cpu *hw.CPU, newLen uint64) {
+	cpu.Tick(LinuxSyscallCost)
+	f.mu.Lock()
+	f.truncates++
+	if newLen < f.length {
+		f.length = newLen
+	}
+	f.mu.Unlock()
+	dropped := f.pc.DropRange(f.id, newLen, ^uint64(0))
+	for _, m := range f.snapshotMappers() {
+		revoked, sharers := m.RevokeFilePages(cpu, f, newLen, ^uint64(0))
+		f.noteRevoke(revoked, sharers)
+	}
+	alloc := f.pc.Allocator()
+	for _, fr := range dropped {
+		alloc.DecRef(cpu, fr) // the cache's base reference
+	}
+}
+
+func (f *File) noteRevoke(revoked, sharers int) {
+	if sharers > 0 {
+		f.pc.NoteSharers(sharers)
+	}
+	f.mu.Lock()
+	f.revoked += uint64(revoked)
+	f.mu.Unlock()
+}
+
+// Writebacks returns the number of Writeback calls.
+func (f *File) Writebacks() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writebacks
+}
+
+// Truncates returns the number of Truncate calls.
+func (f *File) Truncates() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.truncates
+}
+
+// RevokedPages returns the total page translations invalidated by
+// writebacks and truncates across all mapping spaces.
+func (f *File) RevokedPages() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.revoked
 }
 
 // Backing identifies what is behind a mapping.

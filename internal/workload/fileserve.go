@@ -1,0 +1,295 @@
+package workload
+
+import (
+	"math/rand"
+
+	"radixvm/internal/hw"
+	"radixvm/internal/mem"
+	"radixvm/internal/vm"
+)
+
+// FileServeConfig parameterizes the shared-page-cache workload.
+type FileServeConfig struct {
+	Procs        int    // total spawn requests (arrivals)
+	MaxLive      int    // pool residency cap (concurrently live address spaces)
+	MemCeiling   uint64 // pool byte ceiling; 0 derives one from MaxLive
+	Threads      int    // reader threads per child process
+	FilePages    uint64 // shared file size in pages
+	WindowPages  uint64 // pages each thread reads per activation
+	Quanta       int    // post-read compute quanta per thread
+	QuantumTicks uint64
+	MeanArrival  uint64 // mean virtual inter-arrival gap in cycles
+	QueueCap     int    // scheduler run-queue admission cap; 0 derives one
+	SwitchCost   uint64 // per-context-switch virtual cost
+	Seed         int64  // arrival-PRNG seed
+
+	WBRounds   int    // writeback ticker rounds
+	WBPages    uint64 // pages revoked per round (rotating window)
+	WBGap      uint64 // virtual cycles between ticker rounds
+	TruncEvery int    // every Nth round also truncate+re-extend (0 = never)
+}
+
+// DefaultFileServeConfig is the shape the filemap figure sweeps around:
+// one hot shared file, fleets of two-thread readers each faulting a
+// rotating window of it, and a writeback ticker revoking a rotating
+// window while they run.
+func DefaultFileServeConfig() FileServeConfig {
+	return FileServeConfig{
+		Procs:        512,
+		MaxLive:      256,
+		Threads:      2,
+		FilePages:    512,
+		WindowPages:  16,
+		Quanta:       1,
+		QuantumTicks: 2000,
+		MeanArrival:  20_000,
+		SwitchCost:   3000,
+		Seed:         1,
+		WBRounds:     64,
+		WBPages:      64,
+		WBGap:        200_000,
+		TruncEvery:   8,
+	}
+}
+
+// FileServeResult extends Result with the page-cache pressure metrics.
+type FileServeResult struct {
+	Result
+	Spawns        uint64
+	Faults        uint64 // page faults machine-wide (file fills + refaults)
+	Writebacks    uint64
+	Truncates     uint64
+	RevokedPages  uint64 // translations invalidated across all revokes
+	WritebackIPIs uint64 // IPIs the ticker core sent inside Writeback/Truncate
+	SharerHigh    int    // per-page sharer-set high-water seen at revokes
+	CacheFills    uint64 // page-cache misses (first faulter fills)
+	CachePages    int    // pages resident in the cache at the end
+	LiveHigh      int
+	RunQHigh      int
+	Deferred      uint64
+	Reviews       uint64
+	ReviewQHigh   int
+}
+
+// FaultsPerSec converts the fault count into faults/sec at the modeled
+// 2.4 GHz clock.
+func (r FileServeResult) FaultsPerSec() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Faults) * 2.4e9 / float64(r.Cycles)
+}
+
+// IPIsPerWriteback is the figure's headline: how many shootdown IPIs one
+// writeback costs. RadixVM pays per actual sharer of each revoked page;
+// the baselines broadcast per address space mapping the file.
+func (r FileServeResult) IPIsPerWriteback() float64 {
+	ops := r.Writebacks + r.Truncates
+	if ops == 0 {
+		return 0
+	}
+	return float64(r.WritebackIPIs) / float64(ops)
+}
+
+// fileServeBase places the shared file mapping in its own region, away
+// from the per-core spread() arenas and the fleet template.
+const fileServeBase = uint64(1) << 34
+
+// FileServe runs the shared page cache workload: one hot file in a
+// mem.PageCache, a fleet of multithreaded reader processes forked from a
+// template that maps it (so every child shares the cached frames — and,
+// post-fork, is registered in the file's mapper set), and a writeback
+// ticker that walks a rotating window of the file revoking cached
+// translations; every TruncEvery-th round it truncates the file's tail
+// and re-extends it, forcing the cache pages themselves to die and
+// refill. Readers fault rotating windows the whole time.
+//
+// The measurement the figure is after: the ticker core's own IPIsSent
+// delta around each revocation. On RadixVM that counts exactly the
+// per-page sharer sets of the revoked window; on linux/bonsai it counts
+// one broadcast per live address space mapping the file, however few of
+// its pages that space ever touched.
+//
+// Like Fleet, the run is a pure function of (config, virtual time) under
+// the deterministic gang schedule.
+func FileServe(env *Env, sys vm.System, cores int, alloc *mem.Allocator, cfg FileServeConfig) FileServeResult {
+	coresN := cores
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.WindowPages == 0 || cfg.WindowPages > cfg.FilePages {
+		cfg.WindowPages = cfg.FilePages
+	}
+	ceiling := cfg.MemCeiling
+	if ceiling == 0 {
+		ceiling = uint64(cfg.MaxLive) * uint64(cfg.Threads) * cfg.WindowPages * 4096
+	}
+	queueCap := cfg.QueueCap
+	if queueCap == 0 {
+		queueCap = 4 * cfg.Threads * cores
+	}
+	if as, ok := sys.(interface{ SetForkEager(bool) }); ok {
+		as.SetForkEager(false)
+	}
+
+	file := vm.NewFile(alloc)
+
+	// The template parent maps the whole file but faults nothing: each
+	// child pulls its own windows through the page cache, so the first
+	// faulter anywhere in the fleet fills a page and everyone later shares
+	// the same frame.
+	c0 := env.M.CPU(0)
+	mustNil(sys.Mmap(c0, fileServeBase, cfg.FilePages, vm.MapOpts{
+		Prot: vm.ProtRead | vm.ProtWrite, File: file, Offset: 0,
+	}))
+
+	env.M.ResetStats()
+	start := env.M.MaxClock()
+	reviews0 := env.RC.Reviews()
+
+	pool := vm.NewPool(cfg.MaxLive, ceiling)
+	teardown := func(c *hw.CPU, p *vm.Process) {
+		if ex, ok := p.Sys.(vm.Exiter); ok {
+			ex.Exit(c)
+		} else {
+			mustNil(p.Sys.Munmap(c, fileServeBase, cfg.FilePages))
+		}
+	}
+
+	s := hw.NewSched(queueCap)
+	s.SwitchCost = cfg.SwitchCost
+	procs := make([]*vm.Process, cfg.Procs)
+	var reads uint64
+
+	thread := func(p *vm.Process, t int) func(*hw.Ctx) {
+		return func(tc *hw.Ctx) {
+			c := tc.CPU()
+			// Each thread reads a rotating window of the shared file,
+			// advancing by half a window per thread: neighbors overlap, so
+			// pages accumulate small multi-core sharer sets while the whole
+			// file stays hot across the fleet.
+			stride := cfg.WindowPages / 2
+			if stride == 0 {
+				stride = 1
+			}
+			off0 := (uint64(p.ID)*uint64(cfg.Threads) + uint64(t)) * stride % cfg.FilePages
+			var touched uint64
+			for i := uint64(0); i < cfg.WindowPages; i++ {
+				v := fileServeBase + (off0+i)%cfg.FilePages
+				// A racing truncate may have cut this offset; the segv is
+				// the correct demand-paging answer, not a workload error.
+				if err := p.Sys.Access(c, v, false); err != nil && err != vm.ErrSegv {
+					panic(err)
+				}
+				touched++
+				if i == 0 {
+					p.NoteFirstTouch(c.Now())
+				}
+				if touched%4 == 0 {
+					p.NoteRun(t, c.ID(), c.Now(), 4)
+					env.RC.Maintain(c)
+					tc.Yield()
+					c = tc.CPU()
+				}
+			}
+			pool.Charge(c, p, touched*4096)
+			for q := 0; q < cfg.Quanta; q++ {
+				c.Tick(cfg.QuantumTicks)
+				p.NoteRun(t, c.ID(), c.Now(), 0)
+				env.RC.Maintain(c)
+				tc.Yield()
+				c = tc.CPU()
+			}
+			reads += touched // on-schedule: serialized by the det gang
+			pool.ThreadDone(c, p, c.Now())
+		}
+	}
+
+	// The writeback ticker: a pinned proc on core 0 that revokes a
+	// rotating window each round. Its own core's IPIsSent delta around
+	// each call is exactly the shootdown traffic that revocation cost.
+	var wbIPIs uint64
+	if cfg.WBRounds > 0 && cfg.WBPages > 0 {
+		s.SpawnAt(0, start, func(tc *hw.Ctx) {
+			c := tc.CPU()
+			for round := 0; round < cfg.WBRounds; round++ {
+				off := (uint64(round) * cfg.WBPages) % cfg.FilePages
+				n := cfg.WBPages
+				if off+n > cfg.FilePages {
+					n = cfg.FilePages - off
+				}
+				ipi0 := c.Stats().IPIsSent
+				file.Writeback(c, off, n)
+				if cfg.TruncEvery > 0 && (round+1)%cfg.TruncEvery == 0 {
+					// Cut the file's tail and grow it back: the dropped
+					// pages die in the cache (refcache-delayed) and later
+					// readers refill them.
+					file.Truncate(c, cfg.FilePages-cfg.WBPages)
+					file.Extend(cfg.FilePages)
+				}
+				wbIPIs += c.Stats().IPIsSent - ipi0
+				env.RC.Maintain(c)
+				c.Tick(cfg.WBGap)
+				tc.Yield()
+				c = tc.CPU()
+			}
+		})
+	}
+
+	// The Poisson arrival stream, offset past the warm phase's clocks.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stamp := start
+	for i := 0; i < cfg.Procs; i++ {
+		// The ticker proc holds scheduler seq 0, so arrival seqs are not
+		// process IDs here; the loop index is.
+		id := i
+		stamp += uint64(rng.ExpFloat64() * float64(cfg.MeanArrival))
+		arrived := stamp
+		s.Arrive(stamp, func(c *hw.CPU, _ uint64) {
+			ch, err := sys.Fork(c)
+			mustNil(err)
+			p := vm.NewProcess(id, ch, arrived, cfg.Threads, teardown)
+			procs[id] = p
+			pool.Admit(c, p)
+			for t := 0; t < cfg.Threads; t++ {
+				s.SpawnAt((id*cfg.Threads+t)%coresN, c.Now(), thread(p, t))
+			}
+		})
+	}
+	s.Run(env.M, cores, 4000)
+
+	// Drain the refcache to quiescence: pages the truncates killed and the
+	// teardowns dereferenced sit in per-core delta caches and review
+	// queues; three full epochs flush, wait out the review delay, and
+	// review them. The drain is part of the workload's reclamation story
+	// (and of its review accounting), and is quiescent-deterministic.
+	env.RC.FlushAll()
+	env.RC.FlushAll()
+	env.RC.FlushAll()
+
+	stats := env.M.TotalStats()
+	return FileServeResult{
+		Result: Result{
+			Name:       "filemap",
+			System:     sys.Name(),
+			Cores:      cores,
+			PageWrites: reads,
+			Cycles:     env.M.MaxClock() - start,
+			Stats:      stats,
+		},
+		Spawns:        uint64(cfg.Procs),
+		Faults:        stats.PageFaults,
+		Writebacks:    file.Writebacks(),
+		Truncates:     file.Truncates(),
+		RevokedPages:  file.RevokedPages(),
+		WritebackIPIs: wbIPIs,
+		SharerHigh:    file.Cache().SharerHighWater(),
+		CacheFills:    file.Cache().Fills(),
+		CachePages:    file.Cache().Pages(),
+		LiveHigh:      pool.LiveHighWater(),
+		RunQHigh:      s.RunQueueHighWater(),
+		Deferred:      s.DeferredArrivals(),
+		Reviews:       env.RC.Reviews() - reviews0,
+		ReviewQHigh:   env.RC.ReviewQueueHighWater(),
+	}
+}

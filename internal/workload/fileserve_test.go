@@ -1,0 +1,377 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"radixvm/internal/bonsaivm"
+	"radixvm/internal/hw"
+	"radixvm/internal/linuxvm"
+	"radixvm/internal/mem"
+	"radixvm/internal/refcache"
+	"radixvm/internal/vm"
+)
+
+const (
+	fsTestBase = uint64(1) << 30 // file mapping VPN in the tests below
+	fsTestAnon = uint64(1) << 31 // anonymous scratch VPN
+)
+
+// fsSys is fleetSysCfg plus the allocator, which the filemap tests need to
+// create files and to check for frame leaks.
+func fsSys(name string, mc hw.Config) (*Env, vm.System, *mem.Allocator) {
+	m := hw.NewMachine(mc)
+	rc := refcache.New(m)
+	alloc := mem.NewAllocator(m, rc)
+	env := &Env{M: m, RC: rc}
+	switch name {
+	case "radixvm":
+		return env, vm.New(m, rc, alloc, vm.NewPerCoreMMU(m)), alloc
+	case "linux":
+		return env, linuxvm.New(m, rc, alloc), alloc
+	default:
+		return env, bonsaivm.New(m, rc, alloc), alloc
+	}
+}
+
+func fsMust(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fsQuiesce drains the refcache to a fixed point: each flush closes an
+// epoch, and an object dirtied during its review delay re-queues for
+// another round, so a deep Dec pipeline takes several epochs to settle.
+func fsQuiesce(env *Env) {
+	for i := 0; i < 20; i++ {
+		env.RC.FlushAll()
+	}
+}
+
+// fsRetire tears down a space: whole-space Exit where the system supports
+// it, else munmap of the given ranges (which must cover every mapping).
+func fsRetire(c *hw.CPU, t *testing.T, sys vm.System, ranges ...[2]uint64) {
+	t.Helper()
+	if ex, ok := sys.(vm.Exiter); ok {
+		ex.Exit(c)
+		return
+	}
+	for _, r := range ranges {
+		fsMust(t, sys.Munmap(c, r[0], r[1]))
+	}
+}
+
+func fsSmallConfig() FileServeConfig {
+	cfg := DefaultFileServeConfig()
+	cfg.Procs = 32
+	cfg.MaxLive = 16
+	cfg.FilePages = 64
+	cfg.WindowPages = 16
+	cfg.MeanArrival = 10_000
+	cfg.WBRounds = 8
+	cfg.WBPages = 16
+	cfg.WBGap = 50_000
+	cfg.TruncEvery = 4
+	return cfg
+}
+
+func TestFileServeRunsOnAllSystems(t *testing.T) {
+	for _, name := range []string{"radixvm", "linux", "bonsai"} {
+		env, sys, alloc := fsSys(name, hw.TestConfig(4))
+		cfg := fsSmallConfig()
+		r := FileServe(env, sys, 4, alloc, cfg)
+		if r.Spawns != 32 || r.Stats.Forks != 32 {
+			t.Fatalf("%s: spawns=%d forks=%d, want 32 each", name, r.Spawns, r.Stats.Forks)
+		}
+		if r.Writebacks != 8 || r.Truncates != 2 {
+			t.Fatalf("%s: %d writebacks + %d truncates, want 8 + 2", name, r.Writebacks, r.Truncates)
+		}
+		if r.Faults == 0 || r.CacheFills == 0 {
+			t.Fatalf("%s: no demand paging recorded (faults=%d fills=%d)", name, r.Faults, r.CacheFills)
+		}
+		if r.CachePages == 0 || uint64(r.CachePages) > cfg.FilePages {
+			t.Fatalf("%s: %d pages cached at end, want 1..%d", name, r.CachePages, cfg.FilePages)
+		}
+		if r.RevokedPages == 0 || r.WritebackIPIs == 0 {
+			t.Fatalf("%s: writebacks revoked %d translations with %d IPIs, want both > 0",
+				name, r.RevokedPages, r.WritebackIPIs)
+		}
+		if r.SharerHigh < 1 {
+			t.Fatalf("%s: sharer-set high-water %d, want >= 1", name, r.SharerHigh)
+		}
+		if r.LiveHigh == 0 {
+			t.Fatalf("%s: pool never held a live space", name)
+		}
+		if r.Reviews == 0 {
+			t.Fatalf("%s: no refcache reviews — truncated pages never drained", name)
+		}
+	}
+}
+
+// TestForkRegistersFileSharers is the fork/file-page regression: a forked
+// child shares the parent's cached file frames, so it must also join each
+// mapped file's mm registry — otherwise a later writeback cannot find the
+// child's translations and the child keeps reading a page the kernel
+// believes it has invalidated. Both fork flavors and all three systems.
+func TestForkRegistersFileSharers(t *testing.T) {
+	cases := []struct {
+		label string
+		name  string
+		eager bool
+	}{
+		{"radixvm-lazy", "radixvm", false},
+		{"radixvm-eager", "radixvm", true},
+		{"linux", "linux", true},
+		{"bonsai", "bonsai", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			env, sys, alloc := fsSys(tc.name, hw.DefaultConfig(2))
+			if se, ok := sys.(interface{ SetForkEager(bool) }); ok {
+				se.SetForkEager(tc.eager)
+			}
+			c0, c1 := env.M.CPU(0), env.M.CPU(1)
+			file := vm.NewFile(alloc)
+			fsMust(t, sys.Mmap(c0, fsTestBase, 4, vm.MapOpts{
+				Prot: vm.ProtRead | vm.ProtWrite, File: file, Offset: 0,
+			}))
+			fsMust(t, sys.Access(c0, fsTestBase, false))
+
+			child, err := sys.Fork(c0)
+			fsMust(t, err)
+			if got := file.Mappers(); got != 2 {
+				t.Fatalf("file has %d registered mappers after fork, want 2 (child missing)", got)
+			}
+			fsMust(t, child.Access(c1, fsTestBase, false))
+
+			file.Writeback(c0, 0, 4)
+			pf := c1.Stats().PageFaults
+			fsMust(t, child.Access(c1, fsTestBase, false))
+			if got := c1.Stats().PageFaults - pf; got != 1 {
+				t.Fatalf("child access after writeback took %d faults, want 1 refault (stale translation survived)", got)
+			}
+
+			fsRetire(c1, t, child, [2]uint64{fsTestBase, 4})
+			if got := file.Mappers(); got != 1 {
+				t.Fatalf("file has %d registered mappers after child teardown, want 1", got)
+			}
+		})
+	}
+}
+
+// TestWritebackIPIsTrackSharersNotMappers pins the figure's shape as a
+// regression: with the sharer count held at two, RadixVM's writeback IPIs
+// stay flat as the number of address spaces mapping the file grows 4 -> 32,
+// because each page's metadata names its actual sharers; the baselines'
+// invalidate_inode_pages-style pass broadcasts per mapping space, so their
+// IPI bill grows with the mapper count even though no new core ever read
+// the file.
+func TestWritebackIPIsTrackSharersNotMappers(t *testing.T) {
+	ipisFor := func(name string, nMappers int) uint64 {
+		env, sys, alloc := fsSys(name, hw.DefaultConfig(8))
+		file := vm.NewFile(alloc)
+		c0 := env.M.CPU(0)
+		fsMust(t, sys.Mmap(c0, fsTestBase, 16, vm.MapOpts{
+			Prot: vm.ProtRead | vm.ProtWrite, File: file, Offset: 0,
+		}))
+		children := make([]vm.System, nMappers)
+		for i := range children {
+			ch, err := sys.Fork(c0)
+			fsMust(t, err)
+			children[i] = ch
+			// Run each child somewhere so its space is live on a core: the
+			// baselines' broadcast targets every core a mapping space ran on.
+			c := env.M.CPU(1 + i%7)
+			fsMust(t, ch.Mmap(c, fsTestAnon, 1, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+			fsMust(t, ch.Access(c, fsTestAnon, true))
+		}
+		// Exactly two spaces — on two fixed cores — ever read the file.
+		for p := uint64(0); p < 16; p++ {
+			fsMust(t, children[0].Access(env.M.CPU(1), fsTestBase+p, false))
+			fsMust(t, children[1].Access(env.M.CPU(2), fsTestBase+p, false))
+		}
+		ipi0 := c0.Stats().IPIsSent
+		file.Writeback(c0, 0, 16)
+		return c0.Stats().IPIsSent - ipi0
+	}
+
+	r4, r32 := ipisFor("radixvm", 4), ipisFor("radixvm", 32)
+	if r4 == 0 {
+		t.Fatalf("radixvm writeback sent no IPIs despite two sharers")
+	}
+	if r32 != r4 {
+		t.Errorf("radixvm writeback IPIs moved with mapper count: %d @ 4 mappers -> %d @ 32 (sharers fixed at 2)", r4, r32)
+	}
+	for _, name := range []string{"linux", "bonsai"} {
+		b4, b32 := ipisFor(name, 4), ipisFor(name, 32)
+		if b32 < 4*b4 {
+			t.Errorf("%s writeback IPIs did not grow with mapper count: %d @ 4 mappers -> %d @ 32", name, b4, b32)
+		}
+		if b32 <= 3*r32 {
+			t.Errorf("%s @ 32 mappers sent %d IPIs vs radixvm's %d — broadcast should dwarf targeted", name, b32, r32)
+		}
+	}
+}
+
+// TestFileServeDeterministic runs the 8-core filemap workload twice per
+// system and demands bit-identical results: the figure-level metrics, every
+// per-core clock, and every per-core Stats counter. This is what lets
+// figures/filemap.txt be gated byte-for-byte.
+func TestFileServeDeterministic(t *testing.T) {
+	for _, name := range []string{"radixvm", "linux", "bonsai"} {
+		run := func() (FileServeResult, snapshot) {
+			env, sys, alloc := fsSys(name, hw.DefaultConfig(8))
+			cfg := DefaultFileServeConfig()
+			cfg.Procs = 96
+			cfg.MaxLive = 48
+			cfg.WBRounds = 24
+			r := FileServe(env, sys, 8, alloc, cfg)
+			return r, snap(env, r.Result)
+		}
+		r1, s1 := run()
+		r2, s2 := run()
+		if r1 != r2 {
+			t.Errorf("%s: filemap results diverged:\n run1: %+v\n run2: %+v", name, r1, r2)
+		}
+		compare(t, name+"/filemap@8", s1, s2)
+	}
+}
+
+// TestFileServeTeardownLeavesOnlyCache checks the fleet's reclamation story
+// end to end: after every child is torn down or evicted and the refcache
+// drained, the only frames still allocated are the page cache's own
+// residents (each holding the cache's base reference). Anything beyond that
+// is a leaked mapping reference from fork, revoke, or teardown.
+func TestFileServeTeardownLeavesOnlyCache(t *testing.T) {
+	for _, name := range []string{"radixvm", "linux", "bonsai"} {
+		env, sys, alloc := fsSys(name, hw.TestConfig(4))
+		r := FileServe(env, sys, 4, alloc, fsSmallConfig())
+		// FileServe's own drain settles the flat Dec pipeline; teardown
+		// cascades (a freed radix node Decs its children) take a few more
+		// epochs to reach the leaves.
+		fsQuiesce(env)
+		if live := alloc.Live(); live != int64(r.CachePages) {
+			t.Errorf("%s: %d frames live after fleet teardown, want exactly the %d cached pages",
+				name, live, r.CachePages)
+		}
+	}
+}
+
+// TestRaceFileFaultVsTruncate races demand faults of a mapped file against
+// truncate/extend/writeback cycles under -race: every access must land as
+// success or ErrSegv (an access past the racing EOF), the run must not
+// wedge, and once the space retires and the file empties no frame may
+// remain allocated.
+func TestRaceFileFaultVsTruncate(t *testing.T) {
+	for _, name := range []string{"radixvm", "linux", "bonsai"} {
+		t.Run(name, func(t *testing.T) {
+			const ncores = 4
+			env, sys, alloc := fsSys(name, hw.TestConfig(ncores))
+			c0 := env.M.CPU(0)
+			file := vm.NewFile(alloc)
+			fsMust(t, sys.Mmap(c0, fsTestBase, 64, vm.MapOpts{
+				Prot: vm.ProtRead | vm.ProtWrite, File: file, Offset: 0,
+			}))
+			hw.RunGang(env.M, ncores, 2000, func(c *hw.CPU, g *hw.Gang) {
+				if c.ID() == 0 {
+					for k := 0; k < 40; k++ {
+						file.Truncate(c, 8)
+						file.Extend(64)
+						file.Writeback(c, 0, 64)
+						env.RC.Maintain(c)
+						g.Sync(c)
+					}
+					return
+				}
+				for k := 0; k < 120; k++ {
+					v := fsTestBase + uint64(k*7+c.ID()*13)%64
+					if err := sys.Access(c, v, false); err != nil && !errors.Is(err, vm.ErrSegv) {
+						t.Errorf("core %d: fault vs truncate: %v", c.ID(), err)
+						return
+					}
+					env.RC.Maintain(c)
+					g.Sync(c)
+				}
+			})
+			if t.Failed() {
+				return
+			}
+			fsRetire(c0, t, sys, [2]uint64{fsTestBase, 64})
+			file.Truncate(c0, 0)
+			fsQuiesce(env)
+			if live := alloc.Live(); live != 0 {
+				t.Fatalf("%d frames leaked through the fault/truncate race", live)
+			}
+		})
+	}
+}
+
+// TestRaceWritebackVsForkCOWExit races the writeback ticker against the
+// fleet's churn: cores fork children off a space that maps the file, fault
+// file pages, break COW on inherited anonymous pages, and retire the child
+// — while core 0 revokes the file's translations the whole time. The
+// registration handoff (fork joins the registry, exit leaves it) must
+// neither wedge a revoke nor leak a frame.
+func TestRaceWritebackVsForkCOWExit(t *testing.T) {
+	for _, name := range []string{"radixvm", "linux", "bonsai"} {
+		t.Run(name, func(t *testing.T) {
+			const ncores = 4
+			env, sys, alloc := fsSys(name, hw.TestConfig(ncores))
+			if se, ok := sys.(interface{ SetForkEager(bool) }); ok {
+				se.SetForkEager(false)
+			}
+			c0 := env.M.CPU(0)
+			file := vm.NewFile(alloc)
+			fsMust(t, sys.Mmap(c0, fsTestBase, 32, vm.MapOpts{
+				Prot: vm.ProtRead | vm.ProtWrite, File: file, Offset: 0,
+			}))
+			fsMust(t, sys.Mmap(c0, fsTestAnon, 4, vm.MapOpts{Prot: vm.ProtRead | vm.ProtWrite}))
+			for p := uint64(0); p < 4; p++ {
+				fsMust(t, sys.Access(c0, fsTestAnon+p, true))
+			}
+			hw.RunGang(env.M, ncores, 2000, func(c *hw.CPU, g *hw.Gang) {
+				if c.ID() == 0 {
+					for k := 0; k < 40; k++ {
+						file.Writeback(c, 0, 32)
+						env.RC.Maintain(c)
+						g.Sync(c)
+					}
+					return
+				}
+				for k := 0; k < 12; k++ {
+					ch, err := sys.Fork(c)
+					if err != nil {
+						t.Errorf("core %d: fork: %v", c.ID(), err)
+						return
+					}
+					for p := uint64(0); p < 4; p++ {
+						if err := ch.Access(c, fsTestBase+uint64(c.ID())*8+p, false); err != nil {
+							t.Errorf("core %d: child file read: %v", c.ID(), err)
+							return
+						}
+					}
+					for p := uint64(0); p < 4; p++ {
+						if err := ch.Access(c, fsTestAnon+p, true); err != nil {
+							t.Errorf("core %d: child COW write: %v", c.ID(), err)
+							return
+						}
+					}
+					fsRetire(c, t, ch, [2]uint64{fsTestBase, 32}, [2]uint64{fsTestAnon, 4})
+					env.RC.Maintain(c)
+					g.Sync(c)
+				}
+			})
+			if t.Failed() {
+				return
+			}
+			fsRetire(c0, t, sys, [2]uint64{fsTestBase, 32}, [2]uint64{fsTestAnon, 4})
+			file.Truncate(c0, 0)
+			fsQuiesce(env)
+			if live := alloc.Live(); live != 0 {
+				t.Fatalf("%d frames leaked through the writeback/fork/exit race", live)
+			}
+		})
+	}
+}

@@ -37,6 +37,7 @@ gen() {
   go run ./cmd/radixbench -exp spawn -quick >"$out/spawn.txt"
   go run ./cmd/radixbench -exp clone -quick >"$out/clone.txt"
   go run ./cmd/radixbench -exp fleet -quick >"$out/fleet.txt"
+  timeout "$budget" go run ./cmd/radixbench -exp filemap -quick >"$out/filemap.txt"
   timeout "$budget" go run ./cmd/radixbench -exp scale -quick >"$out/scale.txt"
 }
 
@@ -53,8 +54,11 @@ echo "figure outputs are byte-identical across two runs"
 #     workload most sensitive to scheduling nondeterminism,
 #   - figures/fleet.txt — the scheduled multi-address-space machine: even
 #     its latency percentiles and LRU-driven review pressure are pure
-#     functions of virtual time.
-for fig in scale clone spawn fleet; do
+#     functions of virtual time,
+#   - figures/filemap.txt — the shared page cache: per-page sharer-set
+#     shootdowns, refcache review pressure, and the broadcast baselines'
+#     IPI bill, all through the concurrent fleet scheduler.
+for fig in scale clone spawn fleet filemap; do
   timeout "$full_budget" go run ./cmd/radixbench -exp "$fig" >"$dir/${fig}_full.txt"
   diff -u "figures/${fig}.txt" "$dir/${fig}_full.txt"
   echo "committed figures/${fig}.txt regenerates byte-identically"
